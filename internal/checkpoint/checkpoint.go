@@ -1,0 +1,262 @@
+// Package checkpoint provides the checkpoint representation and the stable
+// storage abstraction used by the coordinated-checkpointing part of SPBC
+// (Algorithm 1, lines 13–15: "Execute Coordinate Protocol inside cluster_i;
+// Save (State_i, Logs_i) on stable storage").
+//
+// A checkpoint of a rank bundles the application state (an opaque byte
+// slice produced by the application's Checkpoint method), the MPI-level
+// channel state (sequence counters, reception bookkeeping and undelivered
+// messages) and the sender-based message log. Two storage back-ends are
+// provided: an in-memory store (used by the benchmarks, which follow the
+// paper in excluding checkpoint I/O from the measurements) and a
+// directory-backed store using encoding/gob (used to exercise the full
+// save/load path).
+package checkpoint
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// LogRecord mirrors logstore.Record in a self-contained, gob-friendly form so
+// the checkpoint package does not depend on the log store implementation.
+type LogRecord struct {
+	Env      mpi.Envelope
+	Payload  []byte
+	SendTime float64
+}
+
+// Checkpoint is the saved state of one rank.
+type Checkpoint struct {
+	Rank      int
+	Cluster   int
+	Iteration int     // application iteration at which the checkpoint was taken
+	Epoch     int     // checkpoint wave number within the cluster
+	Time      float64 // virtual time of the rank when the checkpoint was taken
+	AppState  []byte
+	Channels  *mpi.ChannelSnapshot
+	Logs      []LogRecord
+}
+
+// Validate performs basic sanity checks on a checkpoint.
+func (c *Checkpoint) Validate() error {
+	if c == nil {
+		return fmt.Errorf("checkpoint: nil checkpoint")
+	}
+	if c.Rank < 0 {
+		return fmt.Errorf("checkpoint: negative rank %d", c.Rank)
+	}
+	if c.Channels == nil {
+		return fmt.Errorf("checkpoint: rank %d: missing channel snapshot", c.Rank)
+	}
+	if c.Iteration < 0 || c.Epoch < 0 {
+		return fmt.Errorf("checkpoint: rank %d: negative iteration or epoch", c.Rank)
+	}
+	return nil
+}
+
+// Size returns the approximate size in bytes of the checkpoint content
+// (application state, queued messages and logs).
+func (c *Checkpoint) Size() uint64 {
+	var s uint64
+	s += uint64(len(c.AppState))
+	if c.Channels != nil {
+		for _, q := range c.Channels.Queued {
+			s += uint64(len(q.Payload))
+		}
+	}
+	for _, r := range c.Logs {
+		s += uint64(len(r.Payload))
+	}
+	return s
+}
+
+// Storage is the stable-storage abstraction: it keeps the latest checkpoint
+// of every rank.
+type Storage interface {
+	// Save stores a checkpoint, replacing any previous checkpoint of the
+	// same rank.
+	Save(cp *Checkpoint) error
+	// Load returns the latest checkpoint of a rank, or ok=false if none.
+	Load(rank int) (cp *Checkpoint, ok bool, err error)
+	// Ranks lists the ranks that currently have a checkpoint.
+	Ranks() ([]int, error)
+}
+
+// MemoryStorage keeps checkpoints in memory. It is safe for concurrent use.
+type MemoryStorage struct {
+	mu    sync.Mutex
+	byRnk map[int]*Checkpoint
+	saves int
+}
+
+// NewMemoryStorage creates an empty in-memory store.
+func NewMemoryStorage() *MemoryStorage {
+	return &MemoryStorage{byRnk: make(map[int]*Checkpoint)}
+}
+
+// Save stores a deep copy of the checkpoint.
+func (m *MemoryStorage) Save(cp *Checkpoint) error {
+	if err := cp.Validate(); err != nil {
+		return err
+	}
+	clone, err := cloneCheckpoint(cp)
+	if err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.byRnk[cp.Rank] = clone
+	m.saves++
+	return nil
+}
+
+// Load returns a deep copy of the latest checkpoint of the rank.
+func (m *MemoryStorage) Load(rank int) (*Checkpoint, bool, error) {
+	m.mu.Lock()
+	cp, ok := m.byRnk[rank]
+	m.mu.Unlock()
+	if !ok {
+		return nil, false, nil
+	}
+	clone, err := cloneCheckpoint(cp)
+	if err != nil {
+		return nil, false, err
+	}
+	return clone, true, nil
+}
+
+// Ranks lists ranks with a stored checkpoint, sorted.
+func (m *MemoryStorage) Ranks() ([]int, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]int, 0, len(m.byRnk))
+	for r := range m.byRnk {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Saves returns the number of successful Save calls.
+func (m *MemoryStorage) Saves() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.saves
+}
+
+// DirStorage stores checkpoints as gob files in a directory, one file per
+// rank (overwritten on every save, like a two-phase local checkpoint).
+type DirStorage struct {
+	dir string
+	mu  sync.Mutex
+}
+
+// NewDirStorage creates (if needed) and uses the given directory.
+func NewDirStorage(dir string) (*DirStorage, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("checkpoint: create storage dir: %w", err)
+	}
+	return &DirStorage{dir: dir}, nil
+}
+
+func (d *DirStorage) path(rank int) string {
+	return filepath.Join(d.dir, fmt.Sprintf("rank-%06d.ckpt", rank))
+}
+
+// Save writes the checkpoint atomically (write to temp file then rename).
+func (d *DirStorage) Save(cp *Checkpoint) error {
+	if err := cp.Validate(); err != nil {
+		return err
+	}
+	raw, err := Encode(cp)
+	if err != nil {
+		return err
+	}
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	tmp := d.path(cp.Rank) + ".tmp"
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
+	}
+	if err := os.Rename(tmp, d.path(cp.Rank)); err != nil {
+		return fmt.Errorf("checkpoint: rename: %w", err)
+	}
+	return nil
+}
+
+// Load reads the latest checkpoint of the rank from disk.
+func (d *DirStorage) Load(rank int) (*Checkpoint, bool, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	raw, err := os.ReadFile(d.path(rank))
+	if os.IsNotExist(err) {
+		return nil, false, nil
+	}
+	if err != nil {
+		return nil, false, fmt.Errorf("checkpoint: read: %w", err)
+	}
+	cp, err := Decode(raw)
+	if err != nil {
+		return nil, false, err
+	}
+	return cp, true, nil
+}
+
+// Ranks lists ranks with a checkpoint file.
+func (d *DirStorage) Ranks() ([]int, error) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	entries, err := os.ReadDir(d.dir)
+	if err != nil {
+		return nil, fmt.Errorf("checkpoint: list: %w", err)
+	}
+	var out []int
+	for _, e := range entries {
+		var rank int
+		if _, err := fmt.Sscanf(e.Name(), "rank-%d.ckpt", &rank); err == nil {
+			out = append(out, rank)
+		}
+	}
+	sort.Ints(out)
+	return out, nil
+}
+
+// Encode serializes a checkpoint with encoding/gob.
+func Encode(cp *Checkpoint) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
+		return nil, fmt.Errorf("checkpoint: encode: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// Decode deserializes a checkpoint produced by Encode.
+func Decode(raw []byte) (*Checkpoint, error) {
+	var cp Checkpoint
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("checkpoint: decode: %w", err)
+	}
+	return &cp, nil
+}
+
+// cloneCheckpoint deep-copies a checkpoint through gob.
+func cloneCheckpoint(cp *Checkpoint) (*Checkpoint, error) {
+	raw, err := Encode(cp)
+	if err != nil {
+		return nil, err
+	}
+	return Decode(raw)
+}
+
+var (
+	_ Storage = (*MemoryStorage)(nil)
+	_ Storage = (*DirStorage)(nil)
+)

@@ -1,0 +1,329 @@
+// Package clustering reimplements the clustering tool the paper relies on
+// (Ropars et al., "On the Use of Cluster-Based Partial Message Logging to
+// Improve Fault Tolerance for MPI HPC Applications", Euro-Par 2011): given a
+// communication profile of an application, it partitions the processes into
+// k clusters so that the volume of inter-cluster traffic — which is exactly
+// the volume the hybrid protocol has to log — is minimized.
+//
+// Like the paper's setup, ranks running on the same physical node are always
+// placed in the same cluster (a node failure takes down all of them, so
+// splitting a node buys no containment). The partitioner therefore works at
+// node granularity: nodes are assigned to clusters by a greedy growth pass
+// followed by Kernighan–Lin-style refinement swaps, either minimizing the
+// total logged volume (the paper's objective) or the maximum per-process
+// logging rate (the alternative discussed in Section 6.6).
+package clustering
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Objective selects what the partitioner minimizes.
+type Objective int
+
+const (
+	// MinTotalLogged minimizes the total inter-cluster volume (the paper's
+	// objective).
+	MinTotalLogged Objective = iota
+	// MinMaxPerProcess minimizes the maximum per-process logged volume (the
+	// balanced alternative discussed in Section 6.6).
+	MinMaxPerProcess
+)
+
+// String names the objective.
+func (o Objective) String() string {
+	switch o {
+	case MinTotalLogged:
+		return "min-total-logged"
+	case MinMaxPerProcess:
+		return "min-max-per-process"
+	default:
+		return fmt.Sprintf("Objective(%d)", int(o))
+	}
+}
+
+// Profile is the communication profile of an application run: the number of
+// bytes sent between every ordered pair of ranks, plus the node placement.
+type Profile struct {
+	Ranks        int
+	RanksPerNode int
+	// Bytes[i][j] is the number of bytes rank i sent to rank j.
+	Bytes [][]uint64
+}
+
+// NewProfile allocates an empty profile.
+func NewProfile(ranks, ranksPerNode int) *Profile {
+	b := make([][]uint64, ranks)
+	for i := range b {
+		b[i] = make([]uint64, ranks)
+	}
+	if ranksPerNode <= 0 {
+		ranksPerNode = 1
+	}
+	return &Profile{Ranks: ranks, RanksPerNode: ranksPerNode, Bytes: b}
+}
+
+// Add accumulates traffic from src to dst.
+func (p *Profile) Add(src, dst int, bytes uint64) {
+	if src < 0 || src >= p.Ranks || dst < 0 || dst >= p.Ranks || src == dst {
+		return
+	}
+	p.Bytes[src][dst] += bytes
+}
+
+// Nodes returns the number of physical nodes implied by the placement.
+func (p *Profile) Nodes() int {
+	return (p.Ranks + p.RanksPerNode - 1) / p.RanksPerNode
+}
+
+// NodeOf returns the node hosting a rank.
+func (p *Profile) NodeOf(rank int) int { return rank / p.RanksPerNode }
+
+// TotalBytes returns the total traffic of the profile.
+func (p *Profile) TotalBytes() uint64 {
+	var t uint64
+	for i := range p.Bytes {
+		for j := range p.Bytes[i] {
+			t += p.Bytes[i][j]
+		}
+	}
+	return t
+}
+
+// nodeTraffic aggregates the rank-level profile to node granularity,
+// returning a symmetric matrix of traffic between nodes (both directions
+// summed) and the per-node internal traffic.
+func (p *Profile) nodeTraffic() [][]uint64 {
+	n := p.Nodes()
+	m := make([][]uint64, n)
+	for i := range m {
+		m[i] = make([]uint64, n)
+	}
+	for i := 0; i < p.Ranks; i++ {
+		for j := 0; j < p.Ranks; j++ {
+			if p.Bytes[i][j] == 0 {
+				continue
+			}
+			ni, nj := p.NodeOf(i), p.NodeOf(j)
+			m[ni][nj] += p.Bytes[i][j]
+		}
+	}
+	return m
+}
+
+// Partition assigns every rank to one of k clusters. Special cases follow the
+// paper's evaluation: k >= Ranks yields one rank per cluster (pure message
+// logging); k equal to the number of nodes yields one node per cluster (all
+// inter-node messages logged). Otherwise nodes are grouped into k clusters of
+// nearly equal node counts.
+func Partition(p *Profile, k int, obj Objective) ([]int, error) {
+	if p == nil || p.Ranks == 0 {
+		return nil, fmt.Errorf("clustering: empty profile")
+	}
+	if k <= 0 {
+		return nil, fmt.Errorf("clustering: cluster count must be positive, got %d", k)
+	}
+	if k >= p.Ranks {
+		out := make([]int, p.Ranks)
+		for i := range out {
+			out[i] = i
+		}
+		return out, nil
+	}
+	nodes := p.Nodes()
+	if k >= nodes {
+		out := make([]int, p.Ranks)
+		for i := range out {
+			out[i] = p.NodeOf(i) % k
+		}
+		return out, nil
+	}
+	nodeCluster := partitionNodes(p, k, obj)
+	out := make([]int, p.Ranks)
+	for i := range out {
+		out[i] = nodeCluster[p.NodeOf(i)]
+	}
+	return out, nil
+}
+
+// partitionNodes groups nodes into k clusters: greedy seeded growth followed
+// by refinement swaps.
+func partitionNodes(p *Profile, k int, obj Objective) []int {
+	nodes := p.Nodes()
+	traffic := p.nodeTraffic()
+	target := (nodes + k - 1) / k // max nodes per cluster
+
+	assign := make([]int, nodes)
+	for i := range assign {
+		assign[i] = -1
+	}
+	sizes := make([]int, k)
+
+	// Order nodes by total traffic (heaviest first) so heavy communicators
+	// seed and attract their peers.
+	order := make([]int, nodes)
+	for i := range order {
+		order[i] = i
+	}
+	weight := func(n int) uint64 {
+		var w uint64
+		for j := 0; j < nodes; j++ {
+			w += traffic[n][j] + traffic[j][n]
+		}
+		return w
+	}
+	sort.Slice(order, func(a, b int) bool { return weight(order[a]) > weight(order[b]) })
+
+	for _, n := range order {
+		best, bestGain := -1, int64(-1)
+		for c := 0; c < k; c++ {
+			if sizes[c] >= target {
+				continue
+			}
+			// Gain: traffic toward nodes already in cluster c.
+			var gain int64
+			for j := 0; j < nodes; j++ {
+				if assign[j] == c {
+					gain += int64(traffic[n][j] + traffic[j][n])
+				}
+			}
+			// Prefer emptier clusters on ties to keep sizes balanced.
+			gain = gain*int64(k) - int64(sizes[c])
+			if gain > bestGain {
+				bestGain, best = gain, c
+			}
+		}
+		if best < 0 {
+			// All clusters full up to target (can happen with rounding);
+			// place in the smallest.
+			best = 0
+			for c := 1; c < k; c++ {
+				if sizes[c] < sizes[best] {
+					best = c
+				}
+			}
+		}
+		assign[n] = best
+		sizes[best]++
+	}
+
+	refine(p, assign, k, obj)
+	return assign
+}
+
+// refine performs Kernighan–Lin-style pairwise swaps between nodes of
+// different clusters while the objective improves.
+func refine(p *Profile, assign []int, k int, obj Objective) {
+	nodes := len(assign)
+	const maxPasses = 8
+	for pass := 0; pass < maxPasses; pass++ {
+		improved := false
+		current := objectiveValue(p, rankAssignment(p, assign), obj)
+		for a := 0; a < nodes; a++ {
+			for b := a + 1; b < nodes; b++ {
+				if assign[a] == assign[b] {
+					continue
+				}
+				assign[a], assign[b] = assign[b], assign[a]
+				v := objectiveValue(p, rankAssignment(p, assign), obj)
+				if v < current {
+					current = v
+					improved = true
+				} else {
+					assign[a], assign[b] = assign[b], assign[a]
+				}
+			}
+		}
+		if !improved {
+			return
+		}
+	}
+}
+
+// rankAssignment expands a node-level assignment to rank level.
+func rankAssignment(p *Profile, nodeAssign []int) []int {
+	out := make([]int, p.Ranks)
+	for i := range out {
+		out[i] = nodeAssign[p.NodeOf(i)]
+	}
+	return out
+}
+
+// objectiveValue evaluates a rank-level assignment under the objective.
+func objectiveValue(p *Profile, clusterOf []int, obj Objective) float64 {
+	total, perRank := LoggedBytes(p, clusterOf)
+	switch obj {
+	case MinMaxPerProcess:
+		var max uint64
+		for _, b := range perRank {
+			if b > max {
+				max = b
+			}
+		}
+		return float64(max)
+	default:
+		return float64(total)
+	}
+}
+
+// LoggedBytes returns, for a given cluster assignment, the total number of
+// bytes that the hybrid protocol would log (inter-cluster traffic only) and
+// the per-rank (sender-side) logged volume.
+func LoggedBytes(p *Profile, clusterOf []int) (total uint64, perRank []uint64) {
+	perRank = make([]uint64, p.Ranks)
+	for i := 0; i < p.Ranks; i++ {
+		for j := 0; j < p.Ranks; j++ {
+			if p.Bytes[i][j] == 0 || clusterOf[i] == clusterOf[j] {
+				continue
+			}
+			perRank[i] += p.Bytes[i][j]
+			total += p.Bytes[i][j]
+		}
+	}
+	return total, perRank
+}
+
+// Validate checks that a cluster assignment is well-formed: every rank is
+// assigned to a cluster in [0, k), every cluster in [0, k) used by the
+// assignment is non-empty when k <= ranks, and ranks sharing a node share a
+// cluster when nodeConstraint is true.
+func Validate(p *Profile, clusterOf []int, k int, nodeConstraint bool) error {
+	if len(clusterOf) != p.Ranks {
+		return fmt.Errorf("clustering: assignment length %d != ranks %d", len(clusterOf), p.Ranks)
+	}
+	for r, c := range clusterOf {
+		if c < 0 || c >= k {
+			return fmt.Errorf("clustering: rank %d assigned to invalid cluster %d (k=%d)", r, c, k)
+		}
+	}
+	if nodeConstraint && k < p.Ranks {
+		for r := 1; r < p.Ranks; r++ {
+			if p.NodeOf(r) == p.NodeOf(r-1) && clusterOf[r] != clusterOf[r-1] {
+				return fmt.Errorf("clustering: ranks %d and %d share node %d but are in clusters %d and %d",
+					r-1, r, p.NodeOf(r), clusterOf[r-1], clusterOf[r])
+			}
+		}
+	}
+	return nil
+}
+
+// ClusterMembers groups ranks by cluster.
+func ClusterMembers(clusterOf []int) map[int][]int {
+	out := make(map[int][]int)
+	for r, c := range clusterOf {
+		out[c] = append(out[c], r)
+	}
+	return out
+}
+
+// ClusterSizes returns the number of ranks per cluster index (length k).
+func ClusterSizes(clusterOf []int, k int) []int {
+	sizes := make([]int, k)
+	for _, c := range clusterOf {
+		if c >= 0 && c < k {
+			sizes[c]++
+		}
+	}
+	return sizes
+}

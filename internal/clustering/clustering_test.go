@@ -1,0 +1,278 @@
+package clustering
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// ringProfile builds a profile where each rank talks heavily to its ring
+// neighbours and lightly to a far rank.
+func ringProfile(ranks, ranksPerNode int) *Profile {
+	p := NewProfile(ranks, ranksPerNode)
+	for i := 0; i < ranks; i++ {
+		p.Add(i, (i+1)%ranks, 1000)
+		p.Add(i, (i-1+ranks)%ranks, 1000)
+		p.Add(i, (i+ranks/2)%ranks, 10)
+	}
+	return p
+}
+
+func TestProfileBasics(t *testing.T) {
+	p := NewProfile(8, 4)
+	p.Add(0, 1, 100)
+	p.Add(1, 0, 50)
+	p.Add(0, 0, 999) // self traffic ignored
+	p.Add(-1, 3, 7)  // out of range ignored
+	p.Add(3, 99, 7)
+	if p.TotalBytes() != 150 {
+		t.Fatalf("TotalBytes = %d, want 150", p.TotalBytes())
+	}
+	if p.Nodes() != 2 {
+		t.Fatalf("Nodes = %d, want 2", p.Nodes())
+	}
+	if p.NodeOf(5) != 1 {
+		t.Fatalf("NodeOf(5) = %d", p.NodeOf(5))
+	}
+	// With 0 ranks per node every rank gets its own node.
+	q := NewProfile(4, 0)
+	if q.Nodes() != 4 {
+		t.Fatalf("ranksPerNode=0 should mean one rank per node")
+	}
+}
+
+func TestPartitionSpecialCases(t *testing.T) {
+	p := ringProfile(16, 4)
+
+	// k >= ranks: pure message logging, one rank per cluster.
+	cl, err := Partition(p, 16, MinTotalLogged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r, c := range cl {
+		if c != r {
+			t.Fatalf("pure logging should put rank %d in its own cluster, got %d", r, c)
+		}
+	}
+	cl, err = Partition(p, 100, MinTotalLogged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(p, cl, 100, false); err != nil {
+		t.Fatal(err)
+	}
+
+	// k == nodes: one node per cluster.
+	cl, err = Partition(p, 4, MinTotalLogged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(p, cl, 4, true); err != nil {
+		t.Fatal(err)
+	}
+	for r, c := range cl {
+		if c != p.NodeOf(r) {
+			t.Fatalf("k==nodes should map node to cluster: rank %d node %d cluster %d", r, p.NodeOf(r), c)
+		}
+	}
+
+	// Invalid arguments.
+	if _, err := Partition(p, 0, MinTotalLogged); err == nil {
+		t.Fatal("k=0 must be rejected")
+	}
+	if _, err := Partition(nil, 2, MinTotalLogged); err == nil {
+		t.Fatal("nil profile must be rejected")
+	}
+}
+
+func TestPartitionRespectsNodeConstraint(t *testing.T) {
+	p := ringProfile(32, 4)
+	for _, k := range []int{2, 4} {
+		cl, err := Partition(p, k, MinTotalLogged)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := Validate(p, cl, k, true); err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		sizes := ClusterSizes(cl, k)
+		for c, s := range sizes {
+			if s == 0 {
+				t.Fatalf("k=%d: cluster %d is empty", k, c)
+			}
+		}
+	}
+}
+
+func TestPartitionMinimizesLoggingOnRing(t *testing.T) {
+	// On a ring with contiguous node placement, contiguous clusters are
+	// optimal; the partitioner should log (much) less than a random-ish
+	// round-robin split of the nodes.
+	p := ringProfile(32, 4)
+	cl, err := Partition(p, 2, MinTotalLogged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _ := LoggedBytes(p, cl)
+
+	roundRobin := make([]int, 32)
+	for r := range roundRobin {
+		roundRobin[r] = p.NodeOf(r) % 2
+	}
+	rr, _ := LoggedBytes(p, roundRobin)
+	if got >= rr {
+		t.Fatalf("partitioner (%d bytes logged) should beat round-robin (%d bytes)", got, rr)
+	}
+}
+
+func TestLoggedBytesPerRank(t *testing.T) {
+	p := NewProfile(4, 1)
+	p.Add(0, 1, 100) // intra if same cluster
+	p.Add(0, 2, 200)
+	p.Add(3, 0, 50)
+	clusterOf := []int{0, 0, 1, 1}
+	total, perRank := LoggedBytes(p, clusterOf)
+	if total != 250 {
+		t.Fatalf("total logged = %d, want 250", total)
+	}
+	if perRank[0] != 200 || perRank[3] != 50 || perRank[1] != 0 {
+		t.Fatalf("per-rank logged = %v", perRank)
+	}
+}
+
+func TestObjectiveMinMax(t *testing.T) {
+	// Rank 0 sends a lot to rank 2 and rank 1 sends a lot to rank 3; the
+	// min-max objective should not concentrate all logging on one rank if a
+	// better-balanced split exists with the same cluster count.
+	p := NewProfile(4, 1)
+	p.Add(0, 1, 1000)
+	p.Add(2, 3, 1000)
+	p.Add(0, 2, 10)
+	p.Add(1, 3, 10)
+	cl, err := Partition(p, 2, MinMaxPerProcess)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Validate(p, cl, 2, false); err != nil {
+		t.Fatal(err)
+	}
+	_, perRank := LoggedBytes(p, cl)
+	var max uint64
+	for _, b := range perRank {
+		if b > max {
+			max = b
+		}
+	}
+	// The heavy pairs (0,1) and (2,3) must stay together: max logged per
+	// rank is then 10, not 1000.
+	if max > 10 {
+		t.Fatalf("min-max objective produced an imbalanced split: per-rank %v", perRank)
+	}
+}
+
+func TestValidateDetectsErrors(t *testing.T) {
+	p := ringProfile(8, 4)
+	if err := Validate(p, []int{0, 0}, 2, false); err == nil {
+		t.Fatal("short assignment must be rejected")
+	}
+	bad := make([]int, 8)
+	bad[3] = 5
+	if err := Validate(p, bad, 2, false); err == nil {
+		t.Fatal("out-of-range cluster must be rejected")
+	}
+	split := []int{0, 0, 1, 1, 0, 0, 0, 0} // splits node 0
+	if err := Validate(p, split, 2, true); err == nil {
+		t.Fatal("node constraint violation must be detected")
+	}
+}
+
+func TestClusterMembers(t *testing.T) {
+	members := ClusterMembers([]int{0, 1, 0, 1, 2})
+	if len(members) != 3 {
+		t.Fatalf("expected 3 clusters, got %d", len(members))
+	}
+	if len(members[0]) != 2 || members[0][0] != 0 || members[0][1] != 2 {
+		t.Fatalf("cluster 0 members = %v", members[0])
+	}
+}
+
+func TestPropertyPartitionIsValidAndCountsMatch(t *testing.T) {
+	f := func(seed uint8, kRaw uint8) bool {
+		ranks := 16
+		p := NewProfile(ranks, 4)
+		// Deterministic pseudo-random profile from the seed.
+		x := uint64(seed) + 1
+		for i := 0; i < ranks; i++ {
+			for j := 0; j < ranks; j++ {
+				if i == j {
+					continue
+				}
+				x = x*6364136223846793005 + 1442695040888963407
+				p.Add(i, j, x%500)
+			}
+		}
+		k := int(kRaw%8) + 1
+		cl, err := Partition(p, k, MinTotalLogged)
+		if err != nil {
+			return false
+		}
+		if Validate(p, cl, max(k, ranks), k < p.Nodes()) != nil {
+			return false
+		}
+		// Total + intra-cluster traffic == total profile traffic.
+		logged, perRank := LoggedBytes(p, cl)
+		var sum uint64
+		for _, b := range perRank {
+			sum += b
+		}
+		return sum == logged && logged <= p.TotalBytes()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyMoreClustersLogMore(t *testing.T) {
+	// With the nested special cases (per-node vs pure logging), a finer
+	// partition can only increase the logged volume on any profile.
+	f := func(seed uint8) bool {
+		ranks := 16
+		p := NewProfile(ranks, 4)
+		x := uint64(seed) + 7
+		for i := 0; i < ranks; i++ {
+			for j := 0; j < ranks; j++ {
+				if i == j {
+					continue
+				}
+				x = x*2862933555777941757 + 3037000493
+				p.Add(i, j, x%300)
+			}
+		}
+		perNode, err1 := Partition(p, p.Nodes(), MinTotalLogged)
+		pure, err2 := Partition(p, ranks, MinTotalLogged)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		a, _ := LoggedBytes(p, perNode)
+		b, _ := LoggedBytes(p, pure)
+		return a <= b
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestObjectiveString(t *testing.T) {
+	if MinTotalLogged.String() != "min-total-logged" || MinMaxPerProcess.String() != "min-max-per-process" {
+		t.Error("objective names wrong")
+	}
+	if Objective(9).String() == "" {
+		t.Error("unknown objective should format")
+	}
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

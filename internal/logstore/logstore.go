@@ -1,0 +1,238 @@
+// Package logstore implements sender-based message logging (Johnson &
+// Zwaenepoel style, as used by SPBC and HydEE): the payload and envelope of
+// every inter-cluster message is kept in the sender's memory, keyed by the
+// outgoing channel and the per-channel sequence number, so that it can be
+// replayed after a failure of the destination's cluster.
+//
+// The store tracks both the currently retained volume (which can shrink when
+// logs are garbage-collected after the destination cluster checkpoints) and
+// the cumulative logged volume (which only grows and is what Table 1 of the
+// paper reports as the log growth rate).
+package logstore
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/mpi"
+)
+
+// Record is one logged message.
+type Record struct {
+	Env      mpi.Envelope
+	Payload  []byte
+	SendTime float64 // virtual time at which the application sent the message
+}
+
+// channelLog holds the records of one outgoing channel in sequence order.
+type channelLog struct {
+	records []Record
+}
+
+// locate returns the index of the record with the given seq, or -1.
+func (c *channelLog) locate(seq uint64) int {
+	i := sort.Search(len(c.records), func(i int) bool { return c.records[i].Env.Seq >= seq })
+	if i < len(c.records) && c.records[i].Env.Seq == seq {
+		return i
+	}
+	return -1
+}
+
+// Store is a per-process sender-based message log. It is safe for concurrent
+// use by the application thread (appending) and the replay daemons (reading).
+type Store struct {
+	mu       sync.Mutex
+	channels map[mpi.ChanKey]*channelLog
+
+	retainedBytes   uint64
+	retainedCount   uint64
+	cumulativeBytes uint64
+	cumulativeCount uint64
+}
+
+// New creates an empty store.
+func New() *Store {
+	return &Store{channels: make(map[mpi.ChanKey]*channelLog)}
+}
+
+// Append adds a record to the log. Appending a sequence number that is
+// already present (which happens when a recovering process re-executes and
+// re-logs its inter-cluster sends) is a no-op, so that replay content and
+// accounting stay consistent.
+func (s *Store) Append(rec Record) {
+	key := rec.Env.OutChannel()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl, ok := s.channels[key]
+	if !ok {
+		cl = &channelLog{}
+		s.channels[key] = cl
+	}
+	if n := len(cl.records); n > 0 && rec.Env.Seq <= cl.records[n-1].Env.Seq {
+		if cl.locate(rec.Env.Seq) >= 0 {
+			return // duplicate from re-execution
+		}
+	}
+	rec.Payload = append([]byte(nil), rec.Payload...)
+	cl.records = append(cl.records, rec)
+	// Keep the slice ordered even if an out-of-order append slips in.
+	if n := len(cl.records); n > 1 && cl.records[n-1].Env.Seq < cl.records[n-2].Env.Seq {
+		sort.Slice(cl.records, func(i, j int) bool { return cl.records[i].Env.Seq < cl.records[j].Env.Seq })
+	}
+	s.retainedBytes += uint64(len(rec.Payload))
+	s.retainedCount++
+	s.cumulativeBytes += uint64(len(rec.Payload))
+	s.cumulativeCount++
+}
+
+// Get returns the record with the given sequence number on the channel to
+// (dstWorld, commID).
+func (s *Store) Get(dstWorld, commID int, seq uint64) (Record, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl, ok := s.channels[mpi.ChanKey{Peer: dstWorld, Comm: commID}]
+	if !ok {
+		return Record{}, false
+	}
+	i := cl.locate(seq)
+	if i < 0 {
+		return Record{}, false
+	}
+	return cl.records[i], true
+}
+
+// Range returns a copy of the records on the channel to (dstWorld, commID)
+// with sequence number >= fromSeq, in sequence order.
+func (s *Store) Range(dstWorld, commID int, fromSeq uint64) []Record {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl, ok := s.channels[mpi.ChanKey{Peer: dstWorld, Comm: commID}]
+	if !ok {
+		return nil
+	}
+	i := sort.Search(len(cl.records), func(i int) bool { return cl.records[i].Env.Seq >= fromSeq })
+	out := make([]Record, len(cl.records)-i)
+	copy(out, cl.records[i:])
+	return out
+}
+
+// MaxSeq returns the highest logged sequence number on the channel, or 0.
+func (s *Store) MaxSeq(dstWorld, commID int) uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl, ok := s.channels[mpi.ChanKey{Peer: dstWorld, Comm: commID}]
+	if !ok || len(cl.records) == 0 {
+		return 0
+	}
+	return cl.records[len(cl.records)-1].Env.Seq
+}
+
+// Truncate drops every record with sequence number <= uptoSeq on the channel
+// to (dstWorld, commID). It is used for log garbage collection once the
+// destination's cluster has taken a checkpoint that covers those messages.
+// The cumulative counters are unaffected. It returns the number of records
+// dropped.
+func (s *Store) Truncate(dstWorld, commID int, uptoSeq uint64) int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cl, ok := s.channels[mpi.ChanKey{Peer: dstWorld, Comm: commID}]
+	if !ok {
+		return 0
+	}
+	i := sort.Search(len(cl.records), func(i int) bool { return cl.records[i].Env.Seq > uptoSeq })
+	for _, r := range cl.records[:i] {
+		s.retainedBytes -= uint64(len(r.Payload))
+		s.retainedCount--
+	}
+	cl.records = append([]Record(nil), cl.records[i:]...)
+	return i
+}
+
+// Channels returns the channel keys present in the store, sorted.
+func (s *Store) Channels() []mpi.ChanKey {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	keys := make([]mpi.ChanKey, 0, len(s.channels))
+	for k := range s.channels {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].Comm != keys[j].Comm {
+			return keys[i].Comm < keys[j].Comm
+		}
+		return keys[i].Peer < keys[j].Peer
+	})
+	return keys
+}
+
+// RetainedBytes returns the volume currently held in memory.
+func (s *Store) RetainedBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retainedBytes
+}
+
+// RetainedCount returns the number of records currently held.
+func (s *Store) RetainedCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.retainedCount
+}
+
+// CumulativeBytes returns the total volume ever logged (monotonic); this is
+// the quantity whose growth rate Table 1 reports.
+func (s *Store) CumulativeBytes() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cumulativeBytes
+}
+
+// CumulativeCount returns the total number of records ever logged.
+func (s *Store) CumulativeCount() uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.cumulativeCount
+}
+
+// Snapshot returns a deep copy of the store, used when the log is saved as
+// part of a coordinated checkpoint (Algorithm 1 line 15 saves (State, Logs)).
+func (s *Store) Snapshot() *Store {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cp := &Store{
+		channels:        make(map[mpi.ChanKey]*channelLog, len(s.channels)),
+		retainedBytes:   s.retainedBytes,
+		retainedCount:   s.retainedCount,
+		cumulativeBytes: s.cumulativeBytes,
+		cumulativeCount: s.cumulativeCount,
+	}
+	for k, cl := range s.channels {
+		recs := make([]Record, len(cl.records))
+		for i, r := range cl.records {
+			recs[i] = Record{Env: r.Env, Payload: append([]byte(nil), r.Payload...), SendTime: r.SendTime}
+		}
+		cp.channels[k] = &channelLog{records: recs}
+	}
+	return cp
+}
+
+// RestoreFrom replaces the content of s with a deep copy of other.
+func (s *Store) RestoreFrom(other *Store) {
+	cp := other.Snapshot()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.channels = cp.channels
+	s.retainedBytes = cp.retainedBytes
+	s.retainedCount = cp.retainedCount
+	s.cumulativeBytes = cp.cumulativeBytes
+	s.cumulativeCount = cp.cumulativeCount
+}
+
+// String summarizes the store.
+func (s *Store) String() string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return fmt.Sprintf("logstore{channels=%d retained=%dB cumulative=%dB}",
+		len(s.channels), s.retainedBytes, s.cumulativeBytes)
+}

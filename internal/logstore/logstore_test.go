@@ -1,0 +1,190 @@
+package logstore
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/mpi"
+)
+
+func rec(dst, comm int, seq uint64, payload string) Record {
+	return Record{
+		Env: mpi.Envelope{
+			Source: 0,
+			Dest:   dst,
+			CommID: comm,
+			Tag:    1,
+			Seq:    seq,
+			Bytes:  len(payload),
+		},
+		Payload:  []byte(payload),
+		SendTime: float64(seq),
+	}
+}
+
+func TestAppendGetRange(t *testing.T) {
+	s := New()
+	s.Append(rec(1, 0, 1, "aa"))
+	s.Append(rec(1, 0, 2, "bbb"))
+	s.Append(rec(2, 0, 1, "c"))
+	s.Append(rec(1, 5, 1, "dd")) // same peer, different communicator
+
+	if got, ok := s.Get(1, 0, 2); !ok || string(got.Payload) != "bbb" {
+		t.Fatalf("Get(1,0,2) = %v %v", got, ok)
+	}
+	if _, ok := s.Get(1, 0, 9); ok {
+		t.Fatal("missing seq should not be found")
+	}
+	if _, ok := s.Get(7, 0, 1); ok {
+		t.Fatal("missing channel should not be found")
+	}
+	r := s.Range(1, 0, 2)
+	if len(r) != 1 || r[0].Env.Seq != 2 {
+		t.Fatalf("Range(1,0,2) = %v", r)
+	}
+	if len(s.Range(1, 0, 1)) != 2 {
+		t.Fatal("Range from 1 should return both records")
+	}
+	if s.Range(9, 9, 0) != nil {
+		t.Fatal("Range on a missing channel should be nil")
+	}
+	if s.MaxSeq(1, 0) != 2 || s.MaxSeq(2, 0) != 1 || s.MaxSeq(3, 3) != 0 {
+		t.Fatal("MaxSeq wrong")
+	}
+	if len(s.Channels()) != 3 {
+		t.Fatalf("expected 3 channels, got %d", len(s.Channels()))
+	}
+}
+
+func TestAccountingAndDuplicates(t *testing.T) {
+	s := New()
+	s.Append(rec(1, 0, 1, "aaaa"))
+	s.Append(rec(1, 0, 2, "bb"))
+	if s.CumulativeBytes() != 6 || s.RetainedBytes() != 6 {
+		t.Fatalf("bytes: cum=%d ret=%d", s.CumulativeBytes(), s.RetainedBytes())
+	}
+	// Re-logging the same seq (recovery re-execution) must be a no-op.
+	s.Append(rec(1, 0, 1, "aaaa"))
+	if s.CumulativeBytes() != 6 || s.CumulativeCount() != 2 || s.RetainedCount() != 2 {
+		t.Fatalf("duplicate append changed accounting: %s", s)
+	}
+}
+
+func TestTruncate(t *testing.T) {
+	s := New()
+	for i := 1; i <= 5; i++ {
+		s.Append(rec(1, 0, uint64(i), "xy"))
+	}
+	dropped := s.Truncate(1, 0, 3)
+	if dropped != 3 {
+		t.Fatalf("dropped = %d, want 3", dropped)
+	}
+	if s.RetainedBytes() != 4 || s.RetainedCount() != 2 {
+		t.Fatalf("retained after truncate: %s", s)
+	}
+	if s.CumulativeBytes() != 10 {
+		t.Fatalf("cumulative must not shrink: %d", s.CumulativeBytes())
+	}
+	if got := s.Range(1, 0, 0); len(got) != 2 || got[0].Env.Seq != 4 {
+		t.Fatalf("range after truncate: %v", got)
+	}
+	if s.Truncate(9, 9, 10) != 0 {
+		t.Fatal("truncating a missing channel should drop nothing")
+	}
+}
+
+func TestSnapshotRestoreIndependence(t *testing.T) {
+	s := New()
+	s.Append(rec(1, 0, 1, "orig"))
+	snap := s.Snapshot()
+	s.Append(rec(1, 0, 2, "after-snap"))
+	if snap.RetainedCount() != 1 {
+		t.Fatal("snapshot must not see later appends")
+	}
+	// Mutating the snapshot's payload must not affect the original.
+	r, _ := snap.Get(1, 0, 1)
+	r.Payload[0] = 'X'
+	orig, _ := s.Get(1, 0, 1)
+	if orig.Payload[0] == 'X' {
+		t.Fatal("snapshot shares payload memory with the original store")
+	}
+
+	var restored Store
+	restored.RestoreFrom(snap)
+	if restored.RetainedCount() != 1 || restored.MaxSeq(1, 0) != 1 {
+		t.Fatalf("restored store content wrong: %s", &restored)
+	}
+}
+
+func TestOutOfOrderAppendSorted(t *testing.T) {
+	s := New()
+	s.Append(rec(1, 0, 3, "c"))
+	s.Append(rec(1, 0, 1, "a"))
+	s.Append(rec(1, 0, 2, "b"))
+	got := s.Range(1, 0, 0)
+	if len(got) != 3 {
+		t.Fatalf("expected 3 records, got %d", len(got))
+	}
+	for i, r := range got {
+		if r.Env.Seq != uint64(i+1) {
+			t.Fatalf("records not in seq order: %v", got)
+		}
+	}
+}
+
+func TestPropertyRangeOrderedAndComplete(t *testing.T) {
+	f := func(seqs []uint8, from uint8) bool {
+		s := New()
+		seen := map[uint64]bool{}
+		for _, q := range seqs {
+			seq := uint64(q%50) + 1
+			s.Append(rec(1, 0, seq, "p"))
+			seen[seq] = true
+		}
+		got := s.Range(1, 0, uint64(from))
+		// Ordered, unique, and exactly the logged seqs >= from.
+		want := 0
+		for seq := range seen {
+			if seq >= uint64(from) {
+				want++
+			}
+		}
+		if len(got) != want {
+			return false
+		}
+		for i := 1; i < len(got); i++ {
+			if got[i].Env.Seq <= got[i-1].Env.Seq {
+				return false
+			}
+		}
+		for _, r := range got {
+			if !seen[r.Env.Seq] || r.Env.Seq < uint64(from) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyAccountingConsistent(t *testing.T) {
+	f := func(sizes []uint8) bool {
+		s := New()
+		var total uint64
+		for i, sz := range sizes {
+			payload := make([]byte, int(sz))
+			s.Append(Record{
+				Env:     mpi.Envelope{Dest: 1, CommID: 0, Seq: uint64(i + 1), Bytes: len(payload)},
+				Payload: payload,
+			})
+			total += uint64(sz)
+		}
+		return s.CumulativeBytes() == total && s.RetainedBytes() == total &&
+			s.CumulativeCount() == uint64(len(sizes))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,462 @@
+package mpi
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+)
+
+// This file implements the collective operations on top of point-to-point
+// communication, which is the assumption the paper makes (Section 3.2:
+// "unless hardware-specific information is provided, we assume that
+// collective operations are implemented on top of point-to-point
+// communication"). Because collectives reduce to point-to-point messages,
+// SPBC's sender-based logging and identifier matching apply to them without
+// any special handling.
+//
+// Algorithms: dissemination barrier, binomial-tree broadcast and reduce,
+// recursive-doubling allreduce (via reduce+broadcast for non-power-of-two
+// sizes), ring allgather, linear gather/scatter and pairwise alltoall. Each
+// collective call consumes one slot of the per-communicator collective
+// sequence so that tags of distinct collective invocations never collide.
+
+// nextCollTag reserves a tag block for one collective invocation on comm.
+// Every member calls the same collectives in the same order (SPMD), so the
+// per-communicator counters stay aligned across ranks.
+func (p *Proc) nextCollTag(comm *Comm) int {
+	p.mu.Lock()
+	seq := p.collSeq[comm.id]
+	p.collSeq[comm.id] = seq + 1
+	p.mu.Unlock()
+	// 16 sub-tags per invocation, wrapping well below the int range.
+	return collTagBase + int(seq%(1<<20))*16
+}
+
+// me returns the comm-relative rank of the process in comm.
+func (p *Proc) me(comm *Comm) (int, error) {
+	r := comm.CommRank(p.id)
+	if r < 0 {
+		return -1, fmt.Errorf("mpi: rank %d is not a member of communicator %d", p.id, comm.id)
+	}
+	return r, nil
+}
+
+// sendColl sends a collective fragment to a comm-relative rank.
+func (p *Proc) sendColl(buf []byte, dest, tag int, comm *Comm) error {
+	dstWorld := comm.WorldRank(dest)
+	if dstWorld < 0 {
+		return fmt.Errorf("mpi: collective destination %d out of range", dest)
+	}
+	req, err := p.isend(buf, dstWorld, tag, comm)
+	if err != nil {
+		return err
+	}
+	_, err = p.Wait(req)
+	return err
+}
+
+// recvColl receives a collective fragment from a comm-relative rank.
+func (p *Proc) recvColl(buf []byte, src, tag int, comm *Comm) error {
+	srcWorld := comm.WorldRank(src)
+	if srcWorld < 0 {
+		return fmt.Errorf("mpi: collective source %d out of range", src)
+	}
+	req, err := p.irecv(buf, srcWorld, tag, comm)
+	if err != nil {
+		return err
+	}
+	_, err = p.Wait(req)
+	return err
+}
+
+// Barrier blocks until every member of comm has entered the barrier,
+// using the dissemination algorithm (log2(n) rounds).
+func (p *Proc) Barrier(comm *Comm) error {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	me, err := p.me(comm)
+	if err != nil {
+		return err
+	}
+	n := comm.Size()
+	if n == 1 {
+		return nil
+	}
+	tag := p.nextCollTag(comm)
+	token := []byte{1}
+	buf := make([]byte, 1)
+	for dist := 1; dist < n; dist *= 2 {
+		to := (me + dist) % n
+		from := (me - dist + n) % n
+		rreq, err := p.irecv(buf, comm.WorldRank(from), tag, comm)
+		if err != nil {
+			return err
+		}
+		if err := p.sendColl(token, to, tag, comm); err != nil {
+			return err
+		}
+		if _, err := p.Wait(rreq); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// BcastBytes broadcasts buf from root (comm-relative) to every member of
+// comm using a binomial tree. Every rank must pass a buffer of the same
+// length; non-root buffers are overwritten.
+func (p *Proc) BcastBytes(buf []byte, root int, comm *Comm) error {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	me, err := p.me(comm)
+	if err != nil {
+		return err
+	}
+	n := comm.Size()
+	if n == 1 {
+		return nil
+	}
+	tag := p.nextCollTag(comm)
+	// Rotate so the root is virtual rank 0.
+	vrank := (me - root + n) % n
+	// Receive from parent.
+	if vrank != 0 {
+		mask := 1
+		for mask < n {
+			if vrank&mask != 0 {
+				parent := ((vrank - mask) + root) % n
+				if err := p.recvColl(buf, parent, tag, comm); err != nil {
+					return err
+				}
+				break
+			}
+			mask <<= 1
+		}
+	}
+	// Forward to children.
+	mask := 1
+	for mask < n {
+		if vrank&(mask-1) == 0 && vrank&mask == 0 {
+			child := vrank + mask
+			if child < n {
+				dest := (child + root) % n
+				if err := p.sendColl(buf, dest, tag, comm); err != nil {
+					return err
+				}
+			}
+		}
+		mask <<= 1
+	}
+	return nil
+}
+
+// encodeF64 and decodeF64 convert float64 slices to byte payloads.
+func encodeF64(vals []float64) []byte {
+	buf := make([]byte, 8*len(vals))
+	for i, v := range vals {
+		binary.LittleEndian.PutUint64(buf[8*i:], math.Float64bits(v))
+	}
+	return buf
+}
+
+func decodeF64(buf []byte, out []float64) {
+	for i := range out {
+		out[i] = math.Float64frombits(binary.LittleEndian.Uint64(buf[8*i:]))
+	}
+}
+
+// ReduceF64 reduces the elements of send across comm with the given
+// operation; the result is stored in recv on the root rank only. send and
+// recv must have the same length on all ranks.
+func (p *Proc) ReduceF64(send, recv []float64, op Op, root int, comm *Comm) error {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	me, err := p.me(comm)
+	if err != nil {
+		return err
+	}
+	if len(recv) < len(send) && me == root {
+		return fmt.Errorf("mpi: reduce receive buffer too small: %d < %d", len(recv), len(send))
+	}
+	n := comm.Size()
+	tag := p.nextCollTag(comm)
+	acc := append([]float64(nil), send...)
+	tmp := make([]float64, len(send))
+	buf := make([]byte, 8*len(send))
+
+	// Binomial tree rooted (virtually) at 0 after rotation.
+	vrank := (me - root + n) % n
+	mask := 1
+	for mask < n {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % n
+			if err := p.sendColl(encodeF64(acc), parent, tag, comm); err != nil {
+				return err
+			}
+			break
+		}
+		child := vrank | mask
+		if child < n {
+			src := (child + root) % n
+			if err := p.recvColl(buf, src, tag, comm); err != nil {
+				return err
+			}
+			decodeF64(buf, tmp)
+			for i := range acc {
+				acc[i] = op.apply(acc[i], tmp[i])
+			}
+		}
+		mask <<= 1
+	}
+	if me == root {
+		copy(recv, acc)
+	}
+	return nil
+}
+
+// AllreduceF64 reduces the elements of send across comm and distributes the
+// result to every rank's recv (reduce to rank 0 followed by broadcast).
+func (p *Proc) AllreduceF64(send, recv []float64, op Op, comm *Comm) error {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	if len(recv) < len(send) {
+		return fmt.Errorf("mpi: allreduce receive buffer too small: %d < %d", len(recv), len(send))
+	}
+	tmp := make([]float64, len(send))
+	if err := p.ReduceF64(send, tmp, op, 0, comm); err != nil {
+		return err
+	}
+	me, err := p.me(comm)
+	if err != nil {
+		return err
+	}
+	var buf []byte
+	if me == 0 {
+		buf = encodeF64(tmp)
+	} else {
+		buf = make([]byte, 8*len(send))
+	}
+	if err := p.BcastBytes(buf, 0, comm); err != nil {
+		return err
+	}
+	decodeF64(buf, recv[:len(send)])
+	return nil
+}
+
+// AllgatherBytes gathers each rank's contribution (all of identical length)
+// and returns the concatenation in comm-rank order, using a ring algorithm.
+func (p *Proc) AllgatherBytes(send []byte, comm *Comm) ([]byte, error) {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	me, err := p.me(comm)
+	if err != nil {
+		return nil, err
+	}
+	n := comm.Size()
+	blk := len(send)
+	out := make([]byte, blk*n)
+	copy(out[me*blk:], send)
+	if n == 1 {
+		return out, nil
+	}
+	tag := p.nextCollTag(comm)
+	right := (me + 1) % n
+	left := (me - 1 + n) % n
+	cur := me
+	buf := make([]byte, blk)
+	for step := 0; step < n-1; step++ {
+		// Send the block we most recently obtained to the right, receive a
+		// new block from the left.
+		rreq, err := p.irecv(buf, comm.WorldRank(left), tag, comm)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.sendColl(out[cur*blk:(cur+1)*blk], right, tag, comm); err != nil {
+			return nil, err
+		}
+		if _, err := p.Wait(rreq); err != nil {
+			return nil, err
+		}
+		cur = (cur - 1 + n) % n
+		copy(out[cur*blk:], buf)
+	}
+	return out, nil
+}
+
+// AllgatherF64 gathers one float64 slice per rank (identical lengths) and
+// returns the concatenation in comm-rank order.
+func (p *Proc) AllgatherF64(send []float64, comm *Comm) ([]float64, error) {
+	raw, err := p.AllgatherBytes(encodeF64(send), comm)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]float64, len(raw)/8)
+	decodeF64(raw, out)
+	return out, nil
+}
+
+// GatherBytes gathers each rank's contribution (identical lengths) to the
+// root, which receives the concatenation in comm-rank order; other ranks
+// receive nil.
+func (p *Proc) GatherBytes(send []byte, root int, comm *Comm) ([]byte, error) {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	me, err := p.me(comm)
+	if err != nil {
+		return nil, err
+	}
+	n := comm.Size()
+	tag := p.nextCollTag(comm)
+	if me != root {
+		return nil, p.sendColl(send, root, tag, comm)
+	}
+	blk := len(send)
+	out := make([]byte, blk*n)
+	copy(out[me*blk:], send)
+	for r := 0; r < n; r++ {
+		if r == me {
+			continue
+		}
+		if err := p.recvColl(out[r*blk:(r+1)*blk], r, tag, comm); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ScatterBytes scatters equal-size blocks of buf (significant at root only)
+// to the members of comm; every rank receives its block.
+func (p *Proc) ScatterBytes(buf []byte, blockLen, root int, comm *Comm) ([]byte, error) {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	me, err := p.me(comm)
+	if err != nil {
+		return nil, err
+	}
+	n := comm.Size()
+	tag := p.nextCollTag(comm)
+	mine := make([]byte, blockLen)
+	if me == root {
+		if len(buf) < blockLen*n {
+			return nil, fmt.Errorf("mpi: scatter buffer too small: %d < %d", len(buf), blockLen*n)
+		}
+		copy(mine, buf[me*blockLen:(me+1)*blockLen])
+		for r := 0; r < n; r++ {
+			if r == root {
+				continue
+			}
+			if err := p.sendColl(buf[r*blockLen:(r+1)*blockLen], r, tag, comm); err != nil {
+				return nil, err
+			}
+		}
+		return mine, nil
+	}
+	if err := p.recvColl(mine, root, tag, comm); err != nil {
+		return nil, err
+	}
+	return mine, nil
+}
+
+// AlltoallBytes exchanges equal-size blocks between all pairs: rank i sends
+// send[j*blockLen:(j+1)*blockLen] to rank j and receives rank j's i-th block.
+// The pairwise-exchange algorithm is used (n-1 steps).
+func (p *Proc) AlltoallBytes(send []byte, blockLen int, comm *Comm) ([]byte, error) {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	me, err := p.me(comm)
+	if err != nil {
+		return nil, err
+	}
+	n := comm.Size()
+	if len(send) < blockLen*n {
+		return nil, fmt.Errorf("mpi: alltoall buffer too small: %d < %d", len(send), blockLen*n)
+	}
+	tag := p.nextCollTag(comm)
+	out := make([]byte, blockLen*n)
+	copy(out[me*blockLen:], send[me*blockLen:(me+1)*blockLen])
+	for step := 1; step < n; step++ {
+		// Shifted exchange: send our block for dst to dst, receive src's
+		// block for us from src. Works for any communicator size.
+		dst := (me + step) % n
+		src := (me - step + n) % n
+		rreq, err := p.irecv(out[src*blockLen:(src+1)*blockLen], comm.WorldRank(src), tag, comm)
+		if err != nil {
+			return nil, err
+		}
+		if err := p.sendColl(send[dst*blockLen:(dst+1)*blockLen], dst, tag, comm); err != nil {
+			return nil, err
+		}
+		if _, err := p.Wait(rreq); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// ScanF64 computes the inclusive prefix reduction over comm ranks: rank i
+// receives op(send_0, ..., send_i).
+func (p *Proc) ScanF64(send, recv []float64, op Op, comm *Comm) error {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	me, err := p.me(comm)
+	if err != nil {
+		return err
+	}
+	if len(recv) < len(send) {
+		return fmt.Errorf("mpi: scan receive buffer too small")
+	}
+	n := comm.Size()
+	tag := p.nextCollTag(comm)
+	acc := append([]float64(nil), send...)
+	buf := make([]byte, 8*len(send))
+	tmp := make([]float64, len(send))
+	if me > 0 {
+		if err := p.recvColl(buf, me-1, tag, comm); err != nil {
+			return err
+		}
+		decodeF64(buf, tmp)
+		for i := range acc {
+			acc[i] = op.apply(tmp[i], acc[i])
+		}
+	}
+	if me < n-1 {
+		if err := p.sendColl(encodeF64(acc), me+1, tag, comm); err != nil {
+			return err
+		}
+	}
+	copy(recv, acc)
+	return nil
+}
+
+// allgatherSplit exchanges split entries among the members of comm; used by
+// CommSplit.
+func (p *Proc) allgatherSplit(comm *Comm, mine splitEntry) ([]splitEntry, error) {
+	enc := make([]byte, 24)
+	binary.LittleEndian.PutUint64(enc[0:], uint64(int64(mine.Color)))
+	binary.LittleEndian.PutUint64(enc[8:], uint64(int64(mine.Key)))
+	binary.LittleEndian.PutUint64(enc[16:], uint64(int64(mine.World)))
+	raw, err := p.AllgatherBytes(enc, comm)
+	if err != nil {
+		return nil, err
+	}
+	n := comm.Size()
+	out := make([]splitEntry, n)
+	for i := 0; i < n; i++ {
+		b := raw[i*24 : (i+1)*24]
+		out[i] = splitEntry{
+			Color: int(int64(binary.LittleEndian.Uint64(b[0:]))),
+			Key:   int(int64(binary.LittleEndian.Uint64(b[8:]))),
+			World: int(int64(binary.LittleEndian.Uint64(b[16:]))),
+		}
+	}
+	return out, nil
+}

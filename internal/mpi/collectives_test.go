@@ -1,0 +1,437 @@
+package mpi
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// runSizes runs fn as a world body for several world sizes, including
+// non-powers of two.
+func runSizes(t *testing.T, sizes []int, fn func(w *World, p *Proc) error) {
+	t.Helper()
+	for _, n := range sizes {
+		n := n
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			w := testWorld(t, n)
+			if err := w.Run(func(p *Proc) error { return fn(w, p) }); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+var collectiveSizes = []int{1, 2, 3, 4, 7, 8, 13}
+
+func TestBarrier(t *testing.T) {
+	runSizes(t, collectiveSizes, func(w *World, p *Proc) error {
+		for i := 0; i < 3; i++ {
+			if err := p.Barrier(w.CommWorld()); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+func TestBcastBytes(t *testing.T) {
+	runSizes(t, collectiveSizes, func(w *World, p *Proc) error {
+		comm := w.CommWorld()
+		for root := 0; root < comm.Size(); root++ {
+			buf := make([]byte, 16)
+			if p.Rank() == root {
+				for i := range buf {
+					buf[i] = byte(root + i)
+				}
+			}
+			if err := p.BcastBytes(buf, root, comm); err != nil {
+				return err
+			}
+			for i := range buf {
+				if buf[i] != byte(root+i) {
+					return fmt.Errorf("rank %d: bcast from %d corrupted at %d", p.Rank(), root, i)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+func TestReduceAndAllreduce(t *testing.T) {
+	runSizes(t, collectiveSizes, func(w *World, p *Proc) error {
+		comm := w.CommWorld()
+		n := comm.Size()
+		send := []float64{float64(p.Rank() + 1), float64(p.Rank())}
+		wantSum := []float64{float64(n*(n+1)) / 2, float64(n*(n-1)) / 2}
+
+		recv := make([]float64, 2)
+		if err := p.ReduceF64(send, recv, OpSum, 0, comm); err != nil {
+			return err
+		}
+		if p.Rank() == 0 {
+			for i := range recv {
+				if math.Abs(recv[i]-wantSum[i]) > 1e-9 {
+					return fmt.Errorf("reduce sum[%d] = %g, want %g", i, recv[i], wantSum[i])
+				}
+			}
+		}
+
+		all := make([]float64, 2)
+		if err := p.AllreduceF64(send, all, OpSum, comm); err != nil {
+			return err
+		}
+		for i := range all {
+			if math.Abs(all[i]-wantSum[i]) > 1e-9 {
+				return fmt.Errorf("allreduce sum[%d] = %g, want %g on rank %d", i, all[i], wantSum[i], p.Rank())
+			}
+		}
+
+		mx := make([]float64, 2)
+		if err := p.AllreduceF64(send, mx, OpMax, comm); err != nil {
+			return err
+		}
+		if mx[0] != float64(n) {
+			return fmt.Errorf("allreduce max = %g, want %d", mx[0], n)
+		}
+		mn := make([]float64, 2)
+		if err := p.AllreduceF64(send, mn, OpMin, comm); err != nil {
+			return err
+		}
+		if mn[0] != 1 {
+			return fmt.Errorf("allreduce min = %g, want 1", mn[0])
+		}
+		return nil
+	})
+}
+
+func TestAllgather(t *testing.T) {
+	runSizes(t, collectiveSizes, func(w *World, p *Proc) error {
+		comm := w.CommWorld()
+		n := comm.Size()
+		send := []byte{byte(p.Rank()), byte(p.Rank() * 2)}
+		out, err := p.AllgatherBytes(send, comm)
+		if err != nil {
+			return err
+		}
+		if len(out) != 2*n {
+			return fmt.Errorf("allgather length %d, want %d", len(out), 2*n)
+		}
+		for r := 0; r < n; r++ {
+			if out[2*r] != byte(r) || out[2*r+1] != byte(r*2) {
+				return fmt.Errorf("allgather block %d corrupted: %v", r, out[2*r:2*r+2])
+			}
+		}
+		fl, err := p.AllgatherF64([]float64{float64(p.Rank())}, comm)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			if fl[r] != float64(r) {
+				return fmt.Errorf("allgatherF64 block %d = %g", r, fl[r])
+			}
+		}
+		return nil
+	})
+}
+
+func TestGatherScatter(t *testing.T) {
+	runSizes(t, collectiveSizes, func(w *World, p *Proc) error {
+		comm := w.CommWorld()
+		n := comm.Size()
+		root := n - 1
+		send := []byte{byte(p.Rank() + 1)}
+		gathered, err := p.GatherBytes(send, root, comm)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == root {
+			for r := 0; r < n; r++ {
+				if gathered[r] != byte(r+1) {
+					return fmt.Errorf("gather block %d = %d", r, gathered[r])
+				}
+			}
+		} else if gathered != nil {
+			return fmt.Errorf("non-root should not receive gathered data")
+		}
+
+		var scatterBuf []byte
+		if p.Rank() == root {
+			scatterBuf = make([]byte, 2*n)
+			for r := 0; r < n; r++ {
+				scatterBuf[2*r] = byte(r)
+				scatterBuf[2*r+1] = byte(r * 3)
+			}
+		}
+		mine, err := p.ScatterBytes(scatterBuf, 2, root, comm)
+		if err != nil {
+			return err
+		}
+		if mine[0] != byte(p.Rank()) || mine[1] != byte(p.Rank()*3) {
+			return fmt.Errorf("scatter block on rank %d = %v", p.Rank(), mine)
+		}
+		return nil
+	})
+}
+
+func TestAlltoall(t *testing.T) {
+	runSizes(t, collectiveSizes, func(w *World, p *Proc) error {
+		comm := w.CommWorld()
+		n := comm.Size()
+		send := make([]byte, n)
+		for j := 0; j < n; j++ {
+			send[j] = byte(p.Rank()*16 + j)
+		}
+		out, err := p.AlltoallBytes(send, 1, comm)
+		if err != nil {
+			return err
+		}
+		for j := 0; j < n; j++ {
+			want := byte(j*16 + p.Rank())
+			if out[j] != want {
+				return fmt.Errorf("rank %d alltoall block from %d = %d, want %d", p.Rank(), j, out[j], want)
+			}
+		}
+		return nil
+	})
+}
+
+func TestScan(t *testing.T) {
+	runSizes(t, collectiveSizes, func(w *World, p *Proc) error {
+		comm := w.CommWorld()
+		send := []float64{1}
+		recv := make([]float64, 1)
+		if err := p.ScanF64(send, recv, OpSum, comm); err != nil {
+			return err
+		}
+		if recv[0] != float64(p.Rank()+1) {
+			return fmt.Errorf("scan on rank %d = %g, want %d", p.Rank(), recv[0], p.Rank()+1)
+		}
+		return nil
+	})
+}
+
+func TestCommSplitAndSubCommunication(t *testing.T) {
+	w := testWorld(t, 8)
+	err := w.Run(func(p *Proc) error {
+		world := w.CommWorld()
+		color := p.Rank() % 2
+		sub, err := p.CommSplit(world, color, p.Rank())
+		if err != nil {
+			return err
+		}
+		if sub == nil {
+			return fmt.Errorf("rank %d got nil sub-communicator", p.Rank())
+		}
+		if sub.Size() != 4 {
+			return fmt.Errorf("sub communicator size %d, want 4", sub.Size())
+		}
+		me := sub.CommRank(p.Rank())
+		if me < 0 {
+			return fmt.Errorf("rank %d not a member of its own sub-communicator", p.Rank())
+		}
+		// Allreduce within the sub-communicator: sum of world ranks of members.
+		send := []float64{float64(p.Rank())}
+		recv := make([]float64, 1)
+		if err := p.AllreduceF64(send, recv, OpSum, sub); err != nil {
+			return err
+		}
+		want := 0.0
+		for _, r := range sub.Members() {
+			want += float64(r)
+		}
+		if recv[0] != want {
+			return fmt.Errorf("sub allreduce = %g, want %g", recv[0], want)
+		}
+		// Channels in the sub-communicator are independent of world channels.
+		if sub.ID() == world.ID() {
+			return fmt.Errorf("sub communicator must have its own ID")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCommSplitUndefinedColor(t *testing.T) {
+	w := testWorld(t, 4)
+	err := w.Run(func(p *Proc) error {
+		color := 0
+		if p.Rank() == 3 {
+			color = -1 // MPI_UNDEFINED
+		}
+		sub, err := p.CommSplit(w.CommWorld(), color, 0)
+		if err != nil {
+			return err
+		}
+		if p.Rank() == 3 {
+			if sub != nil {
+				return fmt.Errorf("undefined color should return nil communicator")
+			}
+			return nil
+		}
+		if sub == nil || sub.Size() != 3 {
+			return fmt.Errorf("expected a 3-member sub-communicator")
+		}
+		return p.Barrier(sub)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectiveOnNonMemberRejected(t *testing.T) {
+	w := testWorld(t, 4)
+	err := w.Run(func(p *Proc) error {
+		color := 0
+		if p.Rank() >= 2 {
+			color = 1
+		}
+		sub, err := p.CommSplit(w.CommWorld(), color, 0)
+		if err != nil {
+			return err
+		}
+		other := sub
+		_ = other
+		if color == 1 {
+			// Try to use a communicator we are not a member of.
+			ranks01 := w.internComm([]int{0, 1})
+			if err := p.Barrier(ranks01); err == nil {
+				return fmt.Errorf("barrier on a non-member communicator must fail")
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCollectivesGoThroughProtocolLogging(t *testing.T) {
+	// A counting protocol verifies that collective operations decompose into
+	// point-to-point messages visible to the protocol (the paper's
+	// assumption that lets SPBC log collective traffic transparently).
+	w := testWorld(t, 4)
+	counters := make([]countingProtocol, 4)
+	for i := range counters {
+		w.Proc(i).SetProtocol(&counters[i])
+	}
+	err := w.Run(func(p *Proc) error {
+		buf := []float64{1}
+		out := make([]float64, 1)
+		return p.AllreduceF64(buf, out, OpSum, w.CommWorld())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	total := 0
+	for i := range counters {
+		total += counters[i].sends
+	}
+	if total == 0 {
+		t.Fatal("collectives should generate point-to-point sends visible to the protocol")
+	}
+}
+
+// countingProtocol counts OnSend invocations.
+type countingProtocol struct {
+	NopProtocol
+	sends int
+}
+
+func (c *countingProtocol) OnSend(p *Proc, env Envelope, payload []byte) (bool, float64) {
+	c.sends++
+	return true, 0
+}
+
+func TestOpApplyAndString(t *testing.T) {
+	if OpSum.apply(2, 3) != 5 || OpProd.apply(2, 3) != 6 {
+		t.Error("sum/prod wrong")
+	}
+	if OpMax.apply(2, 3) != 3 || OpMin.apply(2, 3) != 2 {
+		t.Error("max/min wrong")
+	}
+	if Op(99).apply(2, 3) != 5 {
+		t.Error("unknown op should default to sum")
+	}
+	names := map[Op]string{OpSum: "sum", OpMax: "max", OpMin: "min", OpProd: "prod"}
+	for op, want := range names {
+		if op.String() != want {
+			t.Errorf("Op.String() = %q, want %q", op.String(), want)
+		}
+	}
+	if Op(99).String() == "" {
+		t.Error("unknown op should still format")
+	}
+}
+
+func TestMatchIDString(t *testing.T) {
+	m := MatchID{Pattern: 3, Iteration: 9}
+	if m.IsDefault() {
+		t.Error("non-zero match id reported as default")
+	}
+	if (MatchID{}).IsDefault() == false {
+		t.Error("zero match id should be default")
+	}
+	if m.String() != "(p3,i9)" {
+		t.Errorf("MatchID string = %q", m.String())
+	}
+}
+
+func TestVirtualTimeBarrierSynchronizes(t *testing.T) {
+	// A rank that computes for 1 virtual second before a barrier must drag
+	// every other rank's clock past 1 second.
+	w := testWorld(t, 4)
+	err := w.Run(func(p *Proc) error {
+		if p.Rank() == 2 {
+			p.Compute(1.0)
+		}
+		return p.Barrier(w.CommWorld())
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 4; r++ {
+		if w.Proc(r).Now() < 1.0 {
+			t.Errorf("rank %d clock %g should be past the slowest rank's compute", r, w.Proc(r).Now())
+		}
+	}
+}
+
+func TestCostModelIntraNodeUsedInWorld(t *testing.T) {
+	cost := simnet.DefaultCostModel()
+	cost.RanksPerNode = 2
+	w, err := NewWorld(4, cost)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var intraTime, interTime float64
+	err = w.Run(func(p *Proc) error {
+		comm := w.CommWorld()
+		buf := make([]byte, 1024)
+		switch p.Rank() {
+		case 0:
+			if err := p.Send(buf, 1, 1, comm); err != nil { // same node
+				return err
+			}
+			return p.Send(buf, 2, 1, comm) // different node
+		case 1:
+			_, err := p.Recv(buf, 0, 1, comm)
+			intraTime = p.Now()
+			return err
+		case 2:
+			_, err := p.Recv(buf, 0, 1, comm)
+			interTime = p.Now()
+			return err
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if intraTime >= interTime {
+		t.Errorf("intra-node receive (%g) should complete before inter-node receive (%g)", intraTime, interTime)
+	}
+}

@@ -1,0 +1,779 @@
+package mpi
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// inMessage is a message held by the destination process, either matched to a
+// request or sitting in the unexpected-message queue.
+type inMessage struct {
+	env        Envelope
+	payload    []byte
+	arriveTime float64 // eager: full payload available; rendezvous: header available
+	eager      bool
+	sendReq    *Request // rendezvous: sender's request, completed when the transfer finishes
+	replayed   bool     // injected by a recovery replay daemon
+	senderVC   trace.VectorClock
+}
+
+// inChannelState is the per-incoming-channel bookkeeping of a process.
+type inChannelState struct {
+	// maxSeqSeen is the highest sequence number that has arrived on the
+	// channel (the paper's cji.LR, updated upon reception). Arrivals with a
+	// lower or equal sequence number are duplicates and are dropped.
+	maxSeqSeen uint64
+	// delivered is the number of messages delivered to the application on
+	// this channel; it drives the recovery flow control.
+	delivered uint64
+}
+
+// outChannelState is the per-outgoing-channel bookkeeping of a process.
+type outChannelState struct {
+	mu  sync.Mutex
+	seq uint64
+	// routed is true while a replay daemon owns transmission on this
+	// channel: the application's sends are logged but not transmitted here
+	// (the daemon transmits them from the log, preserving channel order).
+	routed bool
+}
+
+// ProcStats accumulates per-rank statistics used by the evaluation harness.
+type ProcStats struct {
+	mu         sync.Mutex
+	CompTime   float64
+	CommTime   float64
+	Sends      uint64
+	Recvs      uint64
+	BytesSent  uint64
+	BytesRecv  uint64
+	BytesToDst map[int]uint64
+	Suppressed uint64 // sends skipped during recovery
+}
+
+// snapshotBytesToDst returns a copy of the per-destination byte counters.
+func (s *ProcStats) snapshotBytesToDst() map[int]uint64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make(map[int]uint64, len(s.BytesToDst))
+	for k, v := range s.BytesToDst {
+		out[k] = v
+	}
+	return out
+}
+
+// Snapshot returns a copy of the statistics.
+func (s *ProcStats) Snapshot() ProcStatsView {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return ProcStatsView{
+		CompTime:   s.CompTime,
+		CommTime:   s.CommTime,
+		Sends:      s.Sends,
+		Recvs:      s.Recvs,
+		BytesSent:  s.BytesSent,
+		BytesRecv:  s.BytesRecv,
+		Suppressed: s.Suppressed,
+	}
+}
+
+// ProcStatsView is an immutable copy of ProcStats counters.
+type ProcStatsView struct {
+	CompTime   float64
+	CommTime   float64
+	Sends      uint64
+	Recvs      uint64
+	BytesSent  uint64
+	BytesRecv  uint64
+	Suppressed uint64
+}
+
+// Proc is the per-rank handle used by application code. All communication
+// methods must be called from the rank's own goroutine (the one started by
+// World.Run); protocol daemons interact with a Proc only through the
+// explicitly concurrent-safe methods (InjectReplay, SetRouted, channel
+// accessors, snapshot/restore helpers).
+type Proc struct {
+	world    *World
+	id       int
+	clock    simnet.Clock
+	protocol Protocol
+	vc       trace.VectorClock
+
+	Stats ProcStats
+
+	mu         sync.Mutex
+	cond       *sync.Cond
+	unexpected []*inMessage
+	posted     []*Request
+	inState    map[ChanKey]*inChannelState
+	pending    int // incomplete requests
+
+	outMu sync.Mutex
+	out   map[ChanKey]*outChannelState
+
+	collSeq map[int]uint64 // per-communicator collective sequence
+}
+
+func newProc(w *World, id int) *Proc {
+	p := &Proc{
+		world:    w,
+		id:       id,
+		protocol: NopProtocol{},
+		inState:  make(map[ChanKey]*inChannelState),
+		out:      make(map[ChanKey]*outChannelState),
+		collSeq:  make(map[int]uint64),
+	}
+	p.cond = sync.NewCond(&p.mu)
+	p.Stats.BytesToDst = make(map[int]uint64)
+	if w.rec != nil {
+		p.vc = trace.NewVectorClock(w.size)
+	}
+	return p
+}
+
+// Rank returns the world rank of the process.
+func (p *Proc) Rank() int { return p.id }
+
+// Size returns the world size.
+func (p *Proc) Size() int { return p.world.size }
+
+// World returns the world the process belongs to.
+func (p *Proc) World() *World { return p.world }
+
+// SetProtocol attaches a checkpointing protocol to the process. It must be
+// called before any communication.
+func (p *Proc) SetProtocol(proto Protocol) {
+	if proto == nil {
+		proto = NopProtocol{}
+	}
+	p.protocol = proto
+}
+
+// Protocol returns the attached protocol.
+func (p *Proc) Protocol() Protocol { return p.protocol }
+
+// Now returns the process's current virtual time.
+func (p *Proc) Now() float64 { return p.clock.Now() }
+
+// SetClock forces the virtual clock (used when rolling back to a checkpoint).
+func (p *Proc) SetClock(t float64) { p.clock.Set(t) }
+
+// Compute advances the virtual clock by the given computation time (seconds)
+// and accounts it as computation in the statistics.
+func (p *Proc) Compute(seconds float64) {
+	if seconds <= 0 {
+		return
+	}
+	p.clock.Advance(seconds)
+	p.Stats.mu.Lock()
+	p.Stats.CompTime += seconds
+	p.Stats.mu.Unlock()
+}
+
+// outChannel returns the outgoing channel state for (dst world rank, comm).
+func (p *Proc) outChannel(dstWorld, commID int) *outChannelState {
+	key := ChanKey{Peer: dstWorld, Comm: commID}
+	p.outMu.Lock()
+	defer p.outMu.Unlock()
+	st, ok := p.out[key]
+	if !ok {
+		st = &outChannelState{}
+		p.out[key] = st
+	}
+	return st
+}
+
+// inChannel returns the incoming channel state for (src world rank, comm).
+// Caller must hold p.mu.
+func (p *Proc) inChannelLocked(srcWorld, commID int) *inChannelState {
+	key := ChanKey{Peer: srcWorld, Comm: commID}
+	st, ok := p.inState[key]
+	if !ok {
+		st = &inChannelState{}
+		p.inState[key] = st
+	}
+	return st
+}
+
+// ---------------------------------------------------------------------------
+// Send path
+// ---------------------------------------------------------------------------
+
+// Isend starts a non-blocking send of buf to the comm-relative rank dest with
+// the given tag. The buffer is copied immediately, so the caller may reuse it.
+func (p *Proc) Isend(buf []byte, dest, tag int, comm *Comm) (*Request, error) {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	dstWorld := comm.WorldRank(dest)
+	if dstWorld < 0 {
+		return nil, fmt.Errorf("mpi: rank %d: invalid destination %d in communicator %d (size %d)",
+			p.id, dest, comm.id, comm.Size())
+	}
+	if tag < 0 || tag > MaxAppTag {
+		return nil, fmt.Errorf("mpi: rank %d: invalid tag %d", p.id, tag)
+	}
+	return p.isend(buf, dstWorld, tag, comm)
+}
+
+// isend is the internal send path; tag may be in the collective range.
+func (p *Proc) isend(buf []byte, dstWorld, tag int, comm *Comm) (*Request, error) {
+	if p.world.Stopped() {
+		return nil, ErrWorldStopped
+	}
+	cost := p.world.cost
+
+	out := p.outChannel(dstWorld, comm.id)
+	out.mu.Lock()
+	out.seq++
+	seq := out.seq
+	routed := out.routed
+	out.mu.Unlock()
+
+	env := Envelope{
+		Source: p.id,
+		Dest:   dstWorld,
+		CommID: comm.id,
+		Tag:    tag,
+		Seq:    seq,
+		Bytes:  len(buf),
+	}
+	p.protocol.StampSend(p, &env)
+
+	p.clock.Advance(cost.SendOverhead)
+
+	transmit, extra := p.protocol.OnSend(p, env, buf)
+	p.clock.Advance(extra)
+
+	req := &Request{proc: p, kind: reqSend, comm: comm}
+	p.mu.Lock()
+	p.pending++
+	p.mu.Unlock()
+
+	now := p.clock.Now()
+
+	// Statistics and trace are recorded for the logical send regardless of
+	// whether the bytes are physically transmitted here (a suppressed or
+	// routed send is still a send of the application).
+	p.Stats.mu.Lock()
+	p.Stats.Sends++
+	p.Stats.BytesSent += uint64(len(buf))
+	p.Stats.BytesToDst[dstWorld] += uint64(len(buf))
+	if !transmit {
+		p.Stats.Suppressed++
+	}
+	p.Stats.mu.Unlock()
+
+	var senderVC trace.VectorClock
+	if p.world.rec != nil {
+		p.vc.Tick(p.id)
+		senderVC = p.vc.Clone()
+		p.world.rec.Record(trace.Event{
+			Kind:    trace.EventSend,
+			Rank:    p.id,
+			Channel: trace.ChannelKey{Src: p.id, Dst: dstWorld, Comm: comm.id},
+			Seq:     seq,
+			Tag:     tag,
+			Bytes:   len(buf),
+			Time:    now,
+			Digest:  trace.Digest(buf),
+			Clock:   senderVC,
+		})
+	}
+
+	if !transmit || routed {
+		// Suppressed (recovery re-execution, Algorithm 1 line 7) or routed
+		// through a replay daemon: the send request completes locally.
+		p.mu.Lock()
+		p.completeLocked(req, now, Status{})
+		p.mu.Unlock()
+		return req, nil
+	}
+
+	payload := append([]byte(nil), buf...)
+	eager := cost.IsEager(len(buf))
+	msg := &inMessage{
+		env:      env,
+		payload:  payload,
+		eager:    eager,
+		senderVC: senderVC,
+	}
+	if eager {
+		msg.arriveTime = cost.EagerArrival(now, p.id, dstWorld, len(buf))
+		// Eager send completes locally as soon as the data has left the
+		// sender's buffer.
+		p.mu.Lock()
+		p.completeLocked(req, now, Status{})
+		p.mu.Unlock()
+	} else {
+		msg.arriveTime = cost.HeaderArrival(now, p.id, dstWorld)
+		msg.sendReq = req
+	}
+
+	dst := p.world.procs[dstWorld]
+	dst.deliverMessage(msg)
+	return req, nil
+}
+
+// Send is the blocking send: Isend followed by Wait.
+func (p *Proc) Send(buf []byte, dest, tag int, comm *Comm) error {
+	req, err := p.Isend(buf, dest, tag, comm)
+	if err != nil {
+		return err
+	}
+	_, err = p.Wait(req)
+	return err
+}
+
+// ---------------------------------------------------------------------------
+// Arrival and matching
+// ---------------------------------------------------------------------------
+
+// deliverMessage places a message arriving on one of p's incoming channels.
+// It is called from the sender's goroutine or from a replay daemon. Any
+// rendezvous sender request that becomes complete is completed after p's lock
+// is released to keep the lock order acyclic.
+func (p *Proc) deliverMessage(msg *inMessage) {
+	var completeSender *Request
+	var senderTime float64
+
+	p.mu.Lock()
+	st := p.inChannelLocked(msg.env.Source, msg.env.CommID)
+	if msg.env.Seq <= st.maxSeqSeen {
+		// Duplicate (recovery replay overlapped with a direct transmission):
+		// channel-determinism guarantees the payload is identical, drop it.
+		p.mu.Unlock()
+		return
+	}
+	st.maxSeqSeen = msg.env.Seq
+
+	// Try to match against the posted-receive queue, in post order.
+	matched := false
+	for i, req := range p.posted {
+		if p.canMatchLocked(req, msg) {
+			p.posted = append(p.posted[:i], p.posted[i+1:]...)
+			senderDone, sT := p.matchLocked(req, msg)
+			if senderDone != nil {
+				completeSender, senderTime = senderDone, sT
+			}
+			matched = true
+			break
+		}
+	}
+	if !matched {
+		p.unexpected = append(p.unexpected, msg)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+
+	if completeSender != nil {
+		completeSender.proc.completeExternal(completeSender, senderTime)
+	}
+}
+
+// canMatchLocked applies the MPI matching rules plus the protocol's extra
+// identifier rule. Caller holds p.mu.
+func (p *Proc) canMatchLocked(req *Request, msg *inMessage) bool {
+	if req.comm.id != msg.env.CommID {
+		return false
+	}
+	if req.wantSource != AnySource && req.wantSource != msg.env.Source {
+		return false
+	}
+	if req.wantTag != AnyTag && req.wantTag != msg.env.Tag {
+		return false
+	}
+	return p.protocol.ExtraMatch(req.match, msg.env.Match)
+}
+
+// matchLocked binds msg to req and computes completion times. It returns the
+// rendezvous sender request to complete (if any) together with its completion
+// time; the caller must complete it after releasing p.mu. Caller holds p.mu.
+func (p *Proc) matchLocked(req *Request, msg *inMessage) (*Request, float64) {
+	cost := p.world.cost
+	req.msg = msg
+	st := p.inChannelLocked(msg.env.Source, msg.env.CommID)
+	st.delivered++
+
+	matchTime := req.postTime
+	if msg.arriveTime > matchTime {
+		matchTime = msg.arriveTime
+	}
+	var completeTime float64
+	var senderReq *Request
+	if msg.eager {
+		completeTime = matchTime + cost.RecvOverhead
+	} else {
+		completeTime = cost.RendezvousComplete(matchTime, msg.env.Source, p.id, msg.env.Bytes) + cost.RecvOverhead
+		senderReq = msg.sendReq
+	}
+	status := Status{
+		Source: req.comm.CommRank(msg.env.Source),
+		Tag:    msg.env.Tag,
+		Bytes:  msg.env.Bytes,
+		Match:  msg.env.Match,
+		Seq:    msg.env.Seq,
+	}
+	p.completeLocked(req, completeTime, status)
+	return senderReq, completeTime
+}
+
+// completeLocked marks a request owned by p as done. Caller holds p.mu.
+func (p *Proc) completeLocked(req *Request, t float64, status Status) {
+	if req.done {
+		return
+	}
+	req.done = true
+	req.completeTime = t
+	req.status = status
+	p.cond.Broadcast()
+}
+
+// completeExternal completes a request owned by p from another goroutine.
+func (p *Proc) completeExternal(req *Request, t float64) {
+	p.mu.Lock()
+	p.completeLocked(req, t, Status{})
+	p.mu.Unlock()
+}
+
+// ---------------------------------------------------------------------------
+// Receive path
+// ---------------------------------------------------------------------------
+
+// Irecv posts a non-blocking reception request for a message from the
+// comm-relative rank src (or AnySource) with the given tag (or AnyTag). The
+// message payload is copied into buf at completion (Wait/Test).
+func (p *Proc) Irecv(buf []byte, src, tag int, comm *Comm) (*Request, error) {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	srcWorld := AnySource
+	if src != AnySource {
+		srcWorld = comm.WorldRank(src)
+		if srcWorld < 0 {
+			return nil, fmt.Errorf("mpi: rank %d: invalid source %d in communicator %d (size %d)",
+				p.id, src, comm.id, comm.Size())
+		}
+	}
+	if tag != AnyTag && (tag < 0 || tag > MaxAppTag) {
+		return nil, fmt.Errorf("mpi: rank %d: invalid tag %d", p.id, tag)
+	}
+	return p.irecv(buf, srcWorld, tag, comm)
+}
+
+// irecv is the internal receive path; tag may be in the collective range.
+func (p *Proc) irecv(buf []byte, srcWorld, tag int, comm *Comm) (*Request, error) {
+	if p.world.Stopped() {
+		return nil, ErrWorldStopped
+	}
+	req := &Request{
+		proc:       p,
+		kind:       reqRecv,
+		buf:        buf,
+		wantSource: srcWorld,
+		wantTag:    tag,
+		comm:       comm,
+		postTime:   p.clock.Now(),
+	}
+	env := Envelope{Source: srcWorld, Dest: p.id, CommID: comm.id, Tag: tag}
+	p.protocol.StampRecv(p, &env)
+	req.match = env.Match
+
+	var completeSender *Request
+	var senderTime float64
+
+	p.mu.Lock()
+	p.pending++
+	// Search the unexpected queue in arrival order for the first match.
+	for i, msg := range p.unexpected {
+		if p.canMatchLocked(req, msg) {
+			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
+			senderDone, sT := p.matchLocked(req, msg)
+			if senderDone != nil {
+				completeSender, senderTime = senderDone, sT
+			}
+			break
+		}
+	}
+	if req.msg == nil {
+		p.posted = append(p.posted, req)
+	}
+	p.mu.Unlock()
+
+	if completeSender != nil {
+		completeSender.proc.completeExternal(completeSender, senderTime)
+	}
+	return req, nil
+}
+
+// Recv is the blocking receive: Irecv followed by Wait.
+func (p *Proc) Recv(buf []byte, src, tag int, comm *Comm) (Status, error) {
+	req, err := p.Irecv(buf, src, tag, comm)
+	if err != nil {
+		return Status{}, err
+	}
+	return p.Wait(req)
+}
+
+// ---------------------------------------------------------------------------
+// Completion
+// ---------------------------------------------------------------------------
+
+// Wait blocks until the request completes, finalizes it and returns its
+// status (meaningful for receive requests).
+func (p *Proc) Wait(req *Request) (Status, error) {
+	if req == nil {
+		return Status{}, fmt.Errorf("mpi: rank %d: Wait on nil request", p.id)
+	}
+	if req.proc != p {
+		return Status{}, fmt.Errorf("mpi: rank %d: Wait on a request owned by rank %d", p.id, req.proc.id)
+	}
+	before := p.clock.Now()
+	p.mu.Lock()
+	for !req.done {
+		if p.world.Stopped() {
+			p.mu.Unlock()
+			return Status{}, ErrWorldStopped
+		}
+		p.cond.Wait()
+	}
+	p.mu.Unlock()
+	return p.finalize(req, before)
+}
+
+// Test checks the request without blocking. If it has completed, the request
+// is finalized and ok is true.
+func (p *Proc) Test(req *Request) (ok bool, st Status, err error) {
+	if req == nil {
+		return false, Status{}, fmt.Errorf("mpi: rank %d: Test on nil request", p.id)
+	}
+	before := p.clock.Now()
+	p.mu.Lock()
+	done := req.done
+	p.mu.Unlock()
+	if !done {
+		return false, Status{}, nil
+	}
+	st, err = p.finalize(req, before)
+	return true, st, err
+}
+
+// Waitall waits for all the given requests and returns their statuses.
+func (p *Proc) Waitall(reqs []*Request) ([]Status, error) {
+	statuses := make([]Status, len(reqs))
+	for i, r := range reqs {
+		if r == nil {
+			continue
+		}
+		st, err := p.Wait(r)
+		if err != nil {
+			return nil, err
+		}
+		statuses[i] = st
+	}
+	return statuses, nil
+}
+
+// Waitany blocks until at least one of the requests completes, finalizes it
+// and returns its index and status. Completed-and-finalized requests are
+// skipped; if every request is already finalized, index -1 is returned.
+func (p *Proc) Waitany(reqs []*Request) (int, Status, error) {
+	before := p.clock.Now()
+	for {
+		p.mu.Lock()
+		allFinalized := true
+		idx := -1
+		for i, r := range reqs {
+			if r == nil || r.finalized {
+				continue
+			}
+			allFinalized = false
+			if r.done {
+				idx = i
+				break
+			}
+		}
+		if allFinalized {
+			p.mu.Unlock()
+			return -1, Status{}, nil
+		}
+		if idx >= 0 {
+			p.mu.Unlock()
+			st, err := p.finalize(reqs[idx], before)
+			return idx, st, err
+		}
+		if p.world.Stopped() {
+			p.mu.Unlock()
+			return -1, Status{}, ErrWorldStopped
+		}
+		p.cond.Wait()
+		p.mu.Unlock()
+	}
+}
+
+// Testall reports whether all requests have completed; if so, they are all
+// finalized.
+func (p *Proc) Testall(reqs []*Request) (bool, error) {
+	p.mu.Lock()
+	for _, r := range reqs {
+		if r != nil && !r.done {
+			p.mu.Unlock()
+			return false, nil
+		}
+	}
+	p.mu.Unlock()
+	before := p.clock.Now()
+	for _, r := range reqs {
+		if r == nil {
+			continue
+		}
+		if _, err := p.finalize(r, before); err != nil {
+			return false, err
+		}
+	}
+	return true, nil
+}
+
+// finalize applies the effects of a completed request: clock advance,
+// statistics, payload copy, protocol delivery callback and trace event.
+func (p *Proc) finalize(req *Request, waitStart float64) (Status, error) {
+	p.mu.Lock()
+	if req.finalized {
+		st := req.status
+		p.mu.Unlock()
+		return st, nil
+	}
+	req.finalized = true
+	if p.pending > 0 {
+		p.pending--
+	}
+	msg := req.msg
+	st := req.status
+	completeTime := req.completeTime
+	p.mu.Unlock()
+
+	p.clock.AdvanceTo(completeTime)
+	waited := p.clock.Now() - waitStart
+	if waited > 0 {
+		p.Stats.mu.Lock()
+		p.Stats.CommTime += waited
+		p.Stats.mu.Unlock()
+	}
+
+	if req.kind == reqRecv && msg != nil {
+		n := copy(req.buf, msg.payload)
+		_ = n
+		p.Stats.mu.Lock()
+		p.Stats.Recvs++
+		p.Stats.BytesRecv += uint64(msg.env.Bytes)
+		p.Stats.mu.Unlock()
+		p.protocol.OnDeliver(p, msg.env)
+		if p.world.rec != nil {
+			p.mu.Lock()
+			if msg.senderVC != nil {
+				p.vc.Merge(msg.senderVC)
+			}
+			p.vc.Tick(p.id)
+			vc := p.vc.Clone()
+			p.mu.Unlock()
+			p.world.rec.Record(trace.Event{
+				Kind:    trace.EventDeliver,
+				Rank:    p.id,
+				Channel: trace.ChannelKey{Src: msg.env.Source, Dst: p.id, Comm: msg.env.CommID},
+				Seq:     msg.env.Seq,
+				Tag:     msg.env.Tag,
+				Bytes:   msg.env.Bytes,
+				Time:    p.clock.Now(),
+				Digest:  trace.Digest(msg.payload),
+				Clock:   vc,
+			})
+		}
+	}
+	return st, nil
+}
+
+// ---------------------------------------------------------------------------
+// Probing
+// ---------------------------------------------------------------------------
+
+// Iprobe checks, without receiving, whether a message matching (src, tag,
+// comm) is available. src may be AnySource and tag AnyTag.
+func (p *Proc) Iprobe(src, tag int, comm *Comm) (bool, Status, error) {
+	if comm == nil {
+		comm = p.world.worldComm
+	}
+	srcWorld := AnySource
+	if src != AnySource {
+		srcWorld = comm.WorldRank(src)
+		if srcWorld < 0 {
+			return false, Status{}, fmt.Errorf("mpi: rank %d: invalid probe source %d", p.id, src)
+		}
+	}
+	probe := &Request{
+		proc:       p,
+		kind:       reqRecv,
+		wantSource: srcWorld,
+		wantTag:    tag,
+		comm:       comm,
+	}
+	env := Envelope{Source: srcWorld, Dest: p.id, CommID: comm.id, Tag: tag}
+	p.protocol.StampRecv(p, &env)
+	probe.match = env.Match
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, msg := range p.unexpected {
+		if p.canMatchLocked(probe, msg) {
+			st := Status{
+				Source: comm.CommRank(msg.env.Source),
+				Tag:    msg.env.Tag,
+				Bytes:  msg.env.Bytes,
+				Match:  msg.env.Match,
+				Seq:    msg.env.Seq,
+			}
+			// Probing observes the arrival: virtual time cannot be earlier
+			// than the message's availability.
+			if msg.arriveTime > p.clock.Now() {
+				p.clock.AdvanceTo(msg.arriveTime)
+			}
+			return true, st, nil
+		}
+	}
+	return false, Status{}, nil
+}
+
+// Probe blocks until a matching message is available and returns its status.
+func (p *Proc) Probe(src, tag int, comm *Comm) (Status, error) {
+	for {
+		ok, st, err := p.Iprobe(src, tag, comm)
+		if err != nil || ok {
+			return st, err
+		}
+		p.mu.Lock()
+		if p.world.Stopped() {
+			p.mu.Unlock()
+			return Status{}, ErrWorldStopped
+		}
+		p.cond.Wait()
+		p.mu.Unlock()
+	}
+}
+
+// PendingRequests returns the number of incomplete (not yet finalized)
+// requests of the process.
+func (p *Proc) PendingRequests() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.pending
+}
+
+// UnexpectedCount returns the number of messages in the unexpected queue.
+func (p *Proc) UnexpectedCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return len(p.unexpected)
+}

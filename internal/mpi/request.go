@@ -1,0 +1,44 @@
+package mpi
+
+// reqKind distinguishes send and receive requests.
+type reqKind int
+
+const (
+	reqSend reqKind = iota
+	reqRecv
+)
+
+// Request represents an outstanding non-blocking operation, like MPI_Request.
+// A request is created by Isend or Irecv and completed by Wait, Waitall,
+// Waitany, Test or Testall. All request state is protected by the owning
+// process's mutex.
+type Request struct {
+	proc *Proc
+	kind reqKind
+
+	// Receive-side fields.
+	buf        []byte
+	wantSource int // requested world source or AnySource
+	wantTag    int
+	comm       *Comm
+	match      MatchID
+	postTime   float64
+
+	// Completion.
+	done         bool
+	finalized    bool // OnDeliver/statistics already applied
+	completeTime float64
+	status       Status
+	msg          *inMessage
+}
+
+// IsSend reports whether the request is a send request.
+func (r *Request) IsSend() bool { return r.kind == reqSend }
+
+// Done reports whether the request has completed (it does not finalize the
+// request; use Wait or Test for that).
+func (r *Request) Done() bool {
+	r.proc.mu.Lock()
+	defer r.proc.mu.Unlock()
+	return r.done
+}

@@ -1,0 +1,254 @@
+package mpi
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// World is a set of ranks (processes) that can communicate. It owns the cost
+// model, the communicator registry and the optional trace recorder.
+type World struct {
+	size  int
+	cost  simnet.CostModel
+	procs []*Proc
+	rec   *trace.Recorder
+
+	commMu    sync.Mutex
+	comms     map[string]*Comm // interned by membership signature
+	nextComm  int
+	worldComm *Comm
+
+	stopMu  sync.Mutex
+	stopped bool
+}
+
+// Option configures a World.
+type Option func(*World)
+
+// WithRecorder attaches a trace recorder; every send and deliver event is
+// recorded, which enables the determinism checkers.
+func WithRecorder(r *trace.Recorder) Option {
+	return func(w *World) { w.rec = r }
+}
+
+// NewWorld creates a world of n ranks with the given cost model.
+func NewWorld(n int, cost simnet.CostModel, opts ...Option) (*World, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("mpi: world size must be positive, got %d", n)
+	}
+	if err := cost.Validate(); err != nil {
+		return nil, err
+	}
+	w := &World{
+		size:  n,
+		cost:  cost,
+		comms: make(map[string]*Comm),
+	}
+	for _, o := range opts {
+		o(w)
+	}
+	group := make([]int, n)
+	for i := range group {
+		group[i] = i
+	}
+	w.worldComm = w.internComm(group)
+	w.procs = make([]*Proc, n)
+	for i := 0; i < n; i++ {
+		w.procs[i] = newProc(w, i)
+	}
+	return w, nil
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Cost returns the cost model of the world.
+func (w *World) Cost() simnet.CostModel { return w.cost }
+
+// Proc returns the process handle of the given world rank.
+func (w *World) Proc(rank int) *Proc {
+	if rank < 0 || rank >= w.size {
+		return nil
+	}
+	return w.procs[rank]
+}
+
+// CommWorld returns the world communicator.
+func (w *World) CommWorld() *Comm { return w.worldComm }
+
+// Recorder returns the attached trace recorder, if any.
+func (w *World) Recorder() *trace.Recorder { return w.rec }
+
+// Stopped reports whether the world has been aborted.
+func (w *World) Stopped() bool {
+	w.stopMu.Lock()
+	defer w.stopMu.Unlock()
+	return w.stopped
+}
+
+// Abort marks the world as stopped and wakes every blocked process so the
+// run can terminate with ErrWorldStopped instead of hanging.
+func (w *World) Abort() {
+	w.stopMu.Lock()
+	w.stopped = true
+	w.stopMu.Unlock()
+	for _, p := range w.procs {
+		p.mu.Lock()
+		p.cond.Broadcast()
+		p.mu.Unlock()
+	}
+}
+
+// Run executes fn on every rank concurrently (one goroutine per rank) and
+// waits for all of them to return. The first non-nil error is returned; when
+// any rank fails, the world is aborted so blocked ranks do not hang.
+func (w *World) Run(fn func(p *Proc) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for i := 0; i < w.size; i++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
+					w.Abort()
+				}
+			}()
+			if err := fn(w.procs[rank]); err != nil {
+				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+				w.Abort()
+			}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// MaxTime returns the maximum virtual clock across all ranks, i.e. the
+// virtual makespan of the execution so far.
+func (w *World) MaxTime() float64 {
+	max := 0.0
+	for _, p := range w.procs {
+		if t := p.Now(); t > max {
+			max = t
+		}
+	}
+	return max
+}
+
+// internComm returns the communicator for the given membership (world ranks,
+// in comm-rank order), creating it on first use.
+func (w *World) internComm(group []int) *Comm {
+	w.commMu.Lock()
+	defer w.commMu.Unlock()
+	sig := groupSignature(group)
+	if c, ok := w.comms[sig]; ok {
+		return c
+	}
+	c := &Comm{
+		world: w,
+		id:    w.nextComm,
+		group: append([]int(nil), group...),
+		index: make(map[int]int, len(group)),
+	}
+	for i, r := range group {
+		c.index[r] = i
+	}
+	w.nextComm++
+	w.comms[sig] = c
+	return c
+}
+
+func groupSignature(group []int) string {
+	return fmt.Sprint(group)
+}
+
+// Comm is a communicator: an ordered subset of world ranks with its own
+// channel context. Channels are defined per communicator (Section 3.2 of the
+// paper), so the same pair of processes has independent sequence numbers in
+// different communicators.
+type Comm struct {
+	world *World
+	id    int
+	group []int
+	index map[int]int
+}
+
+// ID returns the communicator identifier.
+func (c *Comm) ID() int { return c.id }
+
+// Size returns the number of ranks in the communicator.
+func (c *Comm) Size() int { return len(c.group) }
+
+// WorldRank translates a comm-relative rank to a world rank. It returns -1
+// for out-of-range ranks.
+func (c *Comm) WorldRank(commRank int) int {
+	if commRank < 0 || commRank >= len(c.group) {
+		return -1
+	}
+	return c.group[commRank]
+}
+
+// CommRank translates a world rank to a comm-relative rank, or -1 if the
+// rank is not a member.
+func (c *Comm) CommRank(worldRank int) int {
+	if r, ok := c.index[worldRank]; ok {
+		return r
+	}
+	return -1
+}
+
+// Members returns the world ranks of the communicator in comm-rank order.
+func (c *Comm) Members() []int {
+	return append([]int(nil), c.group...)
+}
+
+// splitEntry is the data exchanged during CommSplit.
+type splitEntry struct {
+	Color int
+	Key   int
+	World int
+}
+
+// CommSplit partitions the members of comm into disjoint communicators by
+// color, ordering members of each new communicator by (key, world rank), as
+// MPI_Comm_split does. Every member of comm must call CommSplit with the same
+// comm. A negative color returns nil (the process is not part of any new
+// communicator), mirroring MPI_UNDEFINED.
+func (p *Proc) CommSplit(comm *Comm, color, key int) (*Comm, error) {
+	mine := splitEntry{Color: color, Key: key, World: p.id}
+	all, err := p.allgatherSplit(comm, mine)
+	if err != nil {
+		return nil, err
+	}
+	if color < 0 {
+		return nil, nil
+	}
+	var members []splitEntry
+	for _, e := range all {
+		if e.Color == color {
+			members = append(members, e)
+		}
+	}
+	sort.Slice(members, func(i, j int) bool {
+		if members[i].Key != members[j].Key {
+			return members[i].Key < members[j].Key
+		}
+		return members[i].World < members[j].World
+	})
+	group := make([]int, len(members))
+	for i, e := range members {
+		group[i] = e.World
+	}
+	return p.world.internComm(group), nil
+}

@@ -1,0 +1,48 @@
+package simnet
+
+import "sync"
+
+// Clock is a per-rank logical clock measured in virtual seconds. It is safe
+// for concurrent use: the owning rank advances it, while protocol daemons and
+// statistics collectors may read it.
+type Clock struct {
+	mu  sync.Mutex
+	now float64
+}
+
+// Now returns the current virtual time.
+func (c *Clock) Now() float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.now
+}
+
+// Advance moves the clock forward by d seconds (negative d is ignored) and
+// returns the new time.
+func (c *Clock) Advance(d float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if d > 0 {
+		c.now += d
+	}
+	return c.now
+}
+
+// AdvanceTo moves the clock forward to t if t is later than the current time
+// and returns the new time.
+func (c *Clock) AdvanceTo(t float64) float64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if t > c.now {
+		c.now = t
+	}
+	return c.now
+}
+
+// Set forces the clock to t. It is used when a rank rolls back to a
+// checkpoint: virtual time is restored along with the process state.
+func (c *Clock) Set(t float64) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.now = t
+}

@@ -1,0 +1,157 @@
+// Package simnet provides the virtual-time fabric used by the simulated MPI
+// runtime: a communication cost model and per-rank logical clocks.
+//
+// The reproduction does not run on a real cluster, so wall-clock time is
+// replaced by virtual time. Every rank owns a logical clock (seconds) that is
+// advanced by computation (explicitly, via Compute) and by communication
+// (according to the CostModel). The model is a LogGP-style model: a message of
+// s bytes sent at time t on an otherwise idle channel becomes available to the
+// receiver at t + Latency + s/Bandwidth (eager protocol) or, for messages
+// larger than EagerThreshold, the payload transfer only starts once the
+// matching receive has been posted (rendezvous protocol).
+package simnet
+
+import "fmt"
+
+// CostModel describes the virtual-time cost of communication, computation and
+// protocol-level work (payload logging). All times are in seconds, all sizes
+// in bytes.
+type CostModel struct {
+	// Latency is the end-to-end latency of a message header (seconds).
+	Latency float64
+	// Bandwidth is the network bandwidth in bytes per second.
+	Bandwidth float64
+	// EagerThreshold is the message size (bytes) up to which the eager
+	// protocol is used. Larger messages use a rendezvous protocol: the
+	// payload transfer starts only after the matching reception request has
+	// been posted, and the sender's completion waits for the transfer.
+	EagerThreshold int
+	// SendOverhead is the CPU overhead paid by the sender per message.
+	SendOverhead float64
+	// RecvOverhead is the CPU overhead paid by the receiver per message.
+	RecvOverhead float64
+	// LogCopyBandwidth is the memory bandwidth (bytes/s) used when copying a
+	// message payload into the sender-side log. This is the only failure-free
+	// overhead introduced by SPBC and HydEE.
+	LogCopyBandwidth float64
+	// LogPerMessage is the fixed CPU cost of appending one log record.
+	LogPerMessage float64
+	// ControlLatency is the latency of an out-of-band control message
+	// (Rollback, lastMessage, replay acknowledgements, coordinator requests).
+	ControlLatency float64
+	// IntraNodeFactor scales latency for ranks on the same node (shared
+	// memory transport). 1.0 means no difference.
+	IntraNodeFactor float64
+	// RanksPerNode is used to decide whether two ranks share a node.
+	RanksPerNode int
+}
+
+// DefaultCostModel returns a cost model loosely calibrated to the paper's
+// testbed (InfiniBand 20G used through IPoIB, 8 cores per node): ~25 us
+// latency, ~1 GB/s effective bandwidth, 64 KiB eager threshold, ~8 GB/s
+// memory copy bandwidth for sender-based logging.
+func DefaultCostModel() CostModel {
+	return CostModel{
+		Latency:          25e-6,
+		Bandwidth:        1.0e9,
+		EagerThreshold:   64 * 1024,
+		SendOverhead:     1e-6,
+		RecvOverhead:     1e-6,
+		LogCopyBandwidth: 8.0e9,
+		LogPerMessage:    0.2e-6,
+		ControlLatency:   25e-6,
+		IntraNodeFactor:  0.3,
+		RanksPerNode:     8,
+	}
+}
+
+// Validate reports an error if the cost model contains non-positive rates
+// that would make virtual time ill-defined.
+func (c CostModel) Validate() error {
+	if c.Bandwidth <= 0 {
+		return fmt.Errorf("simnet: bandwidth must be positive, got %g", c.Bandwidth)
+	}
+	if c.Latency < 0 || c.SendOverhead < 0 || c.RecvOverhead < 0 {
+		return fmt.Errorf("simnet: latencies and overheads must be non-negative")
+	}
+	if c.LogCopyBandwidth <= 0 {
+		return fmt.Errorf("simnet: log copy bandwidth must be positive, got %g", c.LogCopyBandwidth)
+	}
+	if c.EagerThreshold < 0 {
+		return fmt.Errorf("simnet: eager threshold must be non-negative, got %d", c.EagerThreshold)
+	}
+	if c.IntraNodeFactor <= 0 {
+		return fmt.Errorf("simnet: intra-node factor must be positive, got %g", c.IntraNodeFactor)
+	}
+	return nil
+}
+
+// SameNode reports whether ranks a and b are placed on the same physical node
+// under the model's RanksPerNode placement. With RanksPerNode <= 0 every rank
+// is on its own node.
+func (c CostModel) SameNode(a, b int) bool {
+	if c.RanksPerNode <= 0 {
+		return a == b
+	}
+	return a/c.RanksPerNode == b/c.RanksPerNode
+}
+
+// NodeOf returns the node index hosting the given rank.
+func (c CostModel) NodeOf(rank int) int {
+	if c.RanksPerNode <= 0 {
+		return rank
+	}
+	return rank / c.RanksPerNode
+}
+
+// latencyBetween returns the header latency between two ranks, accounting for
+// the intra-node shortcut.
+func (c CostModel) latencyBetween(src, dst int) float64 {
+	if c.SameNode(src, dst) {
+		return c.Latency * c.IntraNodeFactor
+	}
+	return c.Latency
+}
+
+// TransferTime returns the time needed to move a payload of the given size
+// across the network between two ranks.
+func (c CostModel) TransferTime(src, dst, bytes int) float64 {
+	if bytes <= 0 {
+		return 0
+	}
+	t := float64(bytes) / c.Bandwidth
+	if c.SameNode(src, dst) {
+		t *= c.IntraNodeFactor
+	}
+	return t
+}
+
+// EagerArrival returns the virtual time at which an eager message of the
+// given size, sent at sendTime, is fully available at the receiver.
+func (c CostModel) EagerArrival(sendTime float64, src, dst, bytes int) float64 {
+	return sendTime + c.latencyBetween(src, dst) + c.TransferTime(src, dst, bytes)
+}
+
+// HeaderArrival returns the virtual time at which the header (envelope) of a
+// rendezvous message, sent at sendTime, reaches the receiver.
+func (c CostModel) HeaderArrival(sendTime float64, src, dst int) float64 {
+	return sendTime + c.latencyBetween(src, dst)
+}
+
+// RendezvousComplete returns the completion time of a rendezvous transfer
+// given the time at which the request and the header were both available.
+func (c CostModel) RendezvousComplete(matchTime float64, src, dst, bytes int) float64 {
+	// One extra control round-trip (clear-to-send) plus the payload transfer.
+	return matchTime + c.latencyBetween(src, dst) + c.TransferTime(src, dst, bytes)
+}
+
+// IsEager reports whether a message of the given size uses the eager protocol.
+func (c CostModel) IsEager(bytes int) bool {
+	return bytes <= c.EagerThreshold
+}
+
+// LogCost returns the virtual-time cost of logging a payload of the given
+// size in the sender's memory.
+func (c CostModel) LogCost(bytes int) float64 {
+	return c.LogPerMessage + float64(bytes)/c.LogCopyBandwidth
+}

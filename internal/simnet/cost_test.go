@@ -1,0 +1,172 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDefaultCostModelValid(t *testing.T) {
+	if err := DefaultCostModel().Validate(); err != nil {
+		t.Fatalf("default cost model invalid: %v", err)
+	}
+}
+
+func TestValidateRejectsBadModels(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*CostModel)
+	}{
+		{"zero bandwidth", func(c *CostModel) { c.Bandwidth = 0 }},
+		{"negative latency", func(c *CostModel) { c.Latency = -1 }},
+		{"negative send overhead", func(c *CostModel) { c.SendOverhead = -1 }},
+		{"zero log bandwidth", func(c *CostModel) { c.LogCopyBandwidth = 0 }},
+		{"negative eager threshold", func(c *CostModel) { c.EagerThreshold = -1 }},
+		{"zero intra-node factor", func(c *CostModel) { c.IntraNodeFactor = 0 }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := DefaultCostModel()
+			tc.mutate(&c)
+			if err := c.Validate(); err == nil {
+				t.Fatalf("expected validation error for %s", tc.name)
+			}
+		})
+	}
+}
+
+func TestSameNode(t *testing.T) {
+	c := DefaultCostModel()
+	c.RanksPerNode = 4
+	if !c.SameNode(0, 3) {
+		t.Errorf("ranks 0 and 3 should share node with 4 ranks per node")
+	}
+	if c.SameNode(3, 4) {
+		t.Errorf("ranks 3 and 4 should not share node with 4 ranks per node")
+	}
+	if got := c.NodeOf(9); got != 2 {
+		t.Errorf("NodeOf(9) = %d, want 2", got)
+	}
+	c.RanksPerNode = 0
+	if c.SameNode(1, 2) {
+		t.Errorf("with RanksPerNode=0 distinct ranks must be on distinct nodes")
+	}
+	if !c.SameNode(2, 2) {
+		t.Errorf("a rank always shares a node with itself")
+	}
+}
+
+func TestTransferTimeScalesWithSize(t *testing.T) {
+	c := DefaultCostModel()
+	small := c.TransferTime(0, 100, 1000)
+	large := c.TransferTime(0, 100, 2000)
+	if math.Abs(large-2*small) > 1e-12 {
+		t.Errorf("transfer time should scale linearly: %g vs %g", small, large)
+	}
+	if c.TransferTime(0, 100, 0) != 0 {
+		t.Errorf("zero-byte transfer should cost nothing")
+	}
+	if c.TransferTime(0, 100, -5) != 0 {
+		t.Errorf("negative sizes must not produce negative time")
+	}
+}
+
+func TestIntraNodeCheaper(t *testing.T) {
+	c := DefaultCostModel()
+	intra := c.EagerArrival(0, 0, 1, 4096)
+	inter := c.EagerArrival(0, 0, 100, 4096)
+	if intra >= inter {
+		t.Errorf("intra-node message should arrive earlier: intra=%g inter=%g", intra, inter)
+	}
+}
+
+func TestEagerVsRendezvous(t *testing.T) {
+	c := DefaultCostModel()
+	if !c.IsEager(c.EagerThreshold) {
+		t.Errorf("message of exactly the threshold size should be eager")
+	}
+	if c.IsEager(c.EagerThreshold + 1) {
+		t.Errorf("message above the threshold should use rendezvous")
+	}
+}
+
+func TestLogCostMonotonic(t *testing.T) {
+	c := DefaultCostModel()
+	if c.LogCost(100) >= c.LogCost(1000000) {
+		t.Errorf("logging a larger payload must cost more")
+	}
+	if c.LogCost(0) < 0 {
+		t.Errorf("log cost must be non-negative")
+	}
+}
+
+func TestPropertyArrivalAfterSend(t *testing.T) {
+	c := DefaultCostModel()
+	f := func(sendTime float64, src, dst uint8, bytes uint16) bool {
+		st := math.Abs(sendTime)
+		arr := c.EagerArrival(st, int(src), int(dst), int(bytes))
+		hdr := c.HeaderArrival(st, int(src), int(dst))
+		return arr >= st && hdr >= st && arr >= hdr
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPropertyRendezvousAfterMatch(t *testing.T) {
+	c := DefaultCostModel()
+	f := func(matchTime float64, src, dst uint8, bytes uint32) bool {
+		mt := math.Abs(matchTime)
+		done := c.RendezvousComplete(mt, int(src), int(dst), int(bytes))
+		return done >= mt
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestClockBasics(t *testing.T) {
+	var cl Clock
+	if cl.Now() != 0 {
+		t.Fatalf("fresh clock should read 0")
+	}
+	cl.Advance(1.5)
+	if got := cl.Now(); got != 1.5 {
+		t.Fatalf("after Advance(1.5) clock = %g", got)
+	}
+	cl.Advance(-3)
+	if got := cl.Now(); got != 1.5 {
+		t.Fatalf("negative Advance must be ignored, clock = %g", got)
+	}
+	cl.AdvanceTo(1.0)
+	if got := cl.Now(); got != 1.5 {
+		t.Fatalf("AdvanceTo must never move backwards, clock = %g", got)
+	}
+	cl.AdvanceTo(2.0)
+	if got := cl.Now(); got != 2.0 {
+		t.Fatalf("AdvanceTo(2.0) clock = %g", got)
+	}
+	cl.Set(0.25)
+	if got := cl.Now(); got != 0.25 {
+		t.Fatalf("Set must move the clock anywhere, clock = %g", got)
+	}
+}
+
+func TestPropertyClockMonotoneUnderAdvance(t *testing.T) {
+	f := func(deltas []float64) bool {
+		var cl Clock
+		prev := cl.Now()
+		for _, d := range deltas {
+			cl.Advance(d)
+			now := cl.Now()
+			if now < prev {
+				return false
+			}
+			prev = now
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,259 @@
+// Package stats provides the IPM-style measurement helpers used by the
+// evaluation harness: per-rank reports (computation vs communication time,
+// logged bytes), aggregate log-growth-rate statistics (Table 1), overhead and
+// normalized-time computations (Table 2, Figures 5 and 6), and plain-text
+// table rendering for the command-line tools.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// RankReport is the per-rank measurement of one execution.
+type RankReport struct {
+	Rank        int
+	Cluster     int
+	CompTime    float64 // virtual seconds spent computing
+	CommTime    float64 // virtual seconds spent waiting for communication
+	Elapsed     float64 // virtual time at the end of the measured section
+	BytesSent   uint64
+	BytesRecv   uint64
+	BytesLogged uint64 // cumulative sender-side log volume
+	Sends       uint64
+	Recvs       uint64
+}
+
+// CommRatio returns the fraction of time spent in communication.
+func (r RankReport) CommRatio() float64 {
+	total := r.CompTime + r.CommTime
+	if total <= 0 {
+		return 0
+	}
+	return r.CommTime / total
+}
+
+// RunReport aggregates the per-rank reports of one execution.
+type RunReport struct {
+	Name    string
+	Ranks   []RankReport
+	Elapsed float64 // virtual makespan of the measured section
+}
+
+// MaxElapsed returns the maximum per-rank elapsed time (the makespan if
+// Elapsed is unset).
+func (r *RunReport) MaxElapsed() float64 {
+	if r.Elapsed > 0 {
+		return r.Elapsed
+	}
+	max := 0.0
+	for _, rank := range r.Ranks {
+		if rank.Elapsed > max {
+			max = rank.Elapsed
+		}
+	}
+	return max
+}
+
+// TotalLoggedBytes sums the logged bytes over ranks.
+func (r *RunReport) TotalLoggedBytes() uint64 {
+	var total uint64
+	for _, rank := range r.Ranks {
+		total += rank.BytesLogged
+	}
+	return total
+}
+
+// AvgCommRatio returns the mean communication ratio across ranks.
+func (r *RunReport) AvgCommRatio() float64 {
+	if len(r.Ranks) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, rank := range r.Ranks {
+		sum += rank.CommRatio()
+	}
+	return sum / float64(len(r.Ranks))
+}
+
+// GrowthRates computes the average and maximum per-process log growth rate
+// in MB/s over the measured section, which is what Table 1 of the paper
+// reports. Rates use the decimal megabyte (1e6 bytes), matching the paper's
+// order-of-magnitude presentation.
+func (r *RunReport) GrowthRates() (avgMBps, maxMBps float64) {
+	elapsed := r.MaxElapsed()
+	if elapsed <= 0 || len(r.Ranks) == 0 {
+		return 0, 0
+	}
+	sum := 0.0
+	for _, rank := range r.Ranks {
+		rate := float64(rank.BytesLogged) / elapsed / 1e6
+		sum += rate
+		if rate > maxMBps {
+			maxMBps = rate
+		}
+	}
+	return sum / float64(len(r.Ranks)), maxMBps
+}
+
+// MinGrowthRate returns the smallest per-process log growth rate in MB/s.
+func (r *RunReport) MinGrowthRate() float64 {
+	elapsed := r.MaxElapsed()
+	if elapsed <= 0 || len(r.Ranks) == 0 {
+		return 0
+	}
+	min := math.Inf(1)
+	for _, rank := range r.Ranks {
+		rate := float64(rank.BytesLogged) / elapsed / 1e6
+		if rate < min {
+			min = rate
+		}
+	}
+	return min
+}
+
+// Overhead returns the relative overhead of measured with respect to
+// baseline, in percent. Negative values mean the measured run was faster.
+func Overhead(measured, baseline float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return (measured - baseline) / baseline * 100
+}
+
+// Normalized returns measured/baseline (the normalized execution time used
+// by Figures 5 and 6). It returns 0 when the baseline is not positive.
+func Normalized(measured, baseline float64) float64 {
+	if baseline <= 0 {
+		return 0
+	}
+	return measured / baseline
+}
+
+// Mean returns the arithmetic mean of xs (0 for an empty slice).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// Max returns the maximum of xs (0 for an empty slice).
+func Max(xs []float64) float64 {
+	max := 0.0
+	for i, x := range xs {
+		if i == 0 || x > max {
+			max = x
+		}
+	}
+	return max
+}
+
+// Percentile returns the p-th percentile (0..100) of xs using nearest-rank.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Table is a simple aligned plain-text table used by the benchmark harness
+// and the command-line tools to render the paper's tables and figures.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row; missing cells are rendered empty.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// String renders the table with aligned columns.
+func (t *Table) String() string {
+	cols := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	update := func(row []string) {
+		for i, c := range row {
+			if len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	update(t.Header)
+	for _, r := range t.Rows {
+		update(r)
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteString("\n")
+	}
+	writeRow := func(row []string) {
+		for i := 0; i < cols; i++ {
+			cell := ""
+			if i < len(row) {
+				cell = row[i]
+			}
+			fmt.Fprintf(&b, "%-*s", widths[i]+2, cell)
+		}
+		b.WriteString("\n")
+	}
+	if len(t.Header) > 0 {
+		writeRow(t.Header)
+		total := 0
+		for _, w := range widths {
+			total += w + 2
+		}
+		b.WriteString(strings.Repeat("-", total))
+		b.WriteString("\n")
+	}
+	for _, r := range t.Rows {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// FormatRate formats a MB/s rate with one decimal, as in Table 1.
+func FormatRate(mbps float64) string {
+	return fmt.Sprintf("%.1f", mbps)
+}
+
+// FormatPercent formats a percentage with two decimals, as in Table 2.
+func FormatPercent(pct float64) string {
+	return fmt.Sprintf("%.2f%%", pct)
+}
+
+// FormatNormalized formats a normalized execution time with two decimals.
+func FormatNormalized(x float64) string {
+	return fmt.Sprintf("%.2f", x)
+}

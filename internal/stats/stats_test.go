@@ -1,0 +1,162 @@
+package stats
+
+import (
+	"math"
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestCommRatio(t *testing.T) {
+	r := RankReport{CompTime: 3, CommTime: 1}
+	if got := r.CommRatio(); math.Abs(got-0.25) > 1e-12 {
+		t.Errorf("CommRatio = %g, want 0.25", got)
+	}
+	if (RankReport{}).CommRatio() != 0 {
+		t.Error("zero report should have zero comm ratio")
+	}
+}
+
+func TestRunReportAggregates(t *testing.T) {
+	r := &RunReport{
+		Name: "test",
+		Ranks: []RankReport{
+			{Rank: 0, Elapsed: 10, BytesLogged: 10e6, CompTime: 8, CommTime: 2},
+			{Rank: 1, Elapsed: 12, BytesLogged: 30e6, CompTime: 6, CommTime: 6},
+		},
+	}
+	if r.MaxElapsed() != 12 {
+		t.Errorf("MaxElapsed = %g", r.MaxElapsed())
+	}
+	if r.TotalLoggedBytes() != 40e6 {
+		t.Errorf("TotalLoggedBytes = %d", r.TotalLoggedBytes())
+	}
+	avg, max := r.GrowthRates()
+	// avg = (10/12 + 30/12)/2, max = 30/12 MB/s
+	if math.Abs(avg-(10.0/12+30.0/12)/2) > 1e-9 {
+		t.Errorf("avg growth = %g", avg)
+	}
+	if math.Abs(max-30.0/12) > 1e-9 {
+		t.Errorf("max growth = %g", max)
+	}
+	if math.Abs(r.MinGrowthRate()-10.0/12) > 1e-9 {
+		t.Errorf("min growth = %g", r.MinGrowthRate())
+	}
+	if math.Abs(r.AvgCommRatio()-(0.2+0.5)/2) > 1e-9 {
+		t.Errorf("avg comm ratio = %g", r.AvgCommRatio())
+	}
+	// Explicit elapsed overrides per-rank maxima.
+	r.Elapsed = 20
+	if r.MaxElapsed() != 20 {
+		t.Errorf("MaxElapsed with explicit elapsed = %g", r.MaxElapsed())
+	}
+	empty := &RunReport{}
+	if a, m := empty.GrowthRates(); a != 0 || m != 0 {
+		t.Error("empty report growth rates should be zero")
+	}
+	if empty.AvgCommRatio() != 0 || empty.MinGrowthRate() != 0 {
+		t.Error("empty report ratios should be zero")
+	}
+}
+
+func TestOverheadAndNormalized(t *testing.T) {
+	if got := Overhead(101, 100); math.Abs(got-1) > 1e-12 {
+		t.Errorf("Overhead = %g, want 1", got)
+	}
+	if got := Overhead(95, 100); math.Abs(got+5) > 1e-12 {
+		t.Errorf("negative overhead = %g, want -5", got)
+	}
+	if Overhead(1, 0) != 0 {
+		t.Error("overhead with zero baseline should be 0")
+	}
+	if got := Normalized(80, 100); math.Abs(got-0.8) > 1e-12 {
+		t.Errorf("Normalized = %g", got)
+	}
+	if Normalized(1, 0) != 0 {
+		t.Error("normalized with zero baseline should be 0")
+	}
+}
+
+func TestMeanMaxPercentile(t *testing.T) {
+	xs := []float64{4, 1, 3, 2}
+	if Mean(xs) != 2.5 {
+		t.Errorf("Mean = %g", Mean(xs))
+	}
+	if Max(xs) != 4 {
+		t.Errorf("Max = %g", Max(xs))
+	}
+	if Mean(nil) != 0 || Max(nil) != 0 || Percentile(nil, 50) != 0 {
+		t.Error("empty-slice helpers should return 0")
+	}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 4 {
+		t.Error("percentile extremes wrong")
+	}
+	if Percentile(xs, 50) != 2 {
+		t.Errorf("median = %g, want 2", Percentile(xs, 50))
+	}
+}
+
+func TestPropertyPercentileWithinRange(t *testing.T) {
+	f := func(raw []float64, p float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return Percentile(xs, p) == 0
+		}
+		v := Percentile(xs, math.Mod(math.Abs(p), 100))
+		lo, hi := xs[0], xs[0]
+		for _, x := range xs {
+			if x < lo {
+				lo = x
+			}
+			if x > hi {
+				hi = x
+			}
+		}
+		return v >= lo && v <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTableRendering(t *testing.T) {
+	tbl := NewTable("Table X: demo", "App", "Avg", "Max")
+	tbl.AddRow("AMG", "0.5", "0.7")
+	tbl.AddRow("MiniGhost", "1.6", "2.1")
+	tbl.AddRow("short") // missing cells allowed
+	out := tbl.String()
+	if !strings.Contains(out, "Table X: demo") {
+		t.Error("title missing from output")
+	}
+	if !strings.Contains(out, "MiniGhost") || !strings.Contains(out, "2.1") {
+		t.Error("row content missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 3 rows
+	if len(lines) != 6 {
+		t.Errorf("expected 6 lines, got %d:\n%s", len(lines), out)
+	}
+	// Columns must be aligned: header and first row start of column 2 match.
+	hdrIdx := strings.Index(lines[1], "Avg")
+	rowIdx := strings.Index(lines[3], "0.5")
+	if hdrIdx != rowIdx {
+		t.Errorf("columns misaligned: header at %d, row at %d\n%s", hdrIdx, rowIdx, out)
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	if FormatRate(1.26) != "1.3" {
+		t.Errorf("FormatRate = %q", FormatRate(1.26))
+	}
+	if FormatPercent(0.634) != "0.63%" {
+		t.Errorf("FormatPercent = %q", FormatPercent(0.634))
+	}
+	if FormatNormalized(0.756) != "0.76" {
+		t.Errorf("FormatNormalized = %q", FormatNormalized(0.756))
+	}
+}

@@ -1,0 +1,188 @@
+package trace
+
+import (
+	"sort"
+	"sync"
+)
+
+// Recorder collects the communication events of one execution. It is safe for
+// concurrent use by all ranks of the execution. Recording is optional in the
+// runtime: when no recorder is attached the hot path pays nothing.
+type Recorder struct {
+	mu     sync.Mutex
+	nranks int
+	// events per rank, in program order.
+	perRank [][]Event
+	// send sequence per channel, in channel order (which equals seqnum order
+	// because seqnums are assigned at send time).
+	perChannel map[ChannelKey][]Event
+}
+
+// NewRecorder creates a recorder for an execution with n ranks.
+func NewRecorder(n int) *Recorder {
+	return &Recorder{
+		nranks:     n,
+		perRank:    make([][]Event, n),
+		perChannel: make(map[ChannelKey][]Event),
+	}
+}
+
+// Ranks returns the number of ranks of the recorded execution.
+func (r *Recorder) Ranks() int { return r.nranks }
+
+// Record appends an event. The event's Clock, if non-nil, is cloned so the
+// caller may keep mutating its working clock.
+func (r *Recorder) Record(e Event) {
+	if e.Clock != nil {
+		e.Clock = e.Clock.Clone()
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if e.Rank >= 0 && e.Rank < r.nranks {
+		r.perRank[e.Rank] = append(r.perRank[e.Rank], e)
+	}
+	if e.Kind == EventSend {
+		r.perChannel[e.Channel] = append(r.perChannel[e.Channel], e)
+	}
+}
+
+// EventsOf returns a copy of the events recorded on the given rank, in
+// program order.
+func (r *Recorder) EventsOf(rank int) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if rank < 0 || rank >= r.nranks {
+		return nil
+	}
+	out := make([]Event, len(r.perRank[rank]))
+	copy(out, r.perRank[rank])
+	return out
+}
+
+// Channels returns the set of channels on which at least one send was
+// recorded, in a deterministic order.
+func (r *Recorder) Channels() []ChannelKey {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	keys := make([]ChannelKey, 0, len(r.perChannel))
+	for k := range r.perChannel {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.Comm != b.Comm {
+			return a.Comm < b.Comm
+		}
+		if a.Src != b.Src {
+			return a.Src < b.Src
+		}
+		return a.Dst < b.Dst
+	})
+	return keys
+}
+
+// ChannelSends returns the sequence of send events recorded on a channel.
+func (r *Recorder) ChannelSends(c ChannelKey) []Event {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	evs := r.perChannel[c]
+	out := make([]Event, len(evs))
+	copy(out, evs)
+	return out
+}
+
+// SendSequenceByChannel returns, for every channel, the ordered list of
+// message identities (seqnum + payload digest) sent on it. This is the
+// "sub-sequence of send events per channel" of Definition 2.
+func (r *Recorder) SendSequenceByChannel() map[ChannelKey][]MessageIdentity {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[ChannelKey][]MessageIdentity, len(r.perChannel))
+	for c, evs := range r.perChannel {
+		seq := make([]MessageIdentity, len(evs))
+		for i, e := range evs {
+			seq[i] = MessageIdentity{Seq: e.Seq, Tag: e.Tag, Bytes: e.Bytes, Digest: e.Digest}
+		}
+		out[c] = seq
+	}
+	return out
+}
+
+// SendSequenceByRank returns, for every rank, the ordered list of sends it
+// performed (across all its outgoing channels), which is the per-process send
+// sequence of Definition 1 (send-determinism).
+func (r *Recorder) SendSequenceByRank() [][]RankSend {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]RankSend, r.nranks)
+	for rank := 0; rank < r.nranks; rank++ {
+		for _, e := range r.perRank[rank] {
+			if e.Kind != EventSend {
+				continue
+			}
+			out[rank] = append(out[rank], RankSend{
+				Channel: e.Channel,
+				Seq:     e.Seq,
+				Tag:     e.Tag,
+				Bytes:   e.Bytes,
+				Digest:  e.Digest,
+			})
+		}
+	}
+	return out
+}
+
+// DeliverSequenceByRank returns, for every rank, the ordered list of message
+// identities delivered to the application. Two executions of a
+// channel-deterministic application may differ in these sequences (relative
+// order across channels may change) while still being valid.
+func (r *Recorder) DeliverSequenceByRank() [][]RankSend {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([][]RankSend, r.nranks)
+	for rank := 0; rank < r.nranks; rank++ {
+		for _, e := range r.perRank[rank] {
+			if e.Kind != EventDeliver {
+				continue
+			}
+			out[rank] = append(out[rank], RankSend{
+				Channel: e.Channel,
+				Seq:     e.Seq,
+				Tag:     e.Tag,
+				Bytes:   e.Bytes,
+				Digest:  e.Digest,
+			})
+		}
+	}
+	return out
+}
+
+// MessageIdentity is the identity of a message within a channel: sequence
+// number plus content digest (Section 3.3 compares messages by metadata and
+// payload).
+type MessageIdentity struct {
+	Seq    uint64
+	Tag    int
+	Bytes  int
+	Digest uint64
+}
+
+// RankSend is one send performed by a rank, used for per-process sequences.
+type RankSend struct {
+	Channel ChannelKey
+	Seq     uint64
+	Tag     int
+	Bytes   int
+	Digest  uint64
+}
+
+// TotalEvents returns the total number of recorded events.
+func (r *Recorder) TotalEvents() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	n := 0
+	for _, evs := range r.perRank {
+		n += len(evs)
+	}
+	return n
+}

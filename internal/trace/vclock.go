@@ -1,0 +1,77 @@
+package trace
+
+// VectorClock is a fixed-size vector clock over the ranks of an execution.
+// It captures Lamport's happened-before relation: event a happened before
+// event b iff a's clock is component-wise <= b's clock and differs in at
+// least one component.
+type VectorClock []uint64
+
+// NewVectorClock returns a zeroed vector clock for n ranks.
+func NewVectorClock(n int) VectorClock {
+	return make(VectorClock, n)
+}
+
+// Clone returns an independent copy of the clock.
+func (v VectorClock) Clone() VectorClock {
+	c := make(VectorClock, len(v))
+	copy(c, v)
+	return c
+}
+
+// Tick increments the component of the given rank and returns the clock.
+func (v VectorClock) Tick(rank int) VectorClock {
+	if rank >= 0 && rank < len(v) {
+		v[rank]++
+	}
+	return v
+}
+
+// Merge sets v to the component-wise maximum of v and other.
+func (v VectorClock) Merge(other VectorClock) VectorClock {
+	n := len(v)
+	if len(other) < n {
+		n = len(other)
+	}
+	for i := 0; i < n; i++ {
+		if other[i] > v[i] {
+			v[i] = other[i]
+		}
+	}
+	return v
+}
+
+// HappensBefore reports whether v happened before other: v <= other
+// component-wise and v != other.
+func (v VectorClock) HappensBefore(other VectorClock) bool {
+	if len(v) != len(other) {
+		return false
+	}
+	strictly := false
+	for i := range v {
+		if v[i] > other[i] {
+			return false
+		}
+		if v[i] < other[i] {
+			strictly = true
+		}
+	}
+	return strictly
+}
+
+// Concurrent reports whether neither clock happened before the other.
+func (v VectorClock) Concurrent(other VectorClock) bool {
+	return !v.HappensBefore(other) && !other.HappensBefore(v) && !v.Equal(other)
+}
+
+// Equal reports whether the two clocks are identical.
+func (v VectorClock) Equal(other VectorClock) bool {
+	if len(v) != len(other) {
+		return false
+	}
+	for i := range v {
+		if v[i] != other[i] {
+			return false
+		}
+	}
+	return true
+}
