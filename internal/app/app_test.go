@@ -1,0 +1,156 @@
+package app
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+	"repro/internal/trace"
+)
+
+// runSteps drives the factory's app natively on a fresh world.
+func runSteps(t *testing.T, factory model.AppFactory, ranks, steps int, rec *trace.Recorder) []float64 {
+	t.Helper()
+	var opts []mpi.Option
+	if rec != nil {
+		opts = append(opts, mpi.WithRecorder(rec))
+	}
+	w, err := mpi.NewWorld(ranks, simnet.DefaultCostModel(), opts...)
+	if err != nil {
+		t.Fatalf("NewWorld: %v", err)
+	}
+	verify := make([]float64, ranks)
+	err = w.Run(func(p *mpi.Proc) error {
+		a := factory()
+		if err := a.Init(model.NewNativeProcess(p)); err != nil {
+			return err
+		}
+		for i := 0; i < steps; i++ {
+			if err := a.Step(i); err != nil {
+				return err
+			}
+		}
+		v, err := a.Verify()
+		verify[p.Rank()] = v
+		return err
+	})
+	if err != nil {
+		t.Fatalf("run: %v", err)
+	}
+	return verify
+}
+
+func factories() map[string]model.AppFactory {
+	return map[string]model.AppFactory{
+		"ring":   NewRing(12, 2),
+		"solver": NewSolver(16),
+	}
+}
+
+func TestAppsAreSendDeterministic(t *testing.T) {
+	for name, factory := range factories() {
+		t.Run(name, func(t *testing.T) {
+			recA := trace.NewRecorder(6)
+			recB := trace.NewRecorder(6)
+			va := runSteps(t, factory, 6, 8, recA)
+			vb := runSteps(t, factory, 6, 8, recB)
+			for r := range va {
+				if va[r] != vb[r] {
+					t.Fatalf("rank %d: verify differs across identical runs: %v vs %v", r, va[r], vb[r])
+				}
+			}
+			if err := trace.CheckSendDeterminism(recA, recB); err != nil {
+				t.Fatalf("send determinism: %v", err)
+			}
+			if err := trace.CheckChannelDeterminism(recA, recB); err != nil {
+				t.Fatalf("channel determinism: %v", err)
+			}
+		})
+	}
+}
+
+func TestAppsSnapshotRestoreRoundTrip(t *testing.T) {
+	for name, factory := range factories() {
+		t.Run(name, func(t *testing.T) {
+			// Single-rank world: rollback needs no peer coordination here.
+			w, err := mpi.NewWorld(1, simnet.DefaultCostModel())
+			if err != nil {
+				t.Fatalf("NewWorld: %v", err)
+			}
+			var straight, replayed float64
+			err = w.Run(func(p *mpi.Proc) error {
+				a := factory()
+				if err := a.Init(model.NewNativeProcess(p)); err != nil {
+					return err
+				}
+				for i := 0; i < 3; i++ {
+					if err := a.Step(i); err != nil {
+						return err
+					}
+				}
+				snap, err := a.Snapshot()
+				if err != nil {
+					return err
+				}
+				for i := 3; i < 6; i++ {
+					if err := a.Step(i); err != nil {
+						return err
+					}
+				}
+				straight, err = a.Verify()
+				if err != nil {
+					return err
+				}
+				if err := a.Restore(snap); err != nil {
+					return err
+				}
+				for i := 3; i < 6; i++ {
+					if err := a.Step(i); err != nil {
+						return err
+					}
+				}
+				replayed, err = a.Verify()
+				return err
+			})
+			if err != nil {
+				t.Fatalf("run: %v", err)
+			}
+			if straight != replayed {
+				t.Fatalf("verify after restore+re-execution = %v, want %v", replayed, straight)
+			}
+		})
+	}
+}
+
+func TestSolverConverges(t *testing.T) {
+	verify := runSteps(t, NewSolver(32), 4, 40, nil)
+	for r, v := range verify {
+		if math.IsNaN(v) || math.IsInf(v, 0) {
+			t.Fatalf("rank %d: verify = %v", r, v)
+		}
+	}
+}
+
+func TestFloatCodecRoundTrip(t *testing.T) {
+	in := []float64{0, 1.5, -2.25, math.Pi}
+	buf := encodeFloats(nil, in)
+	buf = putFloat(buf, 42.5)
+	out, rest, err := decodeFloats(buf)
+	if err != nil {
+		t.Fatalf("decodeFloats: %v", err)
+	}
+	for i := range in {
+		if in[i] != out[i] {
+			t.Fatalf("roundtrip[%d] = %v, want %v", i, out[i], in[i])
+		}
+	}
+	tail, rest, err := getFloat(rest)
+	if err != nil || tail != 42.5 || len(rest) != 0 {
+		t.Fatalf("tail = %v rest=%d err=%v", tail, len(rest), err)
+	}
+	if _, _, err := decodeFloats([]byte{1, 2}); err == nil {
+		t.Fatalf("truncated input must fail")
+	}
+}

@@ -4,7 +4,7 @@
 // Save (State_i, Logs_i) on stable storage").
 //
 // A checkpoint of a rank bundles the application state (an opaque byte
-// slice produced by the application's Checkpoint method), the MPI-level
+// slice produced by the application's Snapshot method), the MPI-level
 // channel state (sequence counters, reception bookkeeping and undelivered
 // messages) and the sender-based message log. Two storage back-ends are
 // provided: an in-memory store (used by the benchmarks, which follow the
@@ -43,6 +43,11 @@ type Checkpoint struct {
 	AppState  []byte
 	Channels  *mpi.ChannelSnapshot
 	Logs      []LogRecord
+	// Protocol is the opaque per-rank state of the checkpointing protocol
+	// itself (for SPBC: the pattern-iteration counters of Section 5.1). It
+	// must be rolled back with the application so that re-executed sends and
+	// receives are stamped with the same identifiers as the logged messages.
+	Protocol []byte
 }
 
 // Validate performs basic sanity checks on a checkpoint.

@@ -1,1 +1,25 @@
+// Package core is the SPBC runtime: it composes the lower layers of the
+// reproduction — the MPI-like runtime (internal/mpi), cluster partitioning
+// (internal/clustering), checkpoint storage (internal/checkpoint) and the
+// sender-based log store (internal/logstore) — into the hybrid
+// checkpointing/message-logging protocol of Ropars et al. (SC'13).
+//
+// Two types form the public surface:
+//
+//   - SPBC implements mpi.Protocol: it stamps every message and reception
+//     request with the active (pattern, iteration) identifier (Section 4.3),
+//     logs the payload of every inter-cluster message in the sender's
+//     logstore.Store (Section 4.2), and suppresses the re-transmission of
+//     already-sent inter-cluster messages during recovery re-execution
+//     (Algorithm 1 line 7).
+//
+//   - Engine owns the full lifecycle of an execution: it runs one model.App
+//     instance per rank behind a model.Process facade, takes coordinated
+//     checkpoints per cluster at a fixed iteration interval (Algorithm 1
+//     lines 13-15), garbage-collects remote logs covered by a new checkpoint
+//     wave, injects failures from a declarative fault plan, and performs
+//     cluster-local rollback plus sender-based log replay to recover.
+//
+// Higher layers (internal/runner) wrap the Engine behind a declarative
+// Scenario API; application kernels live in internal/app.
 package core

@@ -1,0 +1,615 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"repro/internal/checkpoint"
+	"repro/internal/clustering"
+	"repro/internal/logstore"
+	"repro/internal/model"
+	"repro/internal/mpi"
+)
+
+// Fault schedules the failure of one rank at the start of an iteration. The
+// failed rank loses its in-memory state (application state, channel state and
+// sender-based log) and its whole cluster rolls back to the cluster's latest
+// coordinated checkpoint; other clusters keep running.
+//
+// Failures are injected at iteration boundaries: applications are quiescent
+// there (no pending requests), which is also where the paper's protocol takes
+// checkpoints and where recovery restarts execution.
+type Fault struct {
+	Rank      int `json:"rank"`
+	Iteration int `json:"iteration"`
+}
+
+// Config parameterizes an Engine run.
+type Config struct {
+	// ClusterOf maps every world rank to its cluster, typically produced by
+	// clustering.Partition from a communication profile.
+	ClusterOf []int
+	// Interval is the checkpoint period in iterations: every cluster takes a
+	// coordinated checkpoint at each iteration boundary that is a multiple of
+	// Interval (including iteration 0). Zero disables checkpointing, which is
+	// only legal without faults.
+	Interval int
+	// Steps is the number of application iterations to run.
+	Steps int
+	// Storage receives the checkpoints.
+	Storage checkpoint.Storage
+	// Faults is the failure plan. Iterations must lie in [0, Steps).
+	Faults []Fault
+}
+
+// validate checks the configuration against a world size.
+func (c *Config) validate(size int) error {
+	if c.Steps <= 0 {
+		return fmt.Errorf("core: steps must be positive, got %d", c.Steps)
+	}
+	if len(c.ClusterOf) != size {
+		return fmt.Errorf("core: cluster assignment has %d entries for %d ranks", len(c.ClusterOf), size)
+	}
+	for r, cl := range c.ClusterOf {
+		if cl < 0 {
+			return fmt.Errorf("core: rank %d assigned to negative cluster %d", r, cl)
+		}
+	}
+	if c.Interval < 0 {
+		return fmt.Errorf("core: checkpoint interval must be non-negative, got %d", c.Interval)
+	}
+	if len(c.Faults) > 0 {
+		if c.Interval == 0 {
+			return fmt.Errorf("core: faults require a positive checkpoint interval")
+		}
+		if c.Storage == nil {
+			return fmt.Errorf("core: faults require checkpoint storage")
+		}
+	}
+	if c.Interval > 0 && c.Storage == nil {
+		return fmt.Errorf("core: checkpointing requires storage")
+	}
+	for _, f := range c.Faults {
+		if f.Rank < 0 || f.Rank >= size {
+			return fmt.Errorf("core: fault rank %d out of range [0,%d)", f.Rank, size)
+		}
+		if f.Iteration < 0 || f.Iteration >= c.Steps {
+			return fmt.Errorf("core: fault iteration %d out of range [0,%d)", f.Iteration, c.Steps)
+		}
+	}
+	return nil
+}
+
+// Metrics accumulates the engine-level counters of one run. They complement
+// the per-rank mpi.ProcStats and the log stores' volume counters.
+type Metrics struct {
+	CheckpointSaves     int    `json:"checkpoint_saves"`
+	CheckpointBytes     uint64 `json:"checkpoint_bytes"`
+	TruncatedLogRecords int    `json:"truncated_log_records"`
+	RecoveryEvents      int    `json:"recovery_events"`
+	RolledBackRanks     []int  `json:"rolled_back_ranks"`
+	RestoredCheckpoints int    `json:"restored_checkpoints"`
+	ReplayedRecords     int    `json:"replayed_records"`
+	ReplayedBytes       uint64 `json:"replayed_bytes"`
+}
+
+// Engine composes the SPBC protocol, the MPI runtime, checkpoint storage and
+// the per-rank log stores into a full run: it drives one model.App instance
+// per rank behind a model.Process facade and owns checkpointing, failure
+// injection and recovery. Create it with NewEngine and drive it with Run.
+type Engine struct {
+	world    *mpi.World
+	cfg      Config
+	clusters int
+	protos   []*SPBC
+	stores   []*logstore.Store
+	bar      *rendezvous
+	faultsAt map[int][]Fault
+
+	mu        sync.Mutex
+	snaps     []*mpi.ChannelSnapshot // latest checkpoint channel snapshot per rank
+	failTimes map[int]float64        // fault iteration -> max virtual time at rollback
+	metrics   Metrics
+	rolled    map[int]bool
+	verify    []float64
+}
+
+// NewEngine builds an engine over an existing world. The world must be fresh
+// (no communication yet): the engine attaches an SPBC protocol instance to
+// every rank.
+func NewEngine(w *mpi.World, cfg Config) (*Engine, error) {
+	if err := cfg.validate(w.Size()); err != nil {
+		return nil, err
+	}
+	clusters := 0
+	for _, cl := range cfg.ClusterOf {
+		if cl+1 > clusters {
+			clusters = cl + 1
+		}
+	}
+	e := &Engine{
+		world:     w,
+		cfg:       cfg,
+		clusters:  clusters,
+		protos:    make([]*SPBC, w.Size()),
+		stores:    make([]*logstore.Store, w.Size()),
+		bar:       newRendezvous(w.Size()),
+		faultsAt:  make(map[int][]Fault),
+		snaps:     make([]*mpi.ChannelSnapshot, w.Size()),
+		failTimes: make(map[int]float64),
+		rolled:    make(map[int]bool),
+		verify:    make([]float64, w.Size()),
+	}
+	for r := 0; r < w.Size(); r++ {
+		e.stores[r] = logstore.New()
+		e.protos[r] = NewSPBC(r, cfg.ClusterOf, w.Cost(), e.stores[r])
+	}
+	for _, f := range cfg.Faults {
+		e.faultsAt[f.Iteration] = append(e.faultsAt[f.Iteration], f)
+	}
+	return e, nil
+}
+
+// World returns the underlying world.
+func (e *Engine) World() *mpi.World { return e.world }
+
+// ClusterOf returns the cluster assignment.
+func (e *Engine) ClusterOf() []int { return append([]int(nil), e.cfg.ClusterOf...) }
+
+// Clusters returns the number of clusters.
+func (e *Engine) Clusters() int { return e.clusters }
+
+// Store returns the sender-based log store of a rank.
+func (e *Engine) Store(rank int) *logstore.Store { return e.stores[rank] }
+
+// Metrics returns a copy of the engine counters. Call it after Run returns.
+func (e *Engine) Metrics() Metrics {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	m := e.metrics
+	m.RolledBackRanks = nil
+	for r := range e.rolled {
+		m.RolledBackRanks = append(m.RolledBackRanks, r)
+	}
+	sort.Ints(m.RolledBackRanks)
+	return m
+}
+
+// VerifyValues returns the per-rank application digests collected at the end
+// of the run. Call it after Run returns.
+func (e *Engine) VerifyValues() []float64 { return append([]float64(nil), e.verify...) }
+
+// LoggedBytesByCluster sums the cumulative sender-side log volume per cluster.
+func (e *Engine) LoggedBytesByCluster() []uint64 {
+	out := make([]uint64, e.clusters)
+	for r, s := range e.stores {
+		out[e.cfg.ClusterOf[r]] += s.CumulativeBytes()
+	}
+	return out
+}
+
+// Run executes the application on every rank of the world, with
+// checkpointing, failure injection and recovery as configured. It returns the
+// first per-rank error.
+func (e *Engine) Run(factory model.AppFactory) error {
+	return e.world.Run(func(p *mpi.Proc) error {
+		defer func() {
+			if r := recover(); r != nil {
+				e.bar.abort() // free ranks parked at a fault rendezvous
+				panic(r)
+			}
+		}()
+		if err := e.runRank(p, factory()); err != nil {
+			e.bar.abort()
+			return err
+		}
+		return nil
+	})
+}
+
+// runRank is the per-rank driver: init, the iteration loop with checkpoint
+// and fault handling, and the final verification.
+func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
+	rank := p.Rank()
+	cluster := e.cfg.ClusterOf[rank]
+	p.SetProtocol(e.protos[rank])
+	proc := &process{NativeProcess: model.NativeProcess{P: p}, proto: e.protos[rank]}
+	if err := app.Init(proc); err != nil {
+		return fmt.Errorf("core: rank %d: init: %w", rank, err)
+	}
+	clusterComm, err := p.CommSplit(e.world.CommWorld(), cluster, rank)
+	if err != nil {
+		return fmt.Errorf("core: rank %d: cluster communicator: %w", rank, err)
+	}
+
+	handled := make(map[int]bool) // fault iterations already processed
+	epoch := 0
+	rejoinAt := -1
+	for iter := 0; iter < e.cfg.Steps; {
+		if rejoinAt == iter {
+			// Re-execution has reached the failure point: recovery is over.
+			e.protos[rank].endRecovery()
+			rejoinAt = -1
+		}
+		if e.cfg.Interval > 0 && iter%e.cfg.Interval == 0 {
+			if err := e.checkpointRank(p, app, clusterComm, cluster, iter, &epoch); err != nil {
+				return err
+			}
+		}
+		if len(e.faultsAt[iter]) > 0 && !handled[iter] {
+			handled[iter] = true
+			resume, rolledBack, err := e.handleFaults(p, app, iter)
+			if err != nil {
+				return err
+			}
+			if rolledBack {
+				rejoinAt = iter
+				iter = resume
+				continue
+			}
+		}
+		if err := app.Step(iter); err != nil {
+			return fmt.Errorf("core: rank %d: step %d: %w", rank, iter, err)
+		}
+		iter++
+	}
+	v, err := app.Verify()
+	if err != nil {
+		return fmt.Errorf("core: rank %d: verify: %w", rank, err)
+	}
+	e.mu.Lock()
+	e.verify[rank] = v
+	e.mu.Unlock()
+	return nil
+}
+
+// checkpointRank takes one coordinated checkpoint of the rank's cluster
+// (Algorithm 1 lines 13-15): an intra-cluster barrier brings every member to
+// the same iteration boundary with quiescent channels, each member saves
+// (application state, channel state, logs) to stable storage, and the cluster
+// leader then garbage-collects the remote log records that the new checkpoint
+// wave covers.
+func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, clusterComm *mpi.Comm, cluster, iter int, epoch *int) error {
+	rank := p.Rank()
+	if err := p.Barrier(clusterComm); err != nil {
+		return fmt.Errorf("core: rank %d: checkpoint barrier: %w", rank, err)
+	}
+	state, err := app.Snapshot()
+	if err != nil {
+		return fmt.Errorf("core: rank %d: app snapshot: %w", rank, err)
+	}
+	snap, err := p.SnapshotChannels()
+	if err != nil {
+		return fmt.Errorf("core: rank %d: channel snapshot: %w", rank, err)
+	}
+	proto, err := e.protos[rank].EncodeState()
+	if err != nil {
+		return fmt.Errorf("core: rank %d: %w", rank, err)
+	}
+	cp := &checkpoint.Checkpoint{
+		Rank:      rank,
+		Cluster:   cluster,
+		Iteration: iter,
+		Epoch:     *epoch,
+		Time:      p.Now(),
+		AppState:  state,
+		Channels:  snap,
+		Logs:      storeRecords(e.stores[rank]),
+		Protocol:  proto,
+	}
+	if err := e.cfg.Storage.Save(cp); err != nil {
+		return fmt.Errorf("core: rank %d: save checkpoint: %w", rank, err)
+	}
+	*epoch++
+	e.mu.Lock()
+	e.metrics.CheckpointSaves++
+	e.metrics.CheckpointBytes += cp.Size()
+	e.snaps[rank] = snap
+	e.mu.Unlock()
+
+	// A second barrier guarantees the leader sees every member's snapshot
+	// before truncating remote logs up to what the wave covers.
+	if err := p.Barrier(clusterComm); err != nil {
+		return fmt.Errorf("core: rank %d: checkpoint barrier: %w", rank, err)
+	}
+	if rank == clusterComm.WorldRank(0) {
+		e.gcLogs(clusterComm, cluster)
+	}
+	return nil
+}
+
+// gcLogs truncates, on every remote sender, the log records that the just
+// checkpointed cluster no longer needs: a message delivered before the
+// member's checkpoint is covered by it and will never be replayed.
+func (e *Engine) gcLogs(clusterComm *mpi.Comm, cluster int) {
+	dropped := 0
+	for _, d := range clusterComm.Members() {
+		e.mu.Lock()
+		snap := e.snaps[d]
+		e.mu.Unlock()
+		if snap == nil {
+			continue
+		}
+		for key, st := range snap.In {
+			if e.cfg.ClusterOf[key.Peer] == cluster {
+				continue
+			}
+			dropped += e.stores[key.Peer].Truncate(d, key.Comm, st.MaxSeqSeen)
+		}
+	}
+	e.mu.Lock()
+	e.metrics.TruncatedLogRecords += dropped
+	e.mu.Unlock()
+}
+
+// handleFaults performs the globally coordinated part of recovery for the
+// faults scheduled at this iteration boundary. Every rank participates in the
+// rendezvous (the failure-detection pause); only the ranks of the failed
+// clusters roll back. It returns the iteration to resume from and whether the
+// calling rank rolled back.
+func (e *Engine) handleFaults(p *mpi.Proc, app model.App, iter int) (resume int, rolledBack bool, err error) {
+	rank := p.Rank()
+	set := e.rolledBackSet(iter)
+	failed := make(map[int]bool)
+	for _, f := range e.faultsAt[iter] {
+		failed[f.Rank] = true
+	}
+
+	// Rendezvous 1: the whole world is quiescent — every rank is at an
+	// iteration boundary with no pending requests and no in-flight sends.
+	if err := e.bar.await(); err != nil {
+		return 0, false, err
+	}
+
+	var cuts map[mpi.ChanKey]uint64
+	if set[rank] {
+		// Capture, per outgoing channel that leaves the rolled-back set, the
+		// last sequence number assigned before the failure: re-executed sends
+		// at or below it were already received and must be suppressed.
+		cuts = make(map[mpi.ChanKey]uint64)
+		for _, key := range p.OutChannels() {
+			if !set[key.Peer] {
+				cuts[key] = p.OutSeq(key.Peer, key.Comm)
+			}
+		}
+		e.mu.Lock()
+		if t := p.Now(); t > e.failTimes[iter] {
+			e.failTimes[iter] = t
+		}
+		e.mu.Unlock()
+	}
+
+	// Rendezvous 2: cutoffs and failure times captured everywhere.
+	if err := e.bar.await(); err != nil {
+		return 0, false, err
+	}
+
+	var cp *checkpoint.Checkpoint
+	if set[rank] {
+		loaded, ok, lerr := e.cfg.Storage.Load(rank)
+		if lerr != nil {
+			return 0, false, fmt.Errorf("core: rank %d: load checkpoint: %w", rank, lerr)
+		}
+		if !ok {
+			return 0, false, fmt.Errorf("core: rank %d: no checkpoint to roll back to", rank)
+		}
+		cp = loaded
+		if err := app.Restore(cp.AppState); err != nil {
+			return 0, false, fmt.Errorf("core: rank %d: restore app: %w", rank, err)
+		}
+		p.RestoreChannels(cp.Channels, nil)
+		if err := e.protos[rank].RestoreState(cp.Protocol); err != nil {
+			return 0, false, fmt.Errorf("core: rank %d: %w", rank, err)
+		}
+		if failed[rank] {
+			// The failed rank lost its memory: its sender-based log comes
+			// back from the checkpoint. Co-rollback peers keep their
+			// in-memory logs (re-logging is deduplicated by sequence number).
+			e.stores[rank].RestoreFrom(storeFromRecords(cp.Logs))
+		}
+		e.protos[rank].beginRecovery(cuts)
+		e.mu.Lock()
+		e.metrics.RestoredCheckpoints++
+		e.rolled[rank] = true
+		e.mu.Unlock()
+	}
+
+	// Rendezvous 3: every rolled-back rank has restored its state; the
+	// recovery leader can now inject the logged inter-cluster messages.
+	if err := e.bar.await(); err != nil {
+		return 0, false, err
+	}
+	if rank == leaderOf(set) {
+		if err := e.injectReplays(iter, set); err != nil {
+			return 0, false, err
+		}
+		e.mu.Lock()
+		e.metrics.RecoveryEvents++
+		e.mu.Unlock()
+	}
+
+	// Rendezvous 4: replayed messages are lodged in the recovering ranks'
+	// queues before anyone resumes, so later direct sends stay in FIFO order
+	// behind the replays.
+	if err := e.bar.await(); err != nil {
+		return 0, false, err
+	}
+	if !set[rank] {
+		return iter, false, nil
+	}
+	return cp.Iteration, true, nil
+}
+
+// injectReplays replays, from the log stores of the surviving ranks, every
+// inter-cluster message that a rolled-back rank had received after its
+// restored checkpoint (restored MaxSeqSeen onwards). Replay is per channel in
+// sequence order; virtual availability times start after the failure time
+// plus a control latency.
+func (e *Engine) injectReplays(iter int, set map[int]bool) error {
+	cost := e.world.Cost()
+	e.mu.Lock()
+	start := e.failTimes[iter] + cost.ControlLatency
+	e.mu.Unlock()
+	records, bytes := 0, uint64(0)
+	for d := 0; d < e.world.Size(); d++ {
+		if !set[d] {
+			continue
+		}
+		pd := e.world.Proc(d)
+		for s := 0; s < e.world.Size(); s++ {
+			if set[s] {
+				continue
+			}
+			for _, key := range e.stores[s].Channels() {
+				if key.Peer != d {
+					continue
+				}
+				from := pd.InState(s, key.Comm).MaxSeqSeen + 1
+				t := start
+				for _, r := range e.stores[s].Range(d, key.Comm, from) {
+					t += cost.TransferTime(s, d, len(r.Payload))
+					if err := e.world.InjectReplay(r.Env, r.Payload, t); err != nil {
+						// A dropped replay would leave the recovering rank
+						// blocked forever on the missing sequence number.
+						return fmt.Errorf("core: replay %d->%d (comm %d) seq %d: %w",
+							s, d, key.Comm, r.Env.Seq, err)
+					}
+					records++
+					bytes += uint64(len(r.Payload))
+				}
+			}
+		}
+	}
+	e.mu.Lock()
+	e.metrics.ReplayedRecords += records
+	e.metrics.ReplayedBytes += bytes
+	e.mu.Unlock()
+	return nil
+}
+
+// rolledBackSet returns the union of the clusters failed at the iteration.
+func (e *Engine) rolledBackSet(iter int) map[int]bool {
+	set := make(map[int]bool)
+	for _, f := range e.faultsAt[iter] {
+		fc := e.cfg.ClusterOf[f.Rank]
+		for r, c := range e.cfg.ClusterOf {
+			if c == fc {
+				set[r] = true
+			}
+		}
+	}
+	return set
+}
+
+// leaderOf returns the lowest rank of the set (the recovery leader).
+func leaderOf(set map[int]bool) int {
+	leader := -1
+	for r := range set {
+		if leader < 0 || r < leader {
+			leader = r
+		}
+	}
+	return leader
+}
+
+// storeRecords flattens a log store into checkpoint records.
+func storeRecords(s *logstore.Store) []checkpoint.LogRecord {
+	var out []checkpoint.LogRecord
+	for _, key := range s.Channels() {
+		for _, r := range s.Range(key.Peer, key.Comm, 0) {
+			out = append(out, checkpoint.LogRecord{Env: r.Env, Payload: r.Payload, SendTime: r.SendTime})
+		}
+	}
+	return out
+}
+
+// storeFromRecords rebuilds a log store from checkpoint records.
+func storeFromRecords(recs []checkpoint.LogRecord) *logstore.Store {
+	s := logstore.New()
+	for _, r := range recs {
+		s.Append(logstore.Record{Env: r.Env, Payload: r.Payload, SendTime: r.SendTime})
+	}
+	return s
+}
+
+// process is the model.Process facade handed to applications: native MPI
+// semantics plus the SPBC pattern API wired to the rank's protocol state.
+type process struct {
+	model.NativeProcess
+	proto *SPBC
+}
+
+// DeclarePattern allocates a new communication-pattern identifier.
+func (pp *process) DeclarePattern() uint32 { return pp.proto.DeclarePattern() }
+
+// BeginIteration activates the pattern for the next iteration.
+func (pp *process) BeginIteration(pattern uint32) { pp.proto.BeginIteration(pattern) }
+
+// EndIteration restores the default pattern.
+func (pp *process) EndIteration(pattern uint32) { pp.proto.EndIteration(pattern) }
+
+var _ model.Process = (*process)(nil)
+
+// rendezvous is the engine-internal world-wide barrier used to coordinate
+// recovery (the out-of-band failure-detection path; it costs no virtual
+// time). It is reusable across generations and abortable so that a failing
+// rank does not leave the others parked forever.
+type rendezvous struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	n       int
+	arrived int
+	gen     uint64
+	aborted bool
+}
+
+func newRendezvous(n int) *rendezvous {
+	b := &rendezvous{n: n}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+// await blocks until all n participants arrive (or the rendezvous is aborted).
+func (b *rendezvous) await() error {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	if b.aborted {
+		return fmt.Errorf("core: run aborted")
+	}
+	gen := b.gen
+	b.arrived++
+	if b.arrived == b.n {
+		b.arrived = 0
+		b.gen++
+		b.cond.Broadcast()
+		return nil
+	}
+	for gen == b.gen && !b.aborted {
+		b.cond.Wait()
+	}
+	if b.aborted {
+		return fmt.Errorf("core: run aborted")
+	}
+	return nil
+}
+
+// abort permanently releases every waiter with an error.
+func (b *rendezvous) abort() {
+	b.mu.Lock()
+	b.aborted = true
+	b.cond.Broadcast()
+	b.mu.Unlock()
+}
+
+// BuildProfile aggregates per-rank, per-destination byte counters into a
+// clustering profile. It is used by the runner's profiling pre-run.
+func BuildProfile(w *mpi.World, ranksPerNode int) *clustering.Profile {
+	prof := clustering.NewProfile(w.Size(), ranksPerNode)
+	for r := 0; r < w.Size(); r++ {
+		for dst, bytes := range w.Proc(r).Stats.PerDestinationBytes() {
+			prof.Add(r, dst, bytes)
+		}
+	}
+	return prof
+}

@@ -1,0 +1,156 @@
+package core
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+
+	"repro/internal/logstore"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+)
+
+// SPBC is the per-rank protocol state of the hybrid protocol. It implements
+// mpi.Protocol: identifier stamping and matching, sender-based logging of
+// inter-cluster messages, and send suppression during recovery re-execution.
+//
+// All methods are called from the owning rank's goroutine (the mpi.Protocol
+// contract), so the pattern and cutoff state needs no locking; the log store
+// has its own synchronization because replay daemons read it concurrently.
+type SPBC struct {
+	rank      int
+	clusterOf []int
+	cost      simnet.CostModel
+	log       *logstore.Store
+
+	// Pattern API state (Section 5.1): the active identifier and the next
+	// iteration number of every declared pattern.
+	nextPattern uint32
+	iterations  map[uint32]uint32
+	current     mpi.MatchID
+
+	// cutoffs maps outgoing inter-cluster channels to the last sequence
+	// number assigned before the rollback. While recovering, a send with a
+	// sequence number at or below the cutoff was already transmitted before
+	// the failure and must not be re-sent (Algorithm 1 line 7): the
+	// destination did not roll back and already holds the message.
+	cutoffs map[mpi.ChanKey]uint64
+}
+
+// NewSPBC creates the protocol state for one rank. clusterOf maps every world
+// rank to its cluster; log receives the payloads of inter-cluster sends.
+func NewSPBC(rank int, clusterOf []int, cost simnet.CostModel, log *logstore.Store) *SPBC {
+	return &SPBC{
+		rank:       rank,
+		clusterOf:  clusterOf,
+		cost:       cost,
+		log:        log,
+		iterations: make(map[uint32]uint32),
+	}
+}
+
+// Log returns the sender-based log store of the rank.
+func (s *SPBC) Log() *logstore.Store { return s.log }
+
+// Cluster returns the cluster of the given world rank.
+func (s *SPBC) Cluster(rank int) int { return s.clusterOf[rank] }
+
+// DeclarePattern allocates a new communication-pattern identifier. SPMD
+// applications declare patterns in the same order on every rank, so the
+// per-rank counters stay aligned across the world.
+func (s *SPBC) DeclarePattern() uint32 {
+	s.nextPattern++
+	return s.nextPattern
+}
+
+// BeginIteration makes the pattern active and advances its iteration number;
+// subsequent sends and reception requests are stamped with (pattern, iter).
+func (s *SPBC) BeginIteration(pattern uint32) {
+	if pattern == 0 {
+		return
+	}
+	s.iterations[pattern]++
+	s.current = mpi.MatchID{Pattern: pattern, Iteration: s.iterations[pattern]}
+}
+
+// EndIteration restores the default communication pattern.
+func (s *SPBC) EndIteration(pattern uint32) {
+	if s.current.Pattern == pattern {
+		s.current = mpi.MatchID{}
+	}
+}
+
+// StampSend stamps an outgoing message with the active identifier.
+func (s *SPBC) StampSend(p *mpi.Proc, env *mpi.Envelope) { env.Match = s.current }
+
+// StampRecv stamps a reception request with the active identifier.
+func (s *SPBC) StampRecv(p *mpi.Proc, env *mpi.Envelope) { env.Match = s.current }
+
+// ExtraMatch implements identifier matching (Section 5.2.1): a reception
+// request only matches a message carrying the same (pattern, iteration)
+// identifier. Both default to the zero identifier outside pattern sections,
+// so unbracketed communication behaves exactly as native MPI.
+func (s *SPBC) ExtraMatch(req, msg mpi.MatchID) bool { return req == msg }
+
+// OnSend logs the payload of inter-cluster messages in the sender's memory
+// (charging the memory-copy cost of the cost model, the protocol's only
+// failure-free overhead) and suppresses re-sends during recovery.
+func (s *SPBC) OnSend(p *mpi.Proc, env mpi.Envelope, payload []byte) (transmit bool, cost float64) {
+	if s.clusterOf[env.Source] != s.clusterOf[env.Dest] {
+		s.log.Append(logstore.Record{Env: env, Payload: payload, SendTime: p.Now()})
+		cost = s.cost.LogCost(len(payload))
+	}
+	if cut, ok := s.cutoffs[env.OutChannel()]; ok && env.Seq <= cut {
+		return false, cost
+	}
+	return true, cost
+}
+
+// OnDeliver does nothing: with channel-deterministic applications and
+// identifier matching, SPBC does not need to track delivery events
+// (Section 4.1 — no determinants are logged).
+func (s *SPBC) OnDeliver(p *mpi.Proc, env mpi.Envelope) {}
+
+// patternState is the serializable pattern-API state of a rank. It is saved
+// in every checkpoint and restored on rollback: re-executed communication
+// must be stamped with the same (pattern, iteration) identifiers that the
+// logged messages carry, or identifier matching would reject every replay.
+type patternState struct {
+	NextPattern uint32
+	Iterations  map[uint32]uint32
+}
+
+// EncodeState serializes the pattern-API state for inclusion in a checkpoint.
+func (s *SPBC) EncodeState() ([]byte, error) {
+	var buf bytes.Buffer
+	st := patternState{NextPattern: s.nextPattern, Iterations: s.iterations}
+	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
+		return nil, fmt.Errorf("core: encode protocol state: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// RestoreState restores the pattern-API state saved by EncodeState.
+func (s *SPBC) RestoreState(raw []byte) error {
+	var st patternState
+	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&st); err != nil {
+		return fmt.Errorf("core: decode protocol state: %w", err)
+	}
+	s.nextPattern = st.NextPattern
+	s.iterations = st.Iterations
+	if s.iterations == nil {
+		s.iterations = make(map[uint32]uint32)
+	}
+	s.current = mpi.MatchID{}
+	return nil
+}
+
+// beginRecovery installs the suppression cutoffs captured at the failure
+// point. Called from the rank's own goroutine during rollback.
+func (s *SPBC) beginRecovery(cutoffs map[mpi.ChanKey]uint64) { s.cutoffs = cutoffs }
+
+// endRecovery clears the suppression cutoffs once the rank has re-executed
+// past the failure point and rejoined the failure-free execution.
+func (s *SPBC) endRecovery() { s.cutoffs = nil }
+
+var _ mpi.Protocol = (*SPBC)(nil)

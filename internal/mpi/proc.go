@@ -65,6 +65,12 @@ func (s *ProcStats) snapshotBytesToDst() map[int]uint64 {
 	return out
 }
 
+// PerDestinationBytes returns a copy of the per-destination byte counters,
+// used to build communication profiles for the clustering partitioner.
+func (s *ProcStats) PerDestinationBytes() map[int]uint64 {
+	return s.snapshotBytesToDst()
+}
+
 // Snapshot returns a copy of the statistics.
 func (s *ProcStats) Snapshot() ProcStatsView {
 	s.mu.Lock()

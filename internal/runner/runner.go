@@ -1,0 +1,337 @@
+// Package runner is the experiment layer of the reproduction: a declarative
+// Scenario describes one run (ranks, placement, cluster count, cost model,
+// checkpoint interval, fault plan, workload), runner.Run executes it and
+// returns a structured, JSON-serializable Report.
+//
+// A Scenario can run under two protocols with the same application kernel,
+// exactly as the paper's evaluation runs the same binaries under unmodified
+// and modified MPICH:
+//
+//   - ProtocolNative: bare mpi runtime (mpi.NopProtocol), no checkpointing —
+//     the baseline the paper normalizes against;
+//   - ProtocolSPBC: the hybrid protocol driven by core.Engine, with
+//     profile-driven clustering, coordinated per-cluster checkpoints,
+//     sender-based inter-cluster logging, and cluster-local recovery.
+//
+// Under ProtocolSPBC, the cluster assignment is computed from a short
+// profiling pre-run of the same kernel (the paper obtains its partitions
+// from execution profiles, Section 6.1).
+package runner
+
+import (
+	"fmt"
+
+	"repro/internal/checkpoint"
+	"repro/internal/clustering"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/mpi"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+	"repro/internal/trace"
+)
+
+// Protocol selects the runtime a scenario executes under.
+type Protocol string
+
+const (
+	// ProtocolNative is the unmodified-MPI baseline.
+	ProtocolNative Protocol = "native"
+	// ProtocolSPBC is the hybrid checkpointing/message-logging protocol.
+	ProtocolSPBC Protocol = "spbc"
+)
+
+// Scenario declares one experiment.
+type Scenario struct {
+	// Name labels the run in reports.
+	Name string
+	// App creates the per-rank application instances.
+	App model.AppFactory
+	// Ranks is the number of MPI processes.
+	Ranks int
+	// RanksPerNode is the physical placement (ranks hosted per node); it
+	// constrains clustering and selects intra-node communication costs.
+	// Defaults to 1.
+	RanksPerNode int
+	// Clusters is the number of SPBC clusters. Defaults to 2 (clamped to the
+	// rank count). Ignored under ProtocolNative.
+	Clusters int
+	// Steps is the number of application iterations.
+	Steps int
+	// CheckpointInterval is the coordinated-checkpoint period in iterations.
+	// 0 disables checkpointing unless the fault plan requires it, in which
+	// case it defaults to max(1, Steps/4).
+	CheckpointInterval int
+	// Protocol selects the runtime. Defaults to ProtocolSPBC.
+	Protocol Protocol
+	// Objective is the clustering objective (total logged volume by default).
+	Objective clustering.Objective
+	// Cost is the virtual-time cost model. Defaults to simnet.DefaultCostModel
+	// with RanksPerNode overridden from the scenario.
+	Cost *simnet.CostModel
+	// Faults is the failure plan (ProtocolSPBC only).
+	Faults []core.Fault
+	// ProfileSteps is the length of the clustering profiling pre-run.
+	// Defaults to min(Steps, 2).
+	ProfileSteps int
+	// Storage receives the checkpoints. Defaults to in-memory storage.
+	Storage checkpoint.Storage
+	// Recorder, if set, is attached to the measured world so callers can run
+	// trace-based determinism analyses.
+	Recorder *trace.Recorder
+}
+
+// Option mutates a Scenario before it runs, mirroring mpi.Option.
+type Option func(*Scenario)
+
+// WithProtocol selects the runtime protocol.
+func WithProtocol(p Protocol) Option { return func(s *Scenario) { s.Protocol = p } }
+
+// WithCostModel replaces the cost model.
+func WithCostModel(c simnet.CostModel) Option { return func(s *Scenario) { s.Cost = &c } }
+
+// WithClusters sets the SPBC cluster count.
+func WithClusters(k int) Option { return func(s *Scenario) { s.Clusters = k } }
+
+// WithCheckpointInterval sets the coordinated-checkpoint period.
+func WithCheckpointInterval(n int) Option { return func(s *Scenario) { s.CheckpointInterval = n } }
+
+// WithFaults appends to the fault plan.
+func WithFaults(faults ...core.Fault) Option {
+	return func(s *Scenario) { s.Faults = append(s.Faults, faults...) }
+}
+
+// WithObjective sets the clustering objective.
+func WithObjective(o clustering.Objective) Option { return func(s *Scenario) { s.Objective = o } }
+
+// WithStorage sets the checkpoint storage back-end.
+func WithStorage(st checkpoint.Storage) Option { return func(s *Scenario) { s.Storage = st } }
+
+// WithRecorder attaches a trace recorder to the measured world.
+func WithRecorder(r *trace.Recorder) Option { return func(s *Scenario) { s.Recorder = r } }
+
+// normalize applies defaults and validates the scenario.
+func (s *Scenario) normalize() error {
+	if s.App == nil {
+		return fmt.Errorf("runner: scenario needs an application factory")
+	}
+	if s.Ranks <= 0 {
+		return fmt.Errorf("runner: ranks must be positive, got %d", s.Ranks)
+	}
+	if s.Steps <= 0 {
+		return fmt.Errorf("runner: steps must be positive, got %d", s.Steps)
+	}
+	if s.RanksPerNode <= 0 {
+		s.RanksPerNode = 1
+	}
+	if s.Protocol == "" {
+		s.Protocol = ProtocolSPBC
+	}
+	if s.Protocol != ProtocolNative && s.Protocol != ProtocolSPBC {
+		return fmt.Errorf("runner: unknown protocol %q", s.Protocol)
+	}
+	if s.Protocol == ProtocolNative && len(s.Faults) > 0 {
+		return fmt.Errorf("runner: the native baseline cannot recover from faults")
+	}
+	if s.Clusters <= 0 {
+		s.Clusters = 2
+	}
+	if s.Clusters > s.Ranks {
+		s.Clusters = s.Ranks
+	}
+	if s.CheckpointInterval == 0 && len(s.Faults) > 0 {
+		s.CheckpointInterval = s.Steps / 4
+		if s.CheckpointInterval < 1 {
+			s.CheckpointInterval = 1
+		}
+	}
+	if s.ProfileSteps <= 0 {
+		s.ProfileSteps = 2
+	}
+	if s.ProfileSteps > s.Steps {
+		s.ProfileSteps = s.Steps
+	}
+	if s.Cost == nil {
+		c := simnet.DefaultCostModel()
+		s.Cost = &c
+	} else {
+		c := *s.Cost // never mutate the caller's model
+		s.Cost = &c
+	}
+	s.Cost.RanksPerNode = s.RanksPerNode
+	if s.Storage == nil && (s.CheckpointInterval > 0 || len(s.Faults) > 0) {
+		s.Storage = checkpoint.NewMemoryStorage()
+	}
+	return nil
+}
+
+// Run executes the scenario and returns its report.
+func Run(sc Scenario, opts ...Option) (*Report, error) {
+	for _, o := range opts {
+		o(&sc)
+	}
+	if err := sc.normalize(); err != nil {
+		return nil, err
+	}
+	switch sc.Protocol {
+	case ProtocolNative:
+		return runNative(&sc)
+	default:
+		return runSPBC(&sc)
+	}
+}
+
+// appLoop drives one rank of an unprotected (native) execution.
+func appLoop(p *mpi.Proc, factory model.AppFactory, steps int, verify []float64) error {
+	a := factory()
+	proc := model.NewNativeProcess(p)
+	if err := a.Init(proc); err != nil {
+		return fmt.Errorf("runner: rank %d: init: %w", p.Rank(), err)
+	}
+	for i := 0; i < steps; i++ {
+		if err := a.Step(i); err != nil {
+			return fmt.Errorf("runner: rank %d: step %d: %w", p.Rank(), i, err)
+		}
+	}
+	v, err := a.Verify()
+	if err != nil {
+		return fmt.Errorf("runner: rank %d: verify: %w", p.Rank(), err)
+	}
+	verify[p.Rank()] = v
+	return nil
+}
+
+// runNative executes the baseline.
+func runNative(sc *Scenario) (*Report, error) {
+	var wopts []mpi.Option
+	if sc.Recorder != nil {
+		wopts = append(wopts, mpi.WithRecorder(sc.Recorder))
+	}
+	w, err := mpi.NewWorld(sc.Ranks, *sc.Cost, wopts...)
+	if err != nil {
+		return nil, err
+	}
+	verify := make([]float64, sc.Ranks)
+	if err := w.Run(func(p *mpi.Proc) error {
+		return appLoop(p, sc.App, sc.Steps, verify)
+	}); err != nil {
+		return nil, err
+	}
+	return buildReport(sc, w, nil, verify), nil
+}
+
+// runSPBC profiles the application, partitions the ranks and executes the
+// scenario under the engine.
+func runSPBC(sc *Scenario) (*Report, error) {
+	clusterOf, err := profileAndPartition(sc)
+	if err != nil {
+		return nil, err
+	}
+	var wopts []mpi.Option
+	if sc.Recorder != nil {
+		wopts = append(wopts, mpi.WithRecorder(sc.Recorder))
+	}
+	w, err := mpi.NewWorld(sc.Ranks, *sc.Cost, wopts...)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := core.NewEngine(w, core.Config{
+		ClusterOf: clusterOf,
+		Interval:  sc.CheckpointInterval,
+		Steps:     sc.Steps,
+		Storage:   sc.Storage,
+		Faults:    sc.Faults,
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := eng.Run(sc.App); err != nil {
+		return nil, err
+	}
+	return buildReport(sc, w, eng, eng.VerifyValues()), nil
+}
+
+// profileAndPartition runs the kernel natively for a few iterations, builds
+// the communication profile and partitions the ranks into clusters.
+func profileAndPartition(sc *Scenario) ([]int, error) {
+	w, err := mpi.NewWorld(sc.Ranks, *sc.Cost)
+	if err != nil {
+		return nil, err
+	}
+	verify := make([]float64, sc.Ranks)
+	if err := w.Run(func(p *mpi.Proc) error {
+		return appLoop(p, sc.App, sc.ProfileSteps, verify)
+	}); err != nil {
+		return nil, fmt.Errorf("runner: profiling run: %w", err)
+	}
+	prof := core.BuildProfile(w, sc.RanksPerNode)
+	clusterOf, err := clustering.Partition(prof, sc.Clusters, sc.Objective)
+	if err != nil {
+		return nil, err
+	}
+	if err := clustering.Validate(prof, clusterOf, sc.Clusters, sc.Clusters < prof.Ranks); err != nil {
+		return nil, err
+	}
+	return clusterOf, nil
+}
+
+// buildReport assembles the structured report of a finished run.
+func buildReport(sc *Scenario, w *mpi.World, eng *core.Engine, verify []float64) *Report {
+	name := sc.Name
+	appName := sc.App().Name()
+	if name == "" {
+		name = appName
+	}
+	rep := &Report{
+		Scenario: ScenarioInfo{
+			Name:               name,
+			Ranks:              sc.Ranks,
+			RanksPerNode:       sc.RanksPerNode,
+			Steps:              sc.Steps,
+			CheckpointInterval: sc.CheckpointInterval,
+			Protocol:           sc.Protocol,
+			Objective:          sc.Objective.String(),
+			Faults:             sc.Faults,
+		},
+		App:      appName,
+		Makespan: w.MaxTime(),
+		Verify:   verify,
+	}
+	var clusterOf []int
+	if eng != nil {
+		clusterOf = eng.ClusterOf()
+	}
+	run := stats.RunReport{Name: name, Elapsed: rep.Makespan}
+	for r := 0; r < w.Size(); r++ {
+		p := w.Proc(r)
+		view := p.Stats.Snapshot()
+		rr := stats.RankReport{
+			Rank:      r,
+			CompTime:  view.CompTime,
+			CommTime:  view.CommTime,
+			Elapsed:   p.Now(),
+			BytesSent: view.BytesSent,
+			BytesRecv: view.BytesRecv,
+			Sends:     view.Sends,
+			Recvs:     view.Recvs,
+		}
+		rep.SuppressedSends += view.Suppressed
+		if eng != nil {
+			rr.Cluster = clusterOf[r]
+			rr.BytesLogged = eng.Store(r).CumulativeBytes()
+		}
+		run.Ranks = append(run.Ranks, rr)
+	}
+	rep.Ranks = run.Ranks
+	rep.AvgCommRatio = run.AvgCommRatio()
+	rep.TotalLoggedBytes = run.TotalLoggedBytes()
+	rep.LogGrowthAvgMBps, rep.LogGrowthMaxMBps = run.GrowthRates()
+	if eng != nil {
+		rep.Scenario.Clusters = eng.Clusters()
+		rep.ClusterOf = clusterOf
+		rep.ClusterSizes = clustering.ClusterSizes(rep.ClusterOf, eng.Clusters())
+		rep.LoggedBytesPerCluster = eng.LoggedBytesByCluster()
+		rep.Engine = eng.Metrics()
+	}
+	return rep
+}

@@ -14,16 +14,16 @@ import (
 
 // RankReport is the per-rank measurement of one execution.
 type RankReport struct {
-	Rank        int
-	Cluster     int
-	CompTime    float64 // virtual seconds spent computing
-	CommTime    float64 // virtual seconds spent waiting for communication
-	Elapsed     float64 // virtual time at the end of the measured section
-	BytesSent   uint64
-	BytesRecv   uint64
-	BytesLogged uint64 // cumulative sender-side log volume
-	Sends       uint64
-	Recvs       uint64
+	Rank        int     `json:"rank"`
+	Cluster     int     `json:"cluster"`
+	CompTime    float64 `json:"comp_time_s"` // virtual seconds spent computing
+	CommTime    float64 `json:"comm_time_s"` // virtual seconds spent waiting for communication
+	Elapsed     float64 `json:"elapsed_s"`   // virtual time at the end of the measured section
+	BytesSent   uint64  `json:"bytes_sent"`
+	BytesRecv   uint64  `json:"bytes_recv"`
+	BytesLogged uint64  `json:"bytes_logged"` // cumulative sender-side log volume
+	Sends       uint64  `json:"sends"`
+	Recvs       uint64  `json:"recvs"`
 }
 
 // CommRatio returns the fraction of time spent in communication.

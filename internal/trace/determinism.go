@@ -62,6 +62,55 @@ func compareIdentitySequences(a, b []MessageIdentity) error {
 	return nil
 }
 
+// CheckFilteredChannelDeterminism compares the per-channel send sequences of
+// two executions restricted to the events accepted by keep, ignoring sequence
+// numbers: two runs of the same application under different checkpointing
+// protocols interleave different amounts of runtime traffic (communicator
+// construction, coordination barriers) on the same channels, which shifts the
+// raw sequence numbers without changing the application's message stream.
+// Messages are compared by (tag, size, payload digest) in channel order.
+func CheckFilteredChannelDeterminism(a, b *Recorder, keep func(Event) bool) error {
+	if a.Ranks() != b.Ranks() {
+		return fmt.Errorf("trace: executions have different sizes: %d vs %d ranks", a.Ranks(), b.Ranks())
+	}
+	type ident struct {
+		Tag    int
+		Bytes  int
+		Digest uint64
+	}
+	collect := func(r *Recorder) map[ChannelKey][]ident {
+		out := make(map[ChannelKey][]ident)
+		for _, c := range r.Channels() {
+			for _, e := range r.ChannelSends(c) {
+				if !keep(e) {
+					continue
+				}
+				out[c] = append(out[c], ident{Tag: e.Tag, Bytes: e.Bytes, Digest: e.Digest})
+			}
+		}
+		return out
+	}
+	sa, sb := collect(a), collect(b)
+	if len(sa) != len(sb) {
+		return fmt.Errorf("trace: filtered executions use different channel sets: %d vs %d channels", len(sa), len(sb))
+	}
+	for c, seqA := range sa {
+		seqB, ok := sb[c]
+		if !ok {
+			return fmt.Errorf("trace: channel %s used in first execution only", c)
+		}
+		if len(seqA) != len(seqB) {
+			return fmt.Errorf("trace: channel %s: different lengths: %d vs %d messages", c, len(seqA), len(seqB))
+		}
+		for i := range seqA {
+			if seqA[i] != seqB[i] {
+				return fmt.Errorf("trace: channel %s: message #%d differs: %+v vs %+v", c, i, seqA[i], seqB[i])
+			}
+		}
+	}
+	return nil
+}
+
 // DeliveryOrdersDiffer reports whether any rank delivered messages in a
 // different relative order in the two executions. For a channel-deterministic
 // but non-send-deterministic application this is expected to be possible; it
