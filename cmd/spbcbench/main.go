@@ -1,0 +1,169 @@
+// Command spbcbench races the four fault-tolerance protocols (native,
+// coordinated checkpointing, full message logging, SPBC) across a declarative
+// benchmark matrix and writes the result as BENCH_<name>.json — the paper's
+// comparison figures in machine-readable form.
+//
+// Example (the default ≥24-cell matrix):
+//
+//	spbcbench -name sweep -out .
+//
+// A smaller CI-sized sweep:
+//
+//	spbcbench -name ci -ranks 4 -steps 8 -intervals 3 -fault-plans 0,1
+//
+// Matrix axes are comma-separated lists; kernels use name:size[:reduceEvery]
+// (e.g. ring:16:3 or solver:24) and fault plans are fault counts per cell
+// (0 = failure-free), with fault locations drawn deterministically from
+// -seed and the cell's axes.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/bench"
+	"repro/internal/runner"
+)
+
+func main() {
+	var (
+		name       = flag.String("name", "sweep", "sweep name; output file is BENCH_<name>.json")
+		out        = flag.String("out", ".", "output directory")
+		protocols  = flag.String("protocols", "", "comma-separated protocols (default: all four)")
+		kernels    = flag.String("kernels", "ring:16:3,solver:24", "comma-separated kernels, name:size[:reduceEvery]")
+		ranks      = flag.String("ranks", "8", "comma-separated rank counts")
+		rpn        = flag.Int("ranks-per-node", 2, "ranks hosted per node")
+		clusters   = flag.String("clusters", "2", "comma-separated SPBC cluster counts")
+		intervals  = flag.String("intervals", "2,4", "comma-separated checkpoint intervals (iterations)")
+		faultPlans = flag.String("fault-plans", "0,1", "comma-separated fault counts per cell")
+		steps      = flag.Int("steps", 10, "iterations per run")
+		seed       = flag.Int64("seed", 1, "sweep seed (drives the per-cell fault draws)")
+		workers    = flag.Int("workers", 0, "concurrent cell executions (default GOMAXPROCS)")
+		quiet      = flag.Bool("quiet", false, "suppress the summary table")
+	)
+	flag.Parse()
+
+	m := bench.Matrix{
+		Name:         *name,
+		RanksPerNode: *rpn,
+		Steps:        *steps,
+		Seed:         *seed,
+		Workers:      *workers,
+	}
+	var err error
+	if m.Protocols, err = parseProtocols(*protocols); err != nil {
+		fatal(err)
+	}
+	if m.Kernels, err = parseKernels(*kernels); err != nil {
+		fatal(err)
+	}
+	if m.Ranks, err = parseInts("ranks", *ranks); err != nil {
+		fatal(err)
+	}
+	if m.Clusters, err = parseInts("clusters", *clusters); err != nil {
+		fatal(err)
+	}
+	if m.Intervals, err = parseInts("intervals", *intervals); err != nil {
+		fatal(err)
+	}
+	if m.FaultPlans, err = parseFaultPlans(*faultPlans); err != nil {
+		fatal(err)
+	}
+
+	res, err := bench.Run(m)
+	if err != nil {
+		fatal(err)
+	}
+	path, err := res.WriteFile(*out)
+	if err != nil {
+		fatal(err)
+	}
+	if !*quiet {
+		fmt.Println(res.Table())
+	}
+	failed := res.Errs()
+	fmt.Printf("wrote %s (%d cells, %d failed)\n", path, len(res.Cells), len(failed))
+	if len(failed) > 0 {
+		for key, msg := range failed {
+			fmt.Fprintf(os.Stderr, "cell %s: %s\n", key, msg)
+		}
+		os.Exit(1)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "spbcbench:", err)
+	os.Exit(2)
+}
+
+// parseProtocols parses a comma-separated protocol list; empty means all.
+func parseProtocols(s string) ([]runner.Protocol, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []runner.Protocol
+	for _, f := range strings.Split(s, ",") {
+		p, err := runner.ParseProtocol(strings.TrimSpace(f))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// parseKernels parses name:size[:reduceEvery] specs.
+func parseKernels(s string) ([]bench.KernelSpec, error) {
+	var out []bench.KernelSpec
+	for _, f := range strings.Split(s, ",") {
+		parts := strings.Split(strings.TrimSpace(f), ":")
+		if len(parts) < 2 || len(parts) > 3 {
+			return nil, fmt.Errorf("kernel %q: want name:size[:reduceEvery]", f)
+		}
+		k := bench.KernelSpec{Name: parts[0]}
+		var err error
+		if k.Size, err = strconv.Atoi(parts[1]); err != nil {
+			return nil, fmt.Errorf("kernel %q: bad size: %w", f, err)
+		}
+		if len(parts) == 3 {
+			if k.ReduceEvery, err = strconv.Atoi(parts[2]); err != nil {
+				return nil, fmt.Errorf("kernel %q: bad reduce period: %w", f, err)
+			}
+		}
+		out = append(out, k)
+	}
+	return out, nil
+}
+
+// parseInts parses a comma-separated int list.
+func parseInts(what, s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("%s %q: %w", what, f, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+// parseFaultPlans parses a comma-separated list of fault counts.
+func parseFaultPlans(s string) ([]bench.FaultSpec, error) {
+	var out []bench.FaultSpec
+	for _, f := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil {
+			return nil, fmt.Errorf("fault plan %q: %w", f, err)
+		}
+		spec := bench.FaultSpec{Name: fmt.Sprintf("f%d", n), Count: n}
+		if n == 0 {
+			spec.Name = "none"
+		}
+		out = append(out, spec)
+	}
+	return out, nil
+}

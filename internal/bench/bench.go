@@ -1,0 +1,471 @@
+// Package bench is the benchmark sweep harness of the reproduction: a
+// declarative Matrix spans protocol × kernel × ranks × cluster count ×
+// checkpoint interval × fault plan, Run executes every cell concurrently
+// across a worker pool with a deterministic per-cell seed, and the Result is
+// written as a single machine-readable BENCH_<name>.json.
+//
+// Each cell reports the paper's key figures against its baselines:
+//
+//   - normalized-to-native failure-free execution time (Table 2, Figures 5
+//     and 6): the cell's failure-free makespan divided by the makespan of
+//     the unprotected native run of the same kernel and rank count;
+//   - logged-bytes fraction: sender-logged volume over total sent volume
+//     (1.0 for full message logging, 0 for coordinated checkpointing, the
+//     inter-cluster fraction for SPBC — Table 1's log growth in relative
+//     form);
+//   - checkpoint volume and wave count;
+//   - recovery virtual time: the makespan delta between the faulty run and
+//     the failure-free run of the same cell.
+//
+// Shared baseline runs are deduplicated: one native run per (kernel, ranks)
+// and one failure-free run per protected configuration serve every cell that
+// needs them. Fault plans draw their fault locations from the per-cell seed,
+// so a sweep is reproducible from (matrix, seed) alone.
+package bench
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math/rand"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/app"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/runner"
+)
+
+// KernelSpec names a workload kernel and its per-rank size.
+type KernelSpec struct {
+	// Name is "ring" or "solver".
+	Name string `json:"name"`
+	// Size is the per-rank block size: cells for the ring stencil, vector
+	// entries for the allreduce solver.
+	Size int `json:"size"`
+	// ReduceEvery is the ring's residual-allreduce period (0 disables it);
+	// ignored by the solver.
+	ReduceEvery int `json:"reduce_every,omitempty"`
+}
+
+// Label renders the spec compactly for cell names and tables.
+func (k KernelSpec) Label() string {
+	if k.Name == "ring" && k.ReduceEvery > 0 {
+		return fmt.Sprintf("ring%dr%d", k.Size, k.ReduceEvery)
+	}
+	return fmt.Sprintf("%s%d", k.Name, k.Size)
+}
+
+// Factory resolves the spec to an application factory.
+func (k KernelSpec) Factory() (model.AppFactory, error) {
+	if k.Size < 1 {
+		return nil, fmt.Errorf("bench: kernel %q needs a positive size, got %d", k.Name, k.Size)
+	}
+	switch k.Name {
+	case "ring":
+		return app.NewRing(k.Size, k.ReduceEvery), nil
+	case "solver":
+		return app.NewSolver(k.Size), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown kernel %q (have ring, solver)", k.Name)
+	}
+}
+
+// drawFaults draws count distinct faults from the cell seed: any rank, any
+// iteration in [1, steps) so that the initial checkpoint wave precedes every
+// failure.
+func drawFaults(seed int64, count, ranks, steps int) []core.Fault {
+	if count == 0 {
+		return nil
+	}
+	rng := rand.New(rand.NewSource(seed))
+	seen := make(map[core.Fault]bool, count)
+	var out []core.Fault
+	for len(out) < count {
+		f := core.Fault{Rank: rng.Intn(ranks), Iteration: 1 + rng.Intn(steps-1)}
+		if seen[f] {
+			continue
+		}
+		seen[f] = true
+		out = append(out, f)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Iteration != out[j].Iteration {
+			return out[i].Iteration < out[j].Iteration
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out
+}
+
+// FaultSpec describes one fault plan of the matrix: Count faults whose ranks
+// and iterations are drawn from the cell's deterministic seed.
+type FaultSpec struct {
+	// Name labels the plan in cells and tables ("none", "f1", ...).
+	Name string `json:"name"`
+	// Count is the number of faults to inject.
+	Count int `json:"count"`
+}
+
+// Matrix declares one benchmark sweep. Zero-valued axes get defaults from
+// normalize, so the zero Matrix (plus a Name) is runnable.
+type Matrix struct {
+	// Name labels the sweep; the output file is BENCH_<Name>.json.
+	Name string `json:"name"`
+	// Protocols to race. Defaults to all four.
+	Protocols []runner.Protocol `json:"protocols"`
+	// Kernels to sweep. Defaults to a ring stencil and the allreduce solver.
+	Kernels []KernelSpec `json:"kernels"`
+	// Ranks axis. Defaults to {8}.
+	Ranks []int `json:"ranks"`
+	// RanksPerNode is the physical placement, shared by every cell.
+	// Defaults to 2.
+	RanksPerNode int `json:"ranks_per_node"`
+	// Clusters axis (ProtocolSPBC only; the other protocols' group
+	// structures are fixed). Defaults to {2}.
+	Clusters []int `json:"clusters"`
+	// Intervals is the checkpoint-interval axis. Defaults to {2, 4}.
+	Intervals []int `json:"intervals"`
+	// FaultPlans is the fault-plan axis. Defaults to {none, f1}.
+	FaultPlans []FaultSpec `json:"fault_plans"`
+	// Steps is the iteration count, shared by every cell. Defaults to 10.
+	Steps int `json:"steps"`
+	// Seed drives the per-cell fault draws. Defaults to 1.
+	Seed int64 `json:"seed"`
+	// Workers bounds the concurrent cell executions. Defaults to GOMAXPROCS.
+	Workers int `json:"workers"`
+}
+
+// normalize applies defaults and validates the matrix.
+func (m *Matrix) normalize() error {
+	if m.Name == "" {
+		m.Name = "sweep"
+	}
+	if len(m.Protocols) == 0 {
+		m.Protocols = runner.Protocols()
+	}
+	for _, p := range m.Protocols {
+		if _, err := runner.ParseProtocol(string(p)); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+	}
+	if len(m.Kernels) == 0 {
+		m.Kernels = []KernelSpec{{Name: "ring", Size: 16, ReduceEvery: 3}, {Name: "solver", Size: 24}}
+	}
+	for _, k := range m.Kernels {
+		if _, err := k.Factory(); err != nil {
+			return err
+		}
+	}
+	if len(m.Ranks) == 0 {
+		m.Ranks = []int{8}
+	}
+	for _, r := range m.Ranks {
+		if r < 2 {
+			return fmt.Errorf("bench: ranks axis needs values >= 2, got %d", r)
+		}
+	}
+	if m.RanksPerNode <= 0 {
+		m.RanksPerNode = 2
+	}
+	if len(m.Clusters) == 0 {
+		m.Clusters = []int{2}
+	}
+	for _, c := range m.Clusters {
+		if c < 1 {
+			return fmt.Errorf("bench: clusters axis needs positive values, got %d", c)
+		}
+	}
+	if len(m.Intervals) == 0 {
+		m.Intervals = []int{2, 4}
+	}
+	for _, iv := range m.Intervals {
+		if iv < 0 {
+			return fmt.Errorf("bench: negative checkpoint interval %d", iv)
+		}
+	}
+	if len(m.FaultPlans) == 0 {
+		m.FaultPlans = []FaultSpec{{Name: "none", Count: 0}, {Name: "f1", Count: 1}}
+	}
+	if m.Steps == 0 {
+		m.Steps = 10
+	}
+	if m.Steps < 2 {
+		return fmt.Errorf("bench: steps must be >= 2, got %d", m.Steps)
+	}
+	minRanks := m.Ranks[0]
+	for _, r := range m.Ranks {
+		if r < minRanks {
+			minRanks = r
+		}
+	}
+	planNames := make(map[string]bool, len(m.FaultPlans))
+	for _, f := range m.FaultPlans {
+		if f.Count < 0 {
+			return fmt.Errorf("bench: fault plan %q has negative count", f.Name)
+		}
+		// Cell keys distinguish fault plans by name, so a duplicate name
+		// would silently collapse distinct plans into one cell.
+		if planNames[f.Name] {
+			return fmt.Errorf("bench: duplicate fault plan name %q", f.Name)
+		}
+		planNames[f.Name] = true
+		// drawFaults needs Count distinct (rank, iteration) pairs in every cell.
+		if max := minRanks * (m.Steps - 1); f.Count > max {
+			return fmt.Errorf("bench: fault plan %q wants %d faults but %d ranks x %d steps offer only %d distinct locations",
+				f.Name, f.Count, minRanks, m.Steps, max)
+		}
+	}
+	if m.Seed == 0 {
+		m.Seed = 1
+	}
+	if m.Workers <= 0 {
+		m.Workers = runtime.GOMAXPROCS(0)
+	}
+	return nil
+}
+
+// cells expands the matrix into its cross product. Degenerate axes collapse
+// per protocol: native runs without checkpointing or faults, and only SPBC
+// sweeps the cluster axis (coordinated is always one global group, full-log
+// one group per rank). Fault plans are skipped for cells that cannot recover
+// (no checkpoint interval), and cells whose axes coincide after clamping
+// (e.g. two cluster counts both clamped to the rank count) are emitted once.
+func (m *Matrix) cells() []Cell {
+	var out []Cell
+	seen := make(map[string]bool)
+	for _, proto := range m.Protocols {
+		intervals, plans, clusters := m.Intervals, m.FaultPlans, m.Clusters
+		switch proto {
+		case runner.ProtocolNative:
+			intervals, plans, clusters = []int{0}, []FaultSpec{{Name: "none"}}, []int{0}
+		case runner.ProtocolCoordinated:
+			clusters = []int{1}
+		case runner.ProtocolFullLog:
+			clusters = []int{-1} // resolved to the rank count below
+		}
+		for _, k := range m.Kernels {
+			for _, ranks := range m.Ranks {
+				for _, cl := range clusters {
+					if cl > ranks {
+						cl = ranks
+					}
+					if cl < 0 {
+						cl = ranks
+					}
+					for _, iv := range intervals {
+						for _, plan := range plans {
+							if plan.Count > 0 && iv == 0 {
+								continue // cannot recover without checkpoints
+							}
+							c := Cell{
+								Protocol:  string(proto),
+								Kernel:    k,
+								Ranks:     ranks,
+								Clusters:  cl,
+								Steps:     m.Steps,
+								Interval:  iv,
+								FaultPlan: plan.Name,
+							}
+							if seen[c.key()] {
+								continue
+							}
+							seen[c.key()] = true
+							c.Seed = cellSeed(m.Seed, c.key())
+							c.Faults = drawFaults(c.Seed, plan.Count, ranks, m.Steps)
+							out = append(out, c)
+						}
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// key canonicalizes the cell's axes for seeding and deduplication.
+func (c *Cell) key() string {
+	return fmt.Sprintf("%s|%s|r%d|c%d|i%d|s%d|%s",
+		c.Protocol, c.Kernel.Label(), c.Ranks, c.Clusters, c.Interval, c.Steps, c.FaultPlan)
+}
+
+// cellSeed derives a deterministic per-cell seed from the matrix seed and the
+// cell's canonical key.
+func cellSeed(base int64, key string) int64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%s", base, key)
+	return int64(h.Sum64() >> 1) // keep it positive for readability
+}
+
+// Run executes the matrix and assembles its result. Per-cell failures are
+// recorded in the cell's Error field; only harness-level problems (an
+// invalid matrix) abort the sweep.
+func Run(m Matrix) (*Result, error) {
+	if err := m.normalize(); err != nil {
+		return nil, err
+	}
+	cells := m.cells()
+
+	type outcome struct {
+		rep *runner.Report
+		err error
+	}
+	var mu sync.Mutex
+
+	// Phase 1 — native baselines, one per (kernel, ranks).
+	baseKeys := map[string]Cell{}
+	var baseOrder []string
+	for _, c := range cells {
+		k := fmt.Sprintf("%s|r%d", c.Kernel.Label(), c.Ranks)
+		if _, ok := baseKeys[k]; !ok {
+			baseKeys[k] = c
+			baseOrder = append(baseOrder, k)
+		}
+	}
+	natives := make(map[string]outcome, len(baseOrder))
+	forEach(m.Workers, len(baseOrder), func(i int) {
+		k := baseOrder[i]
+		c := baseKeys[k]
+		rep, err := runner.Run(m.scenario(runner.ProtocolNative, c.Kernel, c.Ranks, 0, 0, nil))
+		mu.Lock()
+		natives[k] = outcome{rep, err}
+		mu.Unlock()
+	})
+
+	// Phase 2 — failure-free runs, one per protected configuration. They
+	// serve both as the "none" cells' own measurements and as the recovery
+	// baseline of the fault cells.
+	ffKeys := map[string]Cell{}
+	var ffOrder []string
+	for _, c := range cells {
+		if c.Protocol == string(runner.ProtocolNative) {
+			continue
+		}
+		ff := c
+		ff.FaultPlan = "none"
+		ff.Faults = nil
+		k := ff.key()
+		if _, ok := ffKeys[k]; !ok {
+			ffKeys[k] = ff
+			ffOrder = append(ffOrder, k)
+		}
+	}
+	ffRuns := make(map[string]outcome, len(ffOrder))
+	forEach(m.Workers, len(ffOrder), func(i int) {
+		k := ffOrder[i]
+		c := ffKeys[k]
+		rep, err := runner.Run(m.scenario(runner.Protocol(c.Protocol), c.Kernel, c.Ranks, c.Clusters, c.Interval, nil))
+		mu.Lock()
+		ffRuns[k] = outcome{rep, err}
+		mu.Unlock()
+	})
+
+	// Phase 3 — fault cells. SPBC cells reuse the partition their
+	// failure-free twin computed (the profiling pre-run is deterministic, so
+	// this only skips redundant work).
+	var faultIdx []int
+	for i, c := range cells {
+		if len(c.Faults) > 0 {
+			faultIdx = append(faultIdx, i)
+		}
+	}
+	faultRuns := make(map[int]outcome, len(faultIdx))
+	forEach(m.Workers, len(faultIdx), func(i int) {
+		idx := faultIdx[i]
+		c := cells[idx]
+		sc := m.scenario(runner.Protocol(c.Protocol), c.Kernel, c.Ranks, c.Clusters, c.Interval, c.Faults)
+		if runner.Protocol(c.Protocol) == runner.ProtocolSPBC {
+			ffCell := c
+			ffCell.FaultPlan = "none"
+			ffCell.Faults = nil
+			if ff := ffRuns[ffCell.key()]; ff.err == nil && ff.rep != nil {
+				sc.ClusterOf = ff.rep.ClusterOf
+			}
+		}
+		rep, err := runner.Run(sc)
+		mu.Lock()
+		faultRuns[idx] = outcome{rep, err}
+		mu.Unlock()
+	})
+
+	// Assemble, preserving the deterministic expansion order.
+	for i := range cells {
+		c := &cells[i]
+		nat := natives[fmt.Sprintf("%s|r%d", c.Kernel.Label(), c.Ranks)]
+		var own, ff outcome
+		if c.Protocol == string(runner.ProtocolNative) {
+			own, ff = nat, nat
+		} else {
+			ffCell := *c
+			ffCell.FaultPlan = "none"
+			ffCell.Faults = nil
+			ff = ffRuns[ffCell.key()]
+			if len(c.Faults) > 0 {
+				own = faultRuns[i]
+			} else {
+				own = ff
+			}
+		}
+		switch {
+		case own.err != nil:
+			c.Error = own.err.Error()
+		case nat.err != nil:
+			c.Error = fmt.Sprintf("native baseline: %v", nat.err)
+		case ff.err != nil:
+			c.Error = fmt.Sprintf("failure-free baseline: %v", ff.err)
+		default:
+			c.fill(own.rep, nat.rep, ff.rep)
+		}
+	}
+
+	return &Result{
+		Name:         m.Name,
+		Seed:         m.Seed,
+		Steps:        m.Steps,
+		RanksPerNode: m.RanksPerNode,
+		Cells:        cells,
+	}, nil
+}
+
+// scenario builds the runner scenario of one cell run.
+func (m *Matrix) scenario(proto runner.Protocol, k KernelSpec, ranks, clusters, interval int, faults []core.Fault) runner.Scenario {
+	factory, _ := k.Factory() // validated by normalize
+	return runner.Scenario{
+		Name:               fmt.Sprintf("%s-%s-r%d", proto, k.Label(), ranks),
+		App:                factory,
+		Ranks:              ranks,
+		RanksPerNode:       m.RanksPerNode,
+		Clusters:           clusters,
+		Steps:              m.Steps,
+		CheckpointInterval: interval,
+		Protocol:           proto,
+		Faults:             faults,
+	}
+}
+
+// forEach runs fn(0..n-1) across a bounded worker pool and waits for all.
+func forEach(workers, n int, fn func(i int)) {
+	if n == 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	idx := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range idx {
+				fn(i)
+			}
+		}()
+	}
+	for i := 0; i < n; i++ {
+		idx <- i
+	}
+	close(idx)
+	wg.Wait()
+}

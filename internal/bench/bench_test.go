@@ -1,0 +1,219 @@
+package bench
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+func TestDefaultMatrixMeetsPaperScale(t *testing.T) {
+	m := Matrix{Name: "default"}
+	if err := m.normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	cells := m.cells()
+	if len(cells) < 24 {
+		t.Fatalf("default matrix has %d cells, want >= 24 (4 protocols x 2 kernels x configs)", len(cells))
+	}
+	protos := map[string]bool{}
+	kernels := map[string]bool{}
+	for _, c := range cells {
+		protos[c.Protocol] = true
+		kernels[c.Kernel.Label()] = true
+	}
+	if len(protos) != 4 {
+		t.Fatalf("default matrix covers protocols %v, want all 4", protos)
+	}
+	if len(kernels) < 2 {
+		t.Fatalf("default matrix covers kernels %v, want >= 2", kernels)
+	}
+}
+
+func TestCellExpansionIsDeterministic(t *testing.T) {
+	a := Matrix{Name: "x"}
+	b := Matrix{Name: "x"}
+	if err := a.normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	if err := b.normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	ca, cb := a.cells(), b.cells()
+	if !reflect.DeepEqual(ca, cb) {
+		t.Fatalf("same matrix expanded differently")
+	}
+	// Different sweep seeds must redraw the fault locations.
+	c := Matrix{Name: "x", Seed: 2}
+	if err := c.normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	cc := c.cells()
+	same := true
+	for i := range ca {
+		if len(ca[i].Faults) > 0 && !reflect.DeepEqual(ca[i].Faults, cc[i].Faults) {
+			same = false
+		}
+	}
+	if same {
+		t.Fatalf("changing the sweep seed did not change any fault draw")
+	}
+	// Collapsed axes: native never checkpoints or faults, coordinated is one
+	// group, full-log one group per rank.
+	for _, cell := range ca {
+		switch runner.Protocol(cell.Protocol) {
+		case runner.ProtocolNative:
+			if cell.Interval != 0 || len(cell.Faults) != 0 {
+				t.Fatalf("native cell with interval/faults: %+v", cell)
+			}
+		case runner.ProtocolCoordinated:
+			if cell.Clusters != 1 {
+				t.Fatalf("coordinated cell with %d clusters", cell.Clusters)
+			}
+		case runner.ProtocolFullLog:
+			if cell.Clusters != cell.Ranks {
+				t.Fatalf("full-log cell with %d clusters for %d ranks", cell.Clusters, cell.Ranks)
+			}
+		}
+	}
+}
+
+func TestMatrixValidation(t *testing.T) {
+	bad := []Matrix{
+		{Protocols: []runner.Protocol{"bogus"}},
+		{Kernels: []KernelSpec{{Name: "fft", Size: 8}}},
+		{Kernels: []KernelSpec{{Name: "ring", Size: 0}}},
+		{Ranks: []int{1}},
+		{Clusters: []int{0}},
+		{Intervals: []int{-1}},
+		{FaultPlans: []FaultSpec{{Name: "f", Count: -1}}},
+		{Steps: 1},
+		// More faults than distinct (rank, iteration) locations would make
+		// drawFaults spin forever.
+		{Ranks: []int{4}, Steps: 8, FaultPlans: []FaultSpec{{Name: "f30", Count: 30}}},
+		// Duplicate plan names would collapse distinct plans into one cell.
+		{FaultPlans: []FaultSpec{{Name: "f", Count: 1}, {Name: "f", Count: 2}}},
+	}
+	for i, m := range bad {
+		if err := m.normalize(); err == nil {
+			t.Fatalf("case %d: invalid matrix accepted: %+v", i, m)
+		}
+	}
+}
+
+func TestClampedClusterAxisDeduplicates(t *testing.T) {
+	m := Matrix{
+		Name:      "clamp",
+		Protocols: []runner.Protocol{runner.ProtocolSPBC},
+		Ranks:     []int{4},
+		Clusters:  []int{4, 8}, // both clamp to 4 clusters
+	}
+	if err := m.normalize(); err != nil {
+		t.Fatalf("normalize: %v", err)
+	}
+	cells := m.cells()
+	keys := map[string]bool{}
+	for _, c := range cells {
+		if keys[c.key()] {
+			t.Fatalf("duplicate cell %s after cluster clamping", c.key())
+		}
+		keys[c.key()] = true
+		if c.Clusters != 4 {
+			t.Fatalf("cell %s has %d clusters for 4 ranks", c.key(), c.Clusters)
+		}
+	}
+}
+
+// TestRunSweepEndToEnd runs a small four-protocol matrix concurrently and
+// checks every figure the BENCH files exist for: valid JSON round trip,
+// bit-identical verification against native everywhere, and the protocols'
+// characteristic logging fractions.
+func TestRunSweepEndToEnd(t *testing.T) {
+	res, err := Run(Matrix{
+		Name:      "test",
+		Ranks:     []int{4},
+		Intervals: []int{3},
+		Steps:     8,
+		Workers:   4,
+	})
+	if err != nil {
+		t.Fatalf("Run: %v", err)
+	}
+	if len(res.Cells) < 14 {
+		t.Fatalf("sweep produced %d cells, want >= 14", len(res.Cells))
+	}
+	for i := range res.Cells {
+		c := &res.Cells[i]
+		if c.Error != "" {
+			t.Fatalf("cell %s failed: %s", c.key(), c.Error)
+		}
+		if !c.VerifyMatchesNative {
+			t.Fatalf("cell %s diverged from the native result", c.key())
+		}
+		if c.MakespanS <= 0 || c.NativeMakespanS <= 0 {
+			t.Fatalf("cell %s has empty measurements: %+v", c.key(), c)
+		}
+		if c.NormalizedToNative < 1 {
+			t.Fatalf("cell %s is faster than native (%g): protected runs only add overhead",
+				c.key(), c.NormalizedToNative)
+		}
+		if c.RecoveryTimeS < 0 {
+			t.Fatalf("cell %s has negative recovery time %g", c.key(), c.RecoveryTimeS)
+		}
+		switch runner.Protocol(c.Protocol) {
+		case runner.ProtocolNative, runner.ProtocolCoordinated:
+			if c.LoggedBytes != 0 {
+				t.Fatalf("cell %s logged %d bytes, want 0", c.key(), c.LoggedBytes)
+			}
+		case runner.ProtocolFullLog:
+			if c.FaultPlan == "none" && c.LoggedFraction != 1 {
+				t.Fatalf("full-log cell %s logged fraction %g, want exactly 1", c.key(), c.LoggedFraction)
+			}
+		case runner.ProtocolSPBC:
+			if c.LoggedFraction <= 0 || c.LoggedFraction >= 1 {
+				t.Fatalf("SPBC cell %s logged fraction %g, want in (0, 1)", c.key(), c.LoggedFraction)
+			}
+		}
+		if c.FaultPlan != "none" {
+			if c.RolledBackRanks == 0 {
+				t.Fatalf("fault cell %s rolled back nothing", c.key())
+			}
+			if runner.Protocol(c.Protocol) == runner.ProtocolFullLog && c.RolledBackRanks != len(c.Faults) {
+				t.Fatalf("full-log cell %s rolled back %d ranks for %d faults",
+					c.key(), c.RolledBackRanks, len(c.Faults))
+			}
+		}
+	}
+
+	var buf bytes.Buffer
+	if err := res.WriteJSON(&buf); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	parsed, err := ReadResult(buf.Bytes())
+	if err != nil {
+		t.Fatalf("ReadResult: %v", err)
+	}
+	if !reflect.DeepEqual(parsed, res) {
+		t.Fatalf("JSON round trip changed the result")
+	}
+	if res.Table().String() == "" {
+		t.Fatalf("empty table rendering")
+	}
+}
+
+// TestRunSweepWriteFile covers the BENCH_<name>.json file contract.
+func TestRunSweepWriteFile(t *testing.T) {
+	res := &Result{Name: "unit", Seed: 1, Steps: 2, RanksPerNode: 1}
+	dir := t.TempDir()
+	path, err := res.WriteFile(dir)
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	if want := dir + "/BENCH_unit.json"; path != want {
+		t.Fatalf("path = %q, want %q", path, want)
+	}
+	if _, err := (&Result{Name: "../escape"}).WriteFile(dir); err == nil {
+		t.Fatalf("path traversal in sweep name accepted")
+	}
+}

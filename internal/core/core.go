@@ -1,25 +1,36 @@
-// Package core is the SPBC runtime: it composes the lower layers of the
-// reproduction — the MPI-like runtime (internal/mpi), cluster partitioning
-// (internal/clustering), checkpoint storage (internal/checkpoint) and the
-// sender-based log store (internal/logstore) — into the hybrid
-// checkpointing/message-logging protocol of Ropars et al. (SC'13).
+// Package core is the fault-tolerance runtime of the reproduction: it
+// composes the lower layers — the MPI-like runtime (internal/mpi), cluster
+// partitioning (internal/clustering), checkpoint storage
+// (internal/checkpoint) and the sender-based log store (internal/logstore) —
+// into the family of rollback-recovery protocols the paper of Ropars et al.
+// (SC'13) compares.
 //
-// Two types form the public surface:
+// Three types form the public surface:
 //
-//   - SPBC implements mpi.Protocol: it stamps every message and reception
-//     request with the active (pattern, iteration) identifier (Section 4.3),
-//     logs the payload of every inter-cluster message in the sender's
-//     logstore.Store (Section 4.2), and suppresses the re-transmission of
-//     already-sent inter-cluster messages during recovery re-execution
-//     (Algorithm 1 line 7).
+//   - Policy is the strategy interface that makes the protocols peers of one
+//     engine: it decides who checkpoints together (and therefore rolls back
+//     together) and which messages are sender-logged. SPBCProtocol is the
+//     paper's hybrid (clusters checkpoint together, inter-cluster messages
+//     are logged); CoordinatedProtocol is pure coordinated checkpointing
+//     (one global group, nothing logged, full-world rollback);
+//     FullLogProtocol is full sender-based message logging (per-process
+//     groups, every message logged, single-rank rollback).
+//
+//   - SPBC implements mpi.Protocol, mirroring the paper's MPICH
+//     modification: it stamps every message and reception request with the
+//     active (pattern, iteration) identifier (Section 4.3), logs the payload
+//     of the messages its Policy selects in the sender's logstore.Store
+//     (Section 4.2), and suppresses the re-transmission of already-sent
+//     messages during recovery re-execution (Algorithm 1 line 7).
 //
 //   - Engine owns the full lifecycle of an execution: it runs one model.App
 //     instance per rank behind a model.Process facade, takes coordinated
-//     checkpoints per cluster at a fixed iteration interval (Algorithm 1
-//     lines 13-15), garbage-collects remote logs covered by a new checkpoint
-//     wave, injects failures from a declarative fault plan, and performs
-//     cluster-local rollback plus sender-based log replay to recover.
+//     checkpoints per recovery group at a fixed iteration interval
+//     (Algorithm 1 lines 13-15), garbage-collects remote logs covered by a
+//     new checkpoint wave, injects failures from a declarative fault plan,
+//     and performs group rollback plus sender-based log replay to recover.
 //
-// Higher layers (internal/runner) wrap the Engine behind a declarative
-// Scenario API; application kernels live in internal/app.
+// Higher layers wrap the Engine behind a declarative Scenario API
+// (internal/runner) and race the protocols across benchmark matrices
+// (internal/bench); application kernels live in internal/app.
 package core

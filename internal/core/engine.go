@@ -14,8 +14,10 @@ import (
 
 // Fault schedules the failure of one rank at the start of an iteration. The
 // failed rank loses its in-memory state (application state, channel state and
-// sender-based log) and its whole cluster rolls back to the cluster's latest
-// coordinated checkpoint; other clusters keep running.
+// sender-based log) and its whole recovery group rolls back to the group's
+// latest coordinated checkpoint; other groups keep running. Under
+// SPBCProtocol the group is the rank's cluster, under CoordinatedProtocol it
+// is the whole world, under FullLogProtocol it is the failed rank alone.
 //
 // Failures are injected at iteration boundaries: applications are quiescent
 // there (no pending requests), which is also where the paper's protocol takes
@@ -27,13 +29,18 @@ type Fault struct {
 
 // Config parameterizes an Engine run.
 type Config struct {
-	// ClusterOf maps every world rank to its cluster, typically produced by
-	// clustering.Partition from a communication profile.
+	// Policy selects the fault-tolerance protocol: who checkpoints together,
+	// what gets logged, who rolls back. Exactly one of Policy and ClusterOf
+	// must be set.
+	Policy Policy
+	// ClusterOf is a shortcut for Policy: a non-nil cluster assignment
+	// (typically produced by clustering.Partition from a communication
+	// profile) selects NewSPBCProtocol(ClusterOf).
 	ClusterOf []int
-	// Interval is the checkpoint period in iterations: every cluster takes a
-	// coordinated checkpoint at each iteration boundary that is a multiple of
-	// Interval (including iteration 0). Zero disables checkpointing, which is
-	// only legal without faults.
+	// Interval is the checkpoint period in iterations: every recovery group
+	// takes a coordinated checkpoint at each iteration boundary that is a
+	// multiple of Interval (including iteration 0). Zero disables
+	// checkpointing, which is only legal without faults.
 	Interval int
 	// Steps is the number of application iterations to run.
 	Steps int
@@ -43,42 +50,57 @@ type Config struct {
 	Faults []Fault
 }
 
-// validate checks the configuration against a world size.
-func (c *Config) validate(size int) error {
+// policy resolves the configured policy, applying the ClusterOf shortcut.
+func (c *Config) policy() (Policy, error) {
+	switch {
+	case c.Policy != nil && c.ClusterOf != nil:
+		return nil, fmt.Errorf("core: set exactly one of Policy and ClusterOf")
+	case c.Policy != nil:
+		return c.Policy, nil
+	case c.ClusterOf != nil:
+		return NewSPBCProtocol(c.ClusterOf), nil
+	default:
+		return nil, fmt.Errorf("core: config needs a Policy or a ClusterOf assignment")
+	}
+}
+
+// resolve validates the configuration against a world size and returns the
+// resolved policy with its group assignment.
+func (c *Config) resolve(size int) (Policy, []int, error) {
 	if c.Steps <= 0 {
-		return fmt.Errorf("core: steps must be positive, got %d", c.Steps)
+		return nil, nil, fmt.Errorf("core: steps must be positive, got %d", c.Steps)
 	}
-	if len(c.ClusterOf) != size {
-		return fmt.Errorf("core: cluster assignment has %d entries for %d ranks", len(c.ClusterOf), size)
+	pol, err := c.policy()
+	if err != nil {
+		return nil, nil, err
 	}
-	for r, cl := range c.ClusterOf {
-		if cl < 0 {
-			return fmt.Errorf("core: rank %d assigned to negative cluster %d", r, cl)
-		}
+	groupOf, err := validatePolicy(pol, size)
+	if err != nil {
+		return nil, nil, err
 	}
 	if c.Interval < 0 {
-		return fmt.Errorf("core: checkpoint interval must be non-negative, got %d", c.Interval)
+		return nil, nil, fmt.Errorf("core: checkpoint interval must be non-negative, got %d", c.Interval)
 	}
 	if len(c.Faults) > 0 {
 		if c.Interval == 0 {
-			return fmt.Errorf("core: faults require a positive checkpoint interval")
+			return nil, nil, fmt.Errorf("core: faults require a positive checkpoint interval")
 		}
 		if c.Storage == nil {
-			return fmt.Errorf("core: faults require checkpoint storage")
+			return nil, nil, fmt.Errorf("core: faults require checkpoint storage")
 		}
 	}
 	if c.Interval > 0 && c.Storage == nil {
-		return fmt.Errorf("core: checkpointing requires storage")
+		return nil, nil, fmt.Errorf("core: checkpointing requires storage")
 	}
 	for _, f := range c.Faults {
 		if f.Rank < 0 || f.Rank >= size {
-			return fmt.Errorf("core: fault rank %d out of range [0,%d)", f.Rank, size)
+			return nil, nil, fmt.Errorf("core: fault rank %d out of range [0,%d)", f.Rank, size)
 		}
 		if f.Iteration < 0 || f.Iteration >= c.Steps {
-			return fmt.Errorf("core: fault iteration %d out of range [0,%d)", f.Iteration, c.Steps)
+			return nil, nil, fmt.Errorf("core: fault iteration %d out of range [0,%d)", f.Iteration, c.Steps)
 		}
 	}
-	return nil
+	return pol, groupOf, nil
 }
 
 // Metrics accumulates the engine-level counters of one run. They complement
@@ -94,14 +116,18 @@ type Metrics struct {
 	ReplayedBytes       uint64 `json:"replayed_bytes"`
 }
 
-// Engine composes the SPBC protocol, the MPI runtime, checkpoint storage and
-// the per-rank log stores into a full run: it drives one model.App instance
-// per rank behind a model.Process facade and owns checkpointing, failure
-// injection and recovery. Create it with NewEngine and drive it with Run.
+// Engine composes a fault-tolerance Policy, the MPI runtime, checkpoint
+// storage and the per-rank log stores into a full run: it drives one
+// model.App instance per rank behind a model.Process facade and owns
+// checkpointing, failure injection and recovery. The mechanism is shared
+// across policies; everything protocol-specific is delegated to the Policy.
+// Create it with NewEngine and drive it with Run.
 type Engine struct {
 	world    *mpi.World
 	cfg      Config
-	clusters int
+	pol      Policy
+	groupOf  []int
+	groups   int
 	protos   []*SPBC
 	stores   []*logstore.Store
 	bar      *rendezvous
@@ -116,22 +142,25 @@ type Engine struct {
 }
 
 // NewEngine builds an engine over an existing world. The world must be fresh
-// (no communication yet): the engine attaches an SPBC protocol instance to
+// (no communication yet): the engine attaches a runtime protocol instance to
 // every rank.
 func NewEngine(w *mpi.World, cfg Config) (*Engine, error) {
-	if err := cfg.validate(w.Size()); err != nil {
+	pol, groupOf, err := cfg.resolve(w.Size())
+	if err != nil {
 		return nil, err
 	}
-	clusters := 0
-	for _, cl := range cfg.ClusterOf {
-		if cl+1 > clusters {
-			clusters = cl + 1
+	groups := 0
+	for _, g := range groupOf {
+		if g+1 > groups {
+			groups = g + 1
 		}
 	}
 	e := &Engine{
 		world:     w,
 		cfg:       cfg,
-		clusters:  clusters,
+		pol:       pol,
+		groupOf:   groupOf,
+		groups:    groups,
 		protos:    make([]*SPBC, w.Size()),
 		stores:    make([]*logstore.Store, w.Size()),
 		bar:       newRendezvous(w.Size()),
@@ -143,7 +172,7 @@ func NewEngine(w *mpi.World, cfg Config) (*Engine, error) {
 	}
 	for r := 0; r < w.Size(); r++ {
 		e.stores[r] = logstore.New()
-		e.protos[r] = NewSPBC(r, cfg.ClusterOf, w.Cost(), e.stores[r])
+		e.protos[r] = NewSPBC(r, pol, w.Cost(), e.stores[r])
 	}
 	for _, f := range cfg.Faults {
 		e.faultsAt[f.Iteration] = append(e.faultsAt[f.Iteration], f)
@@ -154,11 +183,14 @@ func NewEngine(w *mpi.World, cfg Config) (*Engine, error) {
 // World returns the underlying world.
 func (e *Engine) World() *mpi.World { return e.world }
 
-// ClusterOf returns the cluster assignment.
-func (e *Engine) ClusterOf() []int { return append([]int(nil), e.cfg.ClusterOf...) }
+// Policy returns the fault-tolerance policy the engine runs.
+func (e *Engine) Policy() Policy { return e.pol }
 
-// Clusters returns the number of clusters.
-func (e *Engine) Clusters() int { return e.clusters }
+// ClusterOf returns the recovery-group assignment.
+func (e *Engine) ClusterOf() []int { return append([]int(nil), e.groupOf...) }
+
+// Clusters returns the number of recovery groups.
+func (e *Engine) Clusters() int { return e.groups }
 
 // Store returns the sender-based log store of a rank.
 func (e *Engine) Store(rank int) *logstore.Store { return e.stores[rank] }
@@ -180,11 +212,12 @@ func (e *Engine) Metrics() Metrics {
 // of the run. Call it after Run returns.
 func (e *Engine) VerifyValues() []float64 { return append([]float64(nil), e.verify...) }
 
-// LoggedBytesByCluster sums the cumulative sender-side log volume per cluster.
+// LoggedBytesByCluster sums the cumulative sender-side log volume per
+// recovery group.
 func (e *Engine) LoggedBytesByCluster() []uint64 {
-	out := make([]uint64, e.clusters)
+	out := make([]uint64, e.groups)
 	for r, s := range e.stores {
-		out[e.cfg.ClusterOf[r]] += s.CumulativeBytes()
+		out[e.groupOf[r]] += s.CumulativeBytes()
 	}
 	return out
 }
@@ -212,7 +245,7 @@ func (e *Engine) Run(factory model.AppFactory) error {
 // and fault handling, and the final verification.
 func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 	rank := p.Rank()
-	cluster := e.cfg.ClusterOf[rank]
+	cluster := e.groupOf[rank]
 	p.SetProtocol(e.protos[rank])
 	proc := &process{NativeProcess: model.NativeProcess{P: p}, proto: e.protos[rank]}
 	if err := app.Init(proc); err != nil {
@@ -332,7 +365,7 @@ func (e *Engine) gcLogs(clusterComm *mpi.Comm, cluster int) {
 			continue
 		}
 		for key, st := range snap.In {
-			if e.cfg.ClusterOf[key.Peer] == cluster {
+			if e.groupOf[key.Peer] == cluster {
 				continue
 			}
 			dropped += e.stores[key.Peer].Truncate(d, key.Comm, st.MaxSeqSeen)
@@ -488,13 +521,14 @@ func (e *Engine) injectReplays(iter int, set map[int]bool) error {
 	return nil
 }
 
-// rolledBackSet returns the union of the clusters failed at the iteration.
+// rolledBackSet returns the union of the recovery groups failed at the
+// iteration.
 func (e *Engine) rolledBackSet(iter int) map[int]bool {
 	set := make(map[int]bool)
 	for _, f := range e.faultsAt[iter] {
-		fc := e.cfg.ClusterOf[f.Rank]
-		for r, c := range e.cfg.ClusterOf {
-			if c == fc {
+		fg := e.groupOf[f.Rank]
+		for r, g := range e.groupOf {
+			if g == fg {
 				set[r] = true
 			}
 		}

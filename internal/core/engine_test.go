@@ -83,14 +83,18 @@ func runNative(t *testing.T, factory model.AppFactory, ranks, steps int, rec *tr
 	return verify
 }
 
-// runEngine executes the factory's app under the SPBC engine.
+// runEngine executes the factory's app under the engine.
 func runEngine(t *testing.T, factory model.AppFactory, cfg Config, rec *trace.Recorder) *Engine {
 	t.Helper()
 	var opts []mpi.Option
 	if rec != nil {
 		opts = append(opts, mpi.WithRecorder(rec))
 	}
-	w, err := mpi.NewWorld(len(cfg.ClusterOf), testCost(), opts...)
+	size := len(cfg.ClusterOf)
+	if cfg.Policy != nil {
+		size = len(cfg.Policy.GroupOf())
+	}
+	w, err := mpi.NewWorld(size, testCost(), opts...)
 	if err != nil {
 		t.Fatalf("NewWorld: %v", err)
 	}

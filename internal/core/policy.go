@@ -1,0 +1,141 @@
+package core
+
+import "fmt"
+
+// Policy is the strategy interface that captures everything protocol-specific
+// about a fault-tolerant execution:
+//
+//   - who checkpoints together: GroupOf partitions the world into recovery
+//     groups; the members of a group take their checkpoints in one
+//     coordinated wave and roll back together when any member fails;
+//   - what gets logged: Logs selects the messages that must be copied into
+//     the sender's log store so they can be replayed after a failure of the
+//     destination's group without rolling back the sender.
+//
+// The Engine supplies the shared mechanism — per-group checkpoint waves,
+// sender-based logging through the mpi.Protocol hook, remote-log garbage
+// collection, group rollback plus log replay — and defers every policy
+// decision to this interface, so pure coordinated checkpointing, full
+// message logging and the paper's hybrid run as peers of one engine and are
+// directly comparable, exactly as the paper's evaluation compares them.
+type Policy interface {
+	// Name labels the protocol in reports.
+	Name() string
+	// GroupOf maps every world rank to its recovery group. Group ids must be
+	// dense, starting at zero.
+	GroupOf() []int
+	// Logs reports whether application messages from world rank src to world
+	// rank dst must be sender-logged for replay.
+	Logs(src, dst int) bool
+}
+
+// SPBCProtocol is the paper's hybrid protocol: recovery groups are the
+// communication-driven clusters, and only inter-cluster messages are logged.
+// A failure rolls back exactly one cluster; messages from other clusters are
+// re-delivered from the senders' logs.
+type SPBCProtocol struct {
+	clusterOf []int
+}
+
+// NewSPBCProtocol builds the hybrid policy from a cluster assignment,
+// typically produced by clustering.Partition from a communication profile.
+func NewSPBCProtocol(clusterOf []int) *SPBCProtocol {
+	return &SPBCProtocol{clusterOf: append([]int(nil), clusterOf...)}
+}
+
+// Name labels the protocol.
+func (s *SPBCProtocol) Name() string { return "spbc" }
+
+// GroupOf returns the cluster assignment.
+func (s *SPBCProtocol) GroupOf() []int { return append([]int(nil), s.clusterOf...) }
+
+// Logs selects inter-cluster messages.
+func (s *SPBCProtocol) Logs(src, dst int) bool { return s.clusterOf[src] != s.clusterOf[dst] }
+
+// CoordinatedProtocol is pure coordinated checkpointing, the first baseline
+// of the paper's comparison: the whole world is one recovery group, every
+// checkpoint wave is global, nothing is ever logged, and any failure rolls
+// back every rank to the last global wave.
+type CoordinatedProtocol struct {
+	ranks int
+}
+
+// NewCoordinatedProtocol builds the coordinated policy for a world size.
+func NewCoordinatedProtocol(ranks int) *CoordinatedProtocol {
+	return &CoordinatedProtocol{ranks: ranks}
+}
+
+// Name labels the protocol.
+func (c *CoordinatedProtocol) Name() string { return "coordinated" }
+
+// GroupOf places every rank in the single global group.
+func (c *CoordinatedProtocol) GroupOf() []int { return make([]int, c.ranks) }
+
+// Logs logs nothing: surviving ranks roll back instead of replaying.
+func (c *CoordinatedProtocol) Logs(src, dst int) bool { return false }
+
+// FullLogProtocol is full sender-based message logging, the second baseline:
+// every rank is its own recovery group, so checkpoints are per-process (the
+// waves of different ranks are aligned only by the shared iteration
+// interval), every message is logged at the sender, and a failure rolls back
+// exactly the failed rank, which re-executes against replayed messages.
+type FullLogProtocol struct {
+	ranks int
+}
+
+// NewFullLogProtocol builds the full-logging policy for a world size.
+func NewFullLogProtocol(ranks int) *FullLogProtocol {
+	return &FullLogProtocol{ranks: ranks}
+}
+
+// Name labels the protocol.
+func (f *FullLogProtocol) Name() string { return "full-log" }
+
+// GroupOf places every rank in its own group.
+func (f *FullLogProtocol) GroupOf() []int {
+	out := make([]int, f.ranks)
+	for r := range out {
+		out[r] = r
+	}
+	return out
+}
+
+// Logs logs every message (self-channels never occur in the runtime).
+func (f *FullLogProtocol) Logs(src, dst int) bool { return src != dst }
+
+// validatePolicy checks a policy's group assignment against a world size:
+// one dense, non-negative group id per rank.
+func validatePolicy(pol Policy, size int) ([]int, error) {
+	if pol == nil {
+		return nil, fmt.Errorf("core: nil policy")
+	}
+	groupOf := pol.GroupOf()
+	if len(groupOf) != size {
+		return nil, fmt.Errorf("core: policy %s assigns %d ranks, world has %d", pol.Name(), len(groupOf), size)
+	}
+	groups := 0
+	for r, g := range groupOf {
+		if g < 0 || g >= size {
+			return nil, fmt.Errorf("core: policy %s assigns rank %d to invalid group %d", pol.Name(), r, g)
+		}
+		if g+1 > groups {
+			groups = g + 1
+		}
+	}
+	seen := make([]bool, groups)
+	for _, g := range groupOf {
+		seen[g] = true
+	}
+	for g, ok := range seen {
+		if !ok {
+			return nil, fmt.Errorf("core: policy %s leaves group %d empty (ids must be dense)", pol.Name(), g)
+		}
+	}
+	return groupOf, nil
+}
+
+var (
+	_ Policy = (*SPBCProtocol)(nil)
+	_ Policy = (*CoordinatedProtocol)(nil)
+	_ Policy = (*FullLogProtocol)(nil)
+)

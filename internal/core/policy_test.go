@@ -1,0 +1,178 @@
+package core
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/checkpoint"
+)
+
+func TestPolicyShapes(t *testing.T) {
+	spbc := NewSPBCProtocol([]int{0, 0, 1, 1})
+	if spbc.Name() != "spbc" {
+		t.Fatalf("spbc name = %q", spbc.Name())
+	}
+	if got := spbc.GroupOf(); !reflect.DeepEqual(got, []int{0, 0, 1, 1}) {
+		t.Fatalf("spbc groups = %v", got)
+	}
+	if spbc.Logs(0, 1) || !spbc.Logs(1, 2) {
+		t.Fatalf("spbc must log exactly the inter-cluster messages")
+	}
+
+	coord := NewCoordinatedProtocol(4)
+	if got := coord.GroupOf(); !reflect.DeepEqual(got, []int{0, 0, 0, 0}) {
+		t.Fatalf("coordinated groups = %v", got)
+	}
+	for s := 0; s < 4; s++ {
+		for d := 0; d < 4; d++ {
+			if coord.Logs(s, d) {
+				t.Fatalf("coordinated checkpointing must log nothing, logs %d->%d", s, d)
+			}
+		}
+	}
+
+	full := NewFullLogProtocol(4)
+	if got := full.GroupOf(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+		t.Fatalf("full-log groups = %v", got)
+	}
+	if !full.Logs(0, 3) || !full.Logs(2, 1) {
+		t.Fatalf("full logging must log every message")
+	}
+}
+
+func TestValidatePolicy(t *testing.T) {
+	if _, err := validatePolicy(nil, 2); err == nil {
+		t.Fatalf("nil policy accepted")
+	}
+	if _, err := validatePolicy(NewSPBCProtocol([]int{0}), 2); err == nil {
+		t.Fatalf("short assignment accepted")
+	}
+	if _, err := validatePolicy(NewSPBCProtocol([]int{0, -1}), 2); err == nil {
+		t.Fatalf("negative group accepted")
+	}
+	if _, err := validatePolicy(NewSPBCProtocol([]int{0, 7}), 2); err == nil {
+		t.Fatalf("out-of-range group accepted")
+	}
+	if _, err := validatePolicy(NewSPBCProtocol([]int{0, 2, 2}), 3); err == nil {
+		t.Fatalf("sparse group ids accepted")
+	}
+	if _, err := validatePolicy(NewFullLogProtocol(3), 3); err != nil {
+		t.Fatalf("full-log policy rejected: %v", err)
+	}
+}
+
+func TestConfigPolicyResolution(t *testing.T) {
+	if _, err := (&Config{}).policy(); err == nil {
+		t.Fatalf("config without policy accepted")
+	}
+	if _, err := (&Config{Policy: NewCoordinatedProtocol(2), ClusterOf: []int{0, 0}}).policy(); err == nil {
+		t.Fatalf("config with both Policy and ClusterOf accepted")
+	}
+	pol, err := (&Config{ClusterOf: []int{0, 0, 1}}).policy()
+	if err != nil {
+		t.Fatalf("ClusterOf shortcut: %v", err)
+	}
+	if _, ok := pol.(*SPBCProtocol); !ok {
+		t.Fatalf("ClusterOf shortcut resolved to %T, want *SPBCProtocol", pol)
+	}
+}
+
+func TestEngineCoordinatedPolicyRollsBackWholeWorld(t *testing.T) {
+	const ranks, steps = 4, 8
+	factory := app.NewRing(12, 2)
+	wantVerify := runNative(t, factory, ranks, steps, nil)
+
+	storage := newCountingStorage()
+	eng := runEngine(t, factory, Config{
+		Policy:   NewCoordinatedProtocol(ranks),
+		Interval: 3,
+		Steps:    steps,
+		Storage:  storage,
+		Faults:   []Fault{{Rank: 2, Iteration: 5}},
+	}, nil)
+
+	if got := eng.VerifyValues(); !reflect.DeepEqual(got, wantVerify) {
+		t.Fatalf("coordinated recovery verify = %v, want %v", got, wantVerify)
+	}
+	m := eng.Metrics()
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(m.RolledBackRanks, want) {
+		t.Fatalf("coordinated rollback is global: rolled back %v, want %v", m.RolledBackRanks, want)
+	}
+	if m.ReplayedRecords != 0 || m.ReplayedBytes != 0 {
+		t.Fatalf("coordinated checkpointing has no logs to replay: %+v", m)
+	}
+	var logged uint64
+	for r := 0; r < ranks; r++ {
+		logged += eng.Store(r).CumulativeBytes()
+	}
+	if logged != 0 {
+		t.Fatalf("coordinated checkpointing logged %d bytes, want 0", logged)
+	}
+	for r := 0; r < ranks; r++ {
+		if n := storage.loadsOf(r); n != 1 {
+			t.Fatalf("rank %d loaded %d checkpoints, want 1 (everyone restores)", r, n)
+		}
+	}
+}
+
+func TestEngineFullLogPolicyRollsBackOnlyFailedRank(t *testing.T) {
+	const ranks, steps = 4, 8
+	factory := app.NewRing(12, 2)
+	wantVerify := runNative(t, factory, ranks, steps, nil)
+
+	storage := newCountingStorage()
+	eng := runEngine(t, factory, Config{
+		Policy:   NewFullLogProtocol(ranks),
+		Interval: 3,
+		Steps:    steps,
+		Storage:  storage,
+		Faults:   []Fault{{Rank: 2, Iteration: 5}},
+	}, nil)
+
+	if got := eng.VerifyValues(); !reflect.DeepEqual(got, wantVerify) {
+		t.Fatalf("full-log recovery verify = %v, want %v", got, wantVerify)
+	}
+	m := eng.Metrics()
+	if want := []int{2}; !reflect.DeepEqual(m.RolledBackRanks, want) {
+		t.Fatalf("full-log rollback is single-rank: rolled back %v, want %v", m.RolledBackRanks, want)
+	}
+	if m.ReplayedRecords == 0 {
+		t.Fatalf("full-log recovery must replay logged messages")
+	}
+	for r := 0; r < ranks; r++ {
+		if eng.Store(r).CumulativeBytes() == 0 {
+			t.Fatalf("full logging must log on every rank, rank %d logged nothing", r)
+		}
+		want := 0
+		if r == 2 {
+			want = 1
+		}
+		if n := storage.loadsOf(r); n != want {
+			t.Fatalf("rank %d loaded %d checkpoints, want %d", r, n, want)
+		}
+	}
+}
+
+func TestEngineFullLogPolicySolver(t *testing.T) {
+	const ranks, steps = 4, 8
+	factory := app.NewSolver(16)
+	wantVerify := runNative(t, factory, ranks, steps, nil)
+	eng := runEngine(t, factory, Config{
+		Policy:   NewFullLogProtocol(ranks),
+		Interval: 2,
+		Steps:    steps,
+		Storage:  checkpoint.NewMemoryStorage(),
+		Faults:   []Fault{{Rank: 0, Iteration: 3}, {Rank: 3, Iteration: 6}},
+	}, nil)
+	if got := eng.VerifyValues(); !reflect.DeepEqual(got, wantVerify) {
+		t.Fatalf("full-log solver verify = %v, want %v", got, wantVerify)
+	}
+	m := eng.Metrics()
+	if want := []int{0, 3}; !reflect.DeepEqual(m.RolledBackRanks, want) {
+		t.Fatalf("rolled back %v, want %v (one rank per fault)", m.RolledBackRanks, want)
+	}
+	if m.RecoveryEvents != 2 {
+		t.Fatalf("recovery events = %d, want 2", m.RecoveryEvents)
+	}
+}

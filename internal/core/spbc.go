@@ -10,18 +10,25 @@ import (
 	"repro/internal/simnet"
 )
 
-// SPBC is the per-rank protocol state of the hybrid protocol. It implements
-// mpi.Protocol: identifier stamping and matching, sender-based logging of
-// inter-cluster messages, and send suppression during recovery re-execution.
+// SPBC is the per-rank runtime state of the paper's modified-MPICH layer. It
+// implements mpi.Protocol: identifier stamping and matching, sender-based
+// logging of the messages its Policy selects, and send suppression during
+// recovery re-execution.
+//
+// The runtime layer is shared by every Policy: under SPBCProtocol it logs
+// inter-cluster messages (the hybrid of the paper), under FullLogProtocol it
+// degenerates to classic full sender-based logging, and under
+// CoordinatedProtocol it logs nothing and only the identifier machinery
+// remains active (harmless for deterministic SPMD codes).
 //
 // All methods are called from the owning rank's goroutine (the mpi.Protocol
 // contract), so the pattern and cutoff state needs no locking; the log store
 // has its own synchronization because replay daemons read it concurrently.
 type SPBC struct {
-	rank      int
-	clusterOf []int
-	cost      simnet.CostModel
-	log       *logstore.Store
+	rank int
+	pol  Policy
+	cost simnet.CostModel
+	log  *logstore.Store
 
 	// Pattern API state (Section 5.1): the active identifier and the next
 	// iteration number of every declared pattern.
@@ -37,12 +44,12 @@ type SPBC struct {
 	cutoffs map[mpi.ChanKey]uint64
 }
 
-// NewSPBC creates the protocol state for one rank. clusterOf maps every world
-// rank to its cluster; log receives the payloads of inter-cluster sends.
-func NewSPBC(rank int, clusterOf []int, cost simnet.CostModel, log *logstore.Store) *SPBC {
+// NewSPBC creates the runtime state for one rank. pol decides which messages
+// are sender-logged; log receives their payloads.
+func NewSPBC(rank int, pol Policy, cost simnet.CostModel, log *logstore.Store) *SPBC {
 	return &SPBC{
 		rank:       rank,
-		clusterOf:  clusterOf,
+		pol:        pol,
 		cost:       cost,
 		log:        log,
 		iterations: make(map[uint32]uint32),
@@ -52,8 +59,8 @@ func NewSPBC(rank int, clusterOf []int, cost simnet.CostModel, log *logstore.Sto
 // Log returns the sender-based log store of the rank.
 func (s *SPBC) Log() *logstore.Store { return s.log }
 
-// Cluster returns the cluster of the given world rank.
-func (s *SPBC) Cluster(rank int) int { return s.clusterOf[rank] }
+// Policy returns the policy the runtime logs for.
+func (s *SPBC) Policy() Policy { return s.pol }
 
 // DeclarePattern allocates a new communication-pattern identifier. SPMD
 // applications declare patterns in the same order on every rank, so the
@@ -92,11 +99,11 @@ func (s *SPBC) StampRecv(p *mpi.Proc, env *mpi.Envelope) { env.Match = s.current
 // so unbracketed communication behaves exactly as native MPI.
 func (s *SPBC) ExtraMatch(req, msg mpi.MatchID) bool { return req == msg }
 
-// OnSend logs the payload of inter-cluster messages in the sender's memory
-// (charging the memory-copy cost of the cost model, the protocol's only
-// failure-free overhead) and suppresses re-sends during recovery.
+// OnSend logs the payload of the messages the policy selects in the sender's
+// memory (charging the memory-copy cost of the cost model, the protocol's
+// only failure-free overhead) and suppresses re-sends during recovery.
 func (s *SPBC) OnSend(p *mpi.Proc, env mpi.Envelope, payload []byte) (transmit bool, cost float64) {
-	if s.clusterOf[env.Source] != s.clusterOf[env.Dest] {
+	if s.pol.Logs(env.Source, env.Dest) {
 		s.log.Append(logstore.Record{Env: env, Payload: payload, SendTime: p.Now()})
 		cost = s.cost.LogCost(len(payload))
 	}

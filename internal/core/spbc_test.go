@@ -18,7 +18,7 @@ func testProc(t *testing.T) *mpi.Proc {
 }
 
 func TestSPBCPatternStamping(t *testing.T) {
-	s := NewSPBC(0, []int{0, 1}, simnet.DefaultCostModel(), logstore.New())
+	s := NewSPBC(0, NewSPBCProtocol([]int{0, 1}), simnet.DefaultCostModel(), logstore.New())
 	p := testProc(t)
 
 	env := &mpi.Envelope{Source: 0, Dest: 1}
@@ -56,7 +56,7 @@ func TestSPBCPatternStamping(t *testing.T) {
 }
 
 func TestSPBCExtraMatch(t *testing.T) {
-	s := NewSPBC(0, []int{0, 1}, simnet.DefaultCostModel(), logstore.New())
+	s := NewSPBC(0, NewSPBCProtocol([]int{0, 1}), simnet.DefaultCostModel(), logstore.New())
 	a := mpi.MatchID{Pattern: 1, Iteration: 3}
 	b := mpi.MatchID{Pattern: 1, Iteration: 4}
 	if !s.ExtraMatch(a, a) {
@@ -76,7 +76,7 @@ func TestSPBCExtraMatch(t *testing.T) {
 func TestSPBCOnSendLogsInterClusterOnly(t *testing.T) {
 	log := logstore.New()
 	cost := simnet.DefaultCostModel()
-	s := NewSPBC(0, []int{0, 0, 1}, cost, log)
+	s := NewSPBC(0, NewSPBCProtocol([]int{0, 0, 1}), cost, log)
 	p := testProc(t)
 
 	intra := mpi.Envelope{Source: 0, Dest: 1, Seq: 1, Bytes: 4}
@@ -103,7 +103,7 @@ func TestSPBCOnSendLogsInterClusterOnly(t *testing.T) {
 
 func TestSPBCSuppressionCutoffs(t *testing.T) {
 	log := logstore.New()
-	s := NewSPBC(0, []int{0, 1}, simnet.DefaultCostModel(), log)
+	s := NewSPBC(0, NewSPBCProtocol([]int{0, 1}), simnet.DefaultCostModel(), log)
 	p := testProc(t)
 	key := mpi.ChanKey{Peer: 1, Comm: 0}
 	s.beginRecovery(map[mpi.ChanKey]uint64{key: 2})
@@ -128,7 +128,7 @@ func TestSPBCSuppressionCutoffs(t *testing.T) {
 }
 
 func TestSPBCStateRoundTrip(t *testing.T) {
-	s := NewSPBC(0, []int{0, 1}, simnet.DefaultCostModel(), logstore.New())
+	s := NewSPBC(0, NewSPBCProtocol([]int{0, 1}), simnet.DefaultCostModel(), logstore.New())
 	pat := s.DeclarePattern()
 	s.BeginIteration(pat)
 	s.EndIteration(pat)

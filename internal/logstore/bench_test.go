@@ -1,0 +1,88 @@
+package logstore
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/mpi"
+)
+
+// The log-append path runs on every logged send (the protocol's only
+// failure-free overhead) and the range path on every recovery replay, so
+// both are hot in the bench sweep. Names are benchstat-friendly: compare
+// runs with `benchstat old.txt new.txt`.
+
+func benchRecord(seq uint64, payload []byte) Record {
+	return Record{
+		Env:     mpi.Envelope{Source: 0, Dest: 1, CommID: 0, Seq: seq, Bytes: len(payload)},
+		Payload: payload,
+	}
+}
+
+func BenchmarkStoreAppend(b *testing.B) {
+	for _, size := range []int{64, 1024, 16384} {
+		b.Run(fmt.Sprintf("size=%d", size), func(b *testing.B) {
+			payload := make([]byte, size)
+			s := New()
+			b.SetBytes(int64(size))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.Append(benchRecord(uint64(i+1), payload))
+			}
+		})
+	}
+}
+
+func BenchmarkStoreAppendDuplicate(b *testing.B) {
+	// Re-logging during recovery re-execution hits the duplicate path.
+	payload := make([]byte, 1024)
+	s := New()
+	s.Append(benchRecord(1, payload))
+	b.SetBytes(1024)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Append(benchRecord(1, payload))
+	}
+}
+
+func BenchmarkStoreReplayRange(b *testing.B) {
+	for _, records := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("records=%d", records), func(b *testing.B) {
+			payload := make([]byte, 256)
+			s := New()
+			for i := 0; i < records; i++ {
+				s.Append(benchRecord(uint64(i+1), payload))
+			}
+			from := uint64(records / 2) // replay the post-checkpoint tail
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := s.Range(1, 0, from); len(got) == 0 {
+					b.Fatalf("empty replay range")
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkStoreTruncate(b *testing.B) {
+	// Checkpoint-wave garbage collection: drop half, re-append, repeat.
+	payload := make([]byte, 256)
+	const records = 1024
+	s := New()
+	for i := 0; i < records; i++ {
+		s.Append(benchRecord(uint64(i+1), payload))
+	}
+	next := uint64(records)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dropped := s.Truncate(1, 0, next-records/2)
+		for j := 0; j < dropped; j++ {
+			next++
+			s.Append(benchRecord(next, payload))
+		}
+	}
+}

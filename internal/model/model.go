@@ -4,11 +4,11 @@
 // and App is the iterative-application contract the runtimes drive
 // (initialize, step, checkpoint, restore, verify).
 //
-// Both the SPBC engine (internal/core) and the NativeProcess adapter below
-// implement Process, so the same application kernels (internal/app) run
-// unchanged under every protocol, exactly as the paper runs the same binaries
-// under modified and unmodified MPICH. A HydEE-style pure message-logging
-// baseline is planned as a third Process implementation.
+// Both the core engine (internal/core, under any of its fault-tolerance
+// policies: SPBC, pure coordinated checkpointing, full message logging) and
+// the NativeProcess adapter below implement Process, so the same application
+// kernels (internal/app) run unchanged under every protocol, exactly as the
+// paper runs the same binaries under modified and unmodified MPICH.
 package model
 
 import "repro/internal/mpi"

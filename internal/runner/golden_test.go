@@ -1,0 +1,97 @@
+package runner
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/stats"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// goldenReport is a fully populated, hand-fixed report: every field the
+// BENCH pipeline consumes, with values that exercise omitempty boundaries.
+// It is deliberately NOT produced by a run, so the golden file pins the JSON
+// schema (field names, nesting, omitempty behaviour) rather than simulator
+// behaviour.
+func goldenReport() *Report {
+	return &Report{
+		Scenario: ScenarioInfo{
+			Name:               "golden",
+			Ranks:              2,
+			RanksPerNode:       1,
+			Clusters:           2,
+			Steps:              4,
+			CheckpointInterval: 2,
+			Protocol:           ProtocolSPBC,
+			Objective:          "min-total-logged",
+			Faults:             []core.Fault{{Rank: 1, Iteration: 3}},
+		},
+		App:      "ring-stencil",
+		Makespan: 1.5,
+		Ranks: []stats.RankReport{
+			{Rank: 0, Cluster: 0, CompTime: 1, CommTime: 0.25, Elapsed: 1.25,
+				BytesSent: 100, BytesRecv: 80, BytesLogged: 40, Sends: 10, Recvs: 9},
+			{Rank: 1, Cluster: 1, CompTime: 1.1, CommTime: 0.4, Elapsed: 1.5,
+				BytesSent: 90, BytesRecv: 110, BytesLogged: 30, Sends: 9, Recvs: 10},
+		},
+		AvgCommRatio:          0.2421875,
+		TotalLoggedBytes:      70,
+		LogGrowthAvgMBps:      2.3333333333333335e-05,
+		LogGrowthMaxMBps:      2.6666666666666667e-05,
+		ClusterOf:             []int{0, 1},
+		ClusterSizes:          []int{1, 1},
+		LoggedBytesPerCluster: []uint64{40, 30},
+		SuppressedSends:       3,
+		Engine: core.Metrics{
+			CheckpointSaves:     4,
+			CheckpointBytes:     2048,
+			TruncatedLogRecords: 2,
+			RecoveryEvents:      1,
+			RolledBackRanks:     []int{1},
+			RestoredCheckpoints: 1,
+			ReplayedRecords:     5,
+			ReplayedBytes:       40,
+		},
+		Verify: []float64{1.25, -0.5},
+	}
+}
+
+// TestReportGoldenJSON pins the runner.Report JSON schema: BENCH files and
+// any downstream parser depend on these exact field names. If this test
+// fails after an intentional schema change, regenerate with
+// `go test ./internal/runner -run TestReportGoldenJSON -update` and audit
+// the diff of testdata/report_golden.json.
+func TestReportGoldenJSON(t *testing.T) {
+	rep := goldenReport()
+	raw, err := rep.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	raw = append(raw, '\n')
+	path := filepath.Join("testdata", "report_golden.json")
+	if *update {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(raw) != string(want) {
+		t.Fatalf("report JSON schema drifted from %s:\ngot:\n%s\nwant:\n%s", path, raw, want)
+	}
+
+	parsed, err := ReadReport(want)
+	if err != nil {
+		t.Fatalf("ReadReport on golden: %v", err)
+	}
+	if !reflect.DeepEqual(parsed, rep) {
+		t.Fatalf("golden round trip changed the report:\nin  %+v\nout %+v", rep, parsed)
+	}
+}

@@ -3,15 +3,21 @@
 // checkpoint interval, fault plan, workload), runner.Run executes it and
 // returns a structured, JSON-serializable Report.
 //
-// A Scenario can run under two protocols with the same application kernel,
+// A Scenario can run under four protocols with the same application kernel,
 // exactly as the paper's evaluation runs the same binaries under unmodified
-// and modified MPICH:
+// and modified MPICH — the two baselines are the extremes SPBC hybridizes:
 //
 //   - ProtocolNative: bare mpi runtime (mpi.NopProtocol), no checkpointing —
 //     the baseline the paper normalizes against;
-//   - ProtocolSPBC: the hybrid protocol driven by core.Engine, with
-//     profile-driven clustering, coordinated per-cluster checkpoints,
-//     sender-based inter-cluster logging, and cluster-local recovery.
+//   - ProtocolCoordinated: pure coordinated checkpointing
+//     (core.CoordinatedProtocol) — global checkpoint waves, no logging,
+//     full-world rollback on any failure;
+//   - ProtocolFullLog: full sender-based message logging
+//     (core.FullLogProtocol) — every message logged, per-process
+//     checkpointing, single-rank rollback;
+//   - ProtocolSPBC: the paper's hybrid (core.SPBCProtocol) — profile-driven
+//     clustering, coordinated per-cluster checkpoints, sender-based
+//     inter-cluster logging, and cluster-local recovery.
 //
 // Under ProtocolSPBC, the cluster assignment is computed from a short
 // profiling pre-run of the same kernel (the paper obtains its partitions
@@ -37,9 +43,28 @@ type Protocol string
 const (
 	// ProtocolNative is the unmodified-MPI baseline.
 	ProtocolNative Protocol = "native"
+	// ProtocolCoordinated is pure coordinated checkpointing.
+	ProtocolCoordinated Protocol = "coordinated"
+	// ProtocolFullLog is full sender-based message logging.
+	ProtocolFullLog Protocol = "full-log"
 	// ProtocolSPBC is the hybrid checkpointing/message-logging protocol.
 	ProtocolSPBC Protocol = "spbc"
 )
+
+// Protocols lists every supported protocol, baseline first.
+func Protocols() []Protocol {
+	return []Protocol{ProtocolNative, ProtocolCoordinated, ProtocolFullLog, ProtocolSPBC}
+}
+
+// ParseProtocol resolves a protocol name, as used by command-line tools.
+func ParseProtocol(s string) (Protocol, error) {
+	for _, p := range Protocols() {
+		if string(p) == s {
+			return p, nil
+		}
+	}
+	return "", fmt.Errorf("runner: unknown protocol %q (have %v)", s, Protocols())
+}
 
 // Scenario declares one experiment.
 type Scenario struct {
@@ -54,8 +79,14 @@ type Scenario struct {
 	// Defaults to 1.
 	RanksPerNode int
 	// Clusters is the number of SPBC clusters. Defaults to 2 (clamped to the
-	// rank count). Ignored under ProtocolNative.
+	// rank count). Only ProtocolSPBC uses it: the other protocols' group
+	// structures are fixed by the world size.
 	Clusters int
+	// ClusterOf, if set, is a precomputed SPBC cluster assignment (one entry
+	// per rank); it skips the profiling pre-run. Harnesses that run the same
+	// configuration repeatedly (e.g. the bench sweep's failure-free and
+	// faulty twins) use it to reuse one partition. ProtocolSPBC only.
+	ClusterOf []int
 	// Steps is the number of application iterations.
 	Steps int
 	// CheckpointInterval is the coordinated-checkpoint period in iterations.
@@ -69,10 +100,10 @@ type Scenario struct {
 	// Cost is the virtual-time cost model. Defaults to simnet.DefaultCostModel
 	// with RanksPerNode overridden from the scenario.
 	Cost *simnet.CostModel
-	// Faults is the failure plan (ProtocolSPBC only).
+	// Faults is the failure plan (any protocol except ProtocolNative).
 	Faults []core.Fault
-	// ProfileSteps is the length of the clustering profiling pre-run.
-	// Defaults to min(Steps, 2).
+	// ProfileSteps is the length of the clustering profiling pre-run
+	// (ProtocolSPBC only). Defaults to min(Steps, 2).
 	ProfileSteps int
 	// Storage receives the checkpoints. Defaults to in-memory storage.
 	Storage checkpoint.Storage
@@ -127,8 +158,8 @@ func (s *Scenario) normalize() error {
 	if s.Protocol == "" {
 		s.Protocol = ProtocolSPBC
 	}
-	if s.Protocol != ProtocolNative && s.Protocol != ProtocolSPBC {
-		return fmt.Errorf("runner: unknown protocol %q", s.Protocol)
+	if _, err := ParseProtocol(string(s.Protocol)); err != nil {
+		return err
 	}
 	if s.Protocol == ProtocolNative && len(s.Faults) > 0 {
 		return fmt.Errorf("runner: the native baseline cannot recover from faults")
@@ -138,6 +169,14 @@ func (s *Scenario) normalize() error {
 	}
 	if s.Clusters > s.Ranks {
 		s.Clusters = s.Ranks
+	}
+	if s.ClusterOf != nil {
+		if s.Protocol != ProtocolSPBC {
+			return fmt.Errorf("runner: a cluster assignment only applies to %s, not %s", ProtocolSPBC, s.Protocol)
+		}
+		if len(s.ClusterOf) != s.Ranks {
+			return fmt.Errorf("runner: cluster assignment has %d entries for %d ranks", len(s.ClusterOf), s.Ranks)
+		}
 	}
 	if s.CheckpointInterval == 0 && len(s.Faults) > 0 {
 		s.CheckpointInterval = s.Steps / 4
@@ -177,7 +216,7 @@ func Run(sc Scenario, opts ...Option) (*Report, error) {
 	case ProtocolNative:
 		return runNative(&sc)
 	default:
-		return runSPBC(&sc)
+		return runProtected(&sc)
 	}
 }
 
@@ -220,10 +259,33 @@ func runNative(sc *Scenario) (*Report, error) {
 	return buildReport(sc, w, nil, verify), nil
 }
 
-// runSPBC profiles the application, partitions the ranks and executes the
-// scenario under the engine.
-func runSPBC(sc *Scenario) (*Report, error) {
-	clusterOf, err := profileAndPartition(sc)
+// policyFor builds the core.Policy of a protected scenario. Only the SPBC
+// policy needs the profiling pre-run; the two baselines are degenerate group
+// structures fixed by the world size.
+func policyFor(sc *Scenario) (core.Policy, error) {
+	switch sc.Protocol {
+	case ProtocolCoordinated:
+		return core.NewCoordinatedProtocol(sc.Ranks), nil
+	case ProtocolFullLog:
+		return core.NewFullLogProtocol(sc.Ranks), nil
+	case ProtocolSPBC:
+		clusterOf := sc.ClusterOf
+		if clusterOf == nil {
+			var err error
+			if clusterOf, err = profileAndPartition(sc); err != nil {
+				return nil, err
+			}
+		}
+		return core.NewSPBCProtocol(clusterOf), nil
+	default:
+		return nil, fmt.Errorf("runner: protocol %q has no engine policy", sc.Protocol)
+	}
+}
+
+// runProtected executes the scenario under the engine with the policy the
+// scenario's protocol selects.
+func runProtected(sc *Scenario) (*Report, error) {
+	pol, err := policyFor(sc)
 	if err != nil {
 		return nil, err
 	}
@@ -236,11 +298,11 @@ func runSPBC(sc *Scenario) (*Report, error) {
 		return nil, err
 	}
 	eng, err := core.NewEngine(w, core.Config{
-		ClusterOf: clusterOf,
-		Interval:  sc.CheckpointInterval,
-		Steps:     sc.Steps,
-		Storage:   sc.Storage,
-		Faults:    sc.Faults,
+		Policy:   pol,
+		Interval: sc.CheckpointInterval,
+		Steps:    sc.Steps,
+		Storage:  sc.Storage,
+		Faults:   sc.Faults,
 	})
 	if err != nil {
 		return nil, err

@@ -69,6 +69,13 @@ func compareIdentitySequences(a, b []MessageIdentity) error {
 // construction, coordination barriers) on the same channels, which shifts the
 // raw sequence numbers without changing the application's message stream.
 // Messages are compared by (tag, size, payload digest) in channel order.
+//
+// A recovering rank re-executes sends it performed before the failure, which
+// records the same (channel, seq) position again. Channel determinism
+// requires the re-executed content to be identical, so repeated positions are
+// verified against the first occurrence and then skipped; a content mismatch
+// is reported as an error. Failure-free traces have no repeats, so this is
+// transparent for them.
 func CheckFilteredChannelDeterminism(a, b *Recorder, keep func(Event) bool) error {
 	if a.Ranks() != b.Ranks() {
 		return fmt.Errorf("trace: executions have different sizes: %d vs %d ranks", a.Ranks(), b.Ranks())
@@ -78,19 +85,36 @@ func CheckFilteredChannelDeterminism(a, b *Recorder, keep func(Event) bool) erro
 		Bytes  int
 		Digest uint64
 	}
-	collect := func(r *Recorder) map[ChannelKey][]ident {
+	collect := func(r *Recorder) (map[ChannelKey][]ident, error) {
 		out := make(map[ChannelKey][]ident)
 		for _, c := range r.Channels() {
+			seen := make(map[uint64]ident)
 			for _, e := range r.ChannelSends(c) {
 				if !keep(e) {
 					continue
 				}
-				out[c] = append(out[c], ident{Tag: e.Tag, Bytes: e.Bytes, Digest: e.Digest})
+				id := ident{Tag: e.Tag, Bytes: e.Bytes, Digest: e.Digest}
+				if prev, dup := seen[e.Seq]; dup {
+					if prev != id {
+						return nil, fmt.Errorf("trace: channel %s: re-executed send seq %d differs from the original: %+v vs %+v",
+							c, e.Seq, prev, id)
+					}
+					continue
+				}
+				seen[e.Seq] = id
+				out[c] = append(out[c], id)
 			}
 		}
-		return out
+		return out, nil
 	}
-	sa, sb := collect(a), collect(b)
+	sa, err := collect(a)
+	if err != nil {
+		return err
+	}
+	sb, err := collect(b)
+	if err != nil {
+		return err
+	}
 	if len(sa) != len(sb) {
 		return fmt.Errorf("trace: filtered executions use different channel sets: %d vs %d channels", len(sa), len(sb))
 	}
