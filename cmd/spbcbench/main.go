@@ -15,6 +15,15 @@
 // (e.g. ring:16:3 or solver:24) and fault plans are fault counts per cell
 // (0 = failure-free), with fault locations drawn deterministically from
 // -seed and the cell's axes.
+//
+// -profile perf switches to the allocation/contention profile of the
+// simulator's own hot path: real allocs/op, bytes/op and ns/op of a
+// steady-state eager send/recv round per protocol and payload size, written
+// as BENCH_perf_<name>.json. The profile enforces allocs/op guards (see
+// -alloc-guard) and exits non-zero when a guard is violated, so CI can hold
+// the zero-copy line:
+//
+//	spbcbench -profile perf -name baseline -out .
 package main
 
 import (
@@ -30,8 +39,11 @@ import (
 
 func main() {
 	var (
-		name       = flag.String("name", "sweep", "sweep name; output file is BENCH_<name>.json")
+		name       = flag.String("name", "sweep", "sweep name; output file is BENCH_<name>.json (BENCH_perf_<name>.json with -profile perf)")
 		out        = flag.String("out", ".", "output directory")
+		profile    = flag.String("profile", "sweep", "what to measure: 'sweep' (virtual-time protocol matrix) or 'perf' (real allocs/op and ns/op of the runtime hot path)")
+		sizes      = flag.String("sizes", "64,1024,16384", "comma-separated payload sizes for -profile perf")
+		allocGuard = flag.Float64("alloc-guard", 0, "allocs/op ceiling for -profile perf cells: 0 = protocol defaults, negative disables")
 		protocols  = flag.String("protocols", "", "comma-separated protocols (default: all four)")
 		kernels    = flag.String("kernels", "ring:16:3,solver:24", "comma-separated kernels, name:size[:reduceEvery]")
 		ranks      = flag.String("ranks", "8", "comma-separated rank counts")
@@ -45,6 +57,15 @@ func main() {
 		quiet      = flag.Bool("quiet", false, "suppress the summary table")
 	)
 	flag.Parse()
+
+	switch *profile {
+	case "perf":
+		runPerfProfile(*name, *out, *protocols, *sizes, *allocGuard, *quiet)
+		return
+	case "sweep":
+	default:
+		fatal(fmt.Errorf("unknown profile %q (have sweep, perf)", *profile))
+	}
 
 	m := bench.Matrix{
 		Name:         *name,
@@ -97,6 +118,38 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "spbcbench:", err)
 	os.Exit(2)
+}
+
+// runPerfProfile executes the allocation/contention profile and exits
+// non-zero when an allocs/op guard is violated.
+func runPerfProfile(name, out, protocols, sizes string, allocGuard float64, quiet bool) {
+	m := bench.PerfMatrix{Name: name, AllocGuard: allocGuard}
+	var err error
+	if m.Protocols, err = parseProtocols(protocols); err != nil {
+		fatal(err)
+	}
+	if m.Sizes, err = parseInts("sizes", sizes); err != nil {
+		fatal(err)
+	}
+	res, err := bench.RunPerf(m)
+	if err != nil {
+		fatal(err)
+	}
+	path, err := res.WriteFile(out)
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		fmt.Println(res.Table())
+	}
+	violations := res.Violations()
+	fmt.Printf("wrote %s (%d cells, %d guard violations)\n", path, len(res.Cells), len(violations))
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "guard violation:", v)
+		}
+		os.Exit(1)
+	}
 }
 
 // parseProtocols parses a comma-separated protocol list; empty means all.

@@ -1,0 +1,333 @@
+package bench
+
+// The perf profile measures the simulator's own hot path — not virtual time
+// but real allocations, bytes and nanoseconds per operation — so the paper's
+// signal (the sender-side payload copy being SPBC's only failure-free cost)
+// is not drowned in incidental allocation or lock contention of the harness.
+// One operation is a steady-state eager send/recv round between two ranks,
+// with periodic log garbage collection on the logging protocols, exactly the
+// regime the runtime sustains inside a sweep. Results are written as
+// BENCH_perf_<name>.json; compare runs with benchstat over `go test -bench`
+// output, or diff the JSON directly.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/buf"
+	"repro/internal/core"
+	"repro/internal/logstore"
+	"repro/internal/mpi"
+	"repro/internal/runner"
+	"repro/internal/simnet"
+	"repro/internal/stats"
+)
+
+// perfGCPeriod is the log garbage-collection cadence of the profile, in
+// sends: it models the checkpoint waves that truncate sender logs in a real
+// run, which is what lets the buffer pool recycle in steady state. Keep in
+// sync with benchGCPeriod in internal/core/perf_bench_test.go, which drives
+// the same loop (the test cannot import this package: bench imports core).
+const perfGCPeriod = 256
+
+// Default allocs/op guards: the steady-state round costs 2 allocations (the
+// two request headers); the guards leave slack for a GC draining the pools
+// mid-measurement. Keep in sync with the thresholds in
+// internal/core/alloc_guard_test.go, the second enforcement point.
+const (
+	defaultGuardUnlogged = 3.0
+	defaultGuardLogged   = 3.5
+)
+
+// PerfMatrix declares one perf profile run.
+type PerfMatrix struct {
+	// Name labels the profile; the output file is BENCH_perf_<Name>.json.
+	Name string `json:"name"`
+	// Protocols to profile. Defaults to all four.
+	Protocols []runner.Protocol `json:"protocols"`
+	// Sizes is the payload-size axis in bytes. Defaults to {64, 1024, 16384}.
+	Sizes []int `json:"sizes"`
+	// AllocGuard is the allocs/op ceiling enforced per cell: 0 selects the
+	// defaults (3.0 for non-logging protocols, 3.5 for logging ones, slack
+	// included for a GC draining the pools mid-measurement), negative
+	// disables the guard.
+	AllocGuard float64 `json:"alloc_guard,omitempty"`
+}
+
+// normalize applies defaults and validates the matrix.
+func (m *PerfMatrix) normalize() error {
+	if m.Name == "" {
+		m.Name = "profile"
+	}
+	if len(m.Protocols) == 0 {
+		m.Protocols = runner.Protocols()
+	}
+	for _, p := range m.Protocols {
+		if _, err := runner.ParseProtocol(string(p)); err != nil {
+			return fmt.Errorf("bench: %w", err)
+		}
+	}
+	if len(m.Sizes) == 0 {
+		m.Sizes = []int{64, 1024, 16384}
+	}
+	for _, s := range m.Sizes {
+		if s < 1 {
+			return fmt.Errorf("bench: perf payload sizes must be positive, got %d", s)
+		}
+	}
+	return nil
+}
+
+// PerfCell is one measured point: a protocol at a payload size.
+type PerfCell struct {
+	Protocol string `json:"protocol"`
+	// Size is the payload size in bytes.
+	Size int `json:"size"`
+	// Logged reports whether the protocol sender-logs the profiled channel.
+	Logged bool `json:"logged"`
+	// Ops is the number of measured operations.
+	Ops int `json:"ops"`
+	// NsPerOp, AllocsPerOp, BytesPerOp are real (not virtual) costs of one
+	// send/recv round.
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	// PoolGets / PoolMisses are the buffer-pool counters the cell moved; a
+	// high hit rate is the zero-copy fabric working.
+	PoolGets   uint64 `json:"pool_gets"`
+	PoolMisses uint64 `json:"pool_misses"`
+	// AllocGuard is the enforced allocs/op ceiling (0 = not enforced) and
+	// GuardExceeded whether this cell violated it.
+	AllocGuard    float64 `json:"alloc_guard,omitempty"`
+	GuardExceeded bool    `json:"guard_exceeded,omitempty"`
+}
+
+// PerfResult is the machine-readable output of one perf profile, the content
+// of BENCH_perf_<name>.json.
+type PerfResult struct {
+	Name       string     `json:"name"`
+	GoMaxProcs int        `json:"gomaxprocs"`
+	GoVersion  string     `json:"go_version"`
+	Cells      []PerfCell `json:"cells"`
+}
+
+// perfPolicy builds the policy profiled for a protocol on a two-rank world
+// (ranks in different clusters, so SPBC logs the channel), or nil for native.
+func perfPolicy(proto runner.Protocol) core.Policy {
+	switch proto {
+	case runner.ProtocolSPBC:
+		return core.NewSPBCProtocol([]int{0, 1})
+	case runner.ProtocolCoordinated:
+		return core.NewCoordinatedProtocol(2)
+	case runner.ProtocolFullLog:
+		return core.NewFullLogProtocol(2)
+	default:
+		return nil
+	}
+}
+
+// runPerfCell measures one (protocol, size) point.
+func runPerfCell(proto runner.Protocol, size int, guard float64) (PerfCell, error) {
+	pol := perfPolicy(proto)
+	logged := pol != nil && pol.Logs(0, 1)
+
+	var benchErr error
+	before := buf.PoolStats()
+	res := testing.Benchmark(func(b *testing.B) {
+		w, err := mpi.NewWorld(2, simnet.DefaultCostModel())
+		if err != nil {
+			benchErr = err
+			b.SkipNow()
+			return
+		}
+		p0, p1 := w.Proc(0), w.Proc(1)
+		var store *logstore.Store
+		if pol != nil {
+			store = logstore.New()
+			p0.SetProtocol(core.NewSPBC(0, pol, w.Cost(), store))
+			p1.SetProtocol(core.NewSPBC(1, pol, w.Cost(), logstore.New()))
+		}
+		payload := make([]byte, size)
+		for i := range payload {
+			payload[i] = byte(i)
+		}
+		rbuf := make([]byte, size)
+		round := func() error {
+			if err := p0.Send(payload, 1, 0, nil); err != nil {
+				return err
+			}
+			if _, err := p1.Recv(rbuf, 0, 0, nil); err != nil {
+				return err
+			}
+			if store != nil {
+				if seq := p0.OutSeq(1, 0); seq%perfGCPeriod == 0 {
+					store.Truncate(1, 0, seq)
+				}
+			}
+			return nil
+		}
+		for i := 0; i < 2*perfGCPeriod; i++ { // warm pools and channel state
+			if err := round(); err != nil {
+				benchErr = err
+				b.SkipNow()
+				return
+			}
+		}
+		b.SetBytes(int64(size))
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := round(); err != nil {
+				benchErr = err
+				b.SkipNow()
+				return
+			}
+		}
+	})
+	if benchErr != nil {
+		return PerfCell{}, fmt.Errorf("bench: perf cell %s/size=%d: %w", proto, size, benchErr)
+	}
+	after := buf.PoolStats()
+
+	cell := PerfCell{
+		Protocol:    string(proto),
+		Size:        size,
+		Logged:      logged,
+		Ops:         res.N,
+		NsPerOp:     float64(res.T.Nanoseconds()) / float64(res.N),
+		AllocsPerOp: float64(res.AllocsPerOp()),
+		BytesPerOp:  float64(res.AllocedBytesPerOp()),
+		PoolGets:    after.Gets - before.Gets,
+		PoolMisses:  after.Misses - before.Misses,
+	}
+	if guard >= 0 {
+		if guard == 0 {
+			if logged {
+				guard = defaultGuardLogged
+			} else {
+				guard = defaultGuardUnlogged
+			}
+		}
+		cell.AllocGuard = guard
+		cell.GuardExceeded = cell.AllocsPerOp > guard
+	}
+	return cell, nil
+}
+
+// RunPerf executes the perf profile. Cells run sequentially — each
+// measurement owns the process — in the deterministic protocol × size order.
+func RunPerf(m PerfMatrix) (*PerfResult, error) {
+	if err := m.normalize(); err != nil {
+		return nil, err
+	}
+	out := &PerfResult{
+		Name:       m.Name,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoVersion:  runtime.Version(),
+	}
+	for _, proto := range m.Protocols {
+		for _, size := range m.Sizes {
+			cell, err := runPerfCell(proto, size, m.AllocGuard)
+			if err != nil {
+				return nil, err
+			}
+			out.Cells = append(out.Cells, cell)
+		}
+	}
+	return out, nil
+}
+
+// Violations returns a description per cell that exceeded its alloc guard.
+func (r *PerfResult) Violations() []string {
+	var out []string
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.GuardExceeded {
+			out = append(out, fmt.Sprintf("%s/size=%d: %.2f allocs/op exceeds guard %.2f",
+				c.Protocol, c.Size, c.AllocsPerOp, c.AllocGuard))
+		}
+	}
+	return out
+}
+
+// JSON serializes the result (indented, stable field order).
+func (r *PerfResult) JSON() ([]byte, error) {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: marshal perf result: %w", err)
+	}
+	return raw, nil
+}
+
+// WriteJSON writes the JSON result to w.
+func (r *PerfResult) WriteJSON(w io.Writer) error {
+	raw, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
+}
+
+// WriteFile writes BENCH_perf_<name>.json into dir and returns the path.
+func (r *PerfResult) WriteFile(dir string) (string, error) {
+	if r.Name == "" || strings.ContainsAny(r.Name, "/\\") {
+		return "", fmt.Errorf("bench: invalid perf profile name %q", r.Name)
+	}
+	raw, err := r.JSON()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "BENCH_perf_"+r.Name+".json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// ReadPerfResult parses a result written by WriteJSON/WriteFile.
+func ReadPerfResult(raw []byte) (*PerfResult, error) {
+	var r PerfResult
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("bench: unmarshal perf result: %w", err)
+	}
+	return &r, nil
+}
+
+// Table renders the profile as an aligned plain-text table, one row per cell.
+func (r *PerfResult) Table() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("BENCH perf %s (GOMAXPROCS=%d, %s)", r.Name, r.GoMaxProcs, r.GoVersion),
+		"protocol", "size", "logged", "ns/op", "allocs/op", "B/op", "pool_hit%", "guard")
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		hit := 100.0
+		if c.PoolGets > 0 {
+			hit = 100 * float64(c.PoolGets-c.PoolMisses) / float64(c.PoolGets)
+		}
+		guard := "-"
+		if c.AllocGuard > 0 {
+			guard = fmt.Sprintf("<=%.1f", c.AllocGuard)
+			if c.GuardExceeded {
+				guard = fmt.Sprintf("VIOLATED(%.1f)", c.AllocGuard)
+			}
+		}
+		t.AddRow(
+			c.Protocol,
+			fmt.Sprint(c.Size),
+			fmt.Sprint(c.Logged),
+			fmt.Sprintf("%.0f", c.NsPerOp),
+			fmt.Sprintf("%.2f", c.AllocsPerOp),
+			fmt.Sprintf("%.0f", c.BytesPerOp),
+			fmt.Sprintf("%.1f", hit),
+			guard,
+		)
+	}
+	return t
+}

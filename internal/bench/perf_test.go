@@ -1,0 +1,130 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/runner"
+)
+
+func TestPerfMatrixNormalize(t *testing.T) {
+	m := PerfMatrix{}
+	if err := m.normalize(); err != nil {
+		t.Fatalf("zero matrix must normalize: %v", err)
+	}
+	if m.Name != "profile" || len(m.Protocols) != 4 || len(m.Sizes) != 3 {
+		t.Fatalf("defaults wrong: %+v", m)
+	}
+	bad := PerfMatrix{Sizes: []int{0}}
+	if err := bad.normalize(); err == nil {
+		t.Fatal("non-positive payload size must be rejected")
+	}
+	badProto := PerfMatrix{Protocols: []runner.Protocol{"warp-drive"}}
+	if err := badProto.normalize(); err == nil {
+		t.Fatal("unknown protocol must be rejected")
+	}
+}
+
+// goldenPerfResult is a hand-fixed perf result pinning the
+// BENCH_perf_*.json schema, independent of measured numbers.
+func goldenPerfResult() *PerfResult {
+	return &PerfResult{
+		Name:       "golden",
+		GoMaxProcs: 8,
+		GoVersion:  "go1.24.0",
+		Cells: []PerfCell{
+			{
+				Protocol: "native", Size: 1024, Logged: false, Ops: 100000,
+				NsPerOp: 750.5, AllocsPerOp: 2, BytesPerOp: 320,
+				PoolGets: 100000, PoolMisses: 12,
+				AllocGuard: 3,
+			},
+			{
+				Protocol: "spbc", Size: 1024, Logged: true, Ops: 100000,
+				NsPerOp: 900.25, AllocsPerOp: 4, BytesPerOp: 500,
+				PoolGets: 100000, PoolMisses: 12,
+				AllocGuard: 3.5, GuardExceeded: true,
+			},
+		},
+	}
+}
+
+// TestPerfGoldenJSON pins the BENCH_perf_*.json schema; the CI bench-smoke
+// job and trajectory tooling parse these files. Regenerate intentionally with
+// -update and audit the diff of testdata/perf_golden.json.
+func TestPerfGoldenJSON(t *testing.T) {
+	res := goldenPerfResult()
+	raw, err := res.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	raw = append(raw, '\n')
+	path := filepath.Join("testdata", "perf_golden.json")
+	if *update {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(raw) != string(want) {
+		t.Fatalf("perf JSON schema drifted from %s:\ngot:\n%s\nwant:\n%s", path, raw, want)
+	}
+	parsed, err := ReadPerfResult(want)
+	if err != nil {
+		t.Fatalf("ReadPerfResult on golden: %v", err)
+	}
+	if !reflect.DeepEqual(parsed, res) {
+		t.Fatalf("golden round trip changed the result:\nin  %+v\nout %+v", res, parsed)
+	}
+	vio := parsed.Violations()
+	if len(vio) != 1 || !strings.Contains(vio[0], "spbc/size=1024") {
+		t.Fatalf("golden violations = %v, want the spbc cell", vio)
+	}
+}
+
+// TestRunPerfSmoke measures one real cell per class (unlogged, logged) and
+// checks the invariants the profile is meant to guarantee, without asserting
+// machine-dependent numbers.
+func TestRunPerfSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("perf profile measures real time")
+	}
+	res, err := RunPerf(PerfMatrix{
+		Name:      "smoke",
+		Protocols: []runner.Protocol{runner.ProtocolNative, runner.ProtocolSPBC},
+		Sizes:     []int{512},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 2 {
+		t.Fatalf("expected 2 cells, got %d", len(res.Cells))
+	}
+	for _, c := range res.Cells {
+		if c.Ops <= 0 || c.NsPerOp <= 0 {
+			t.Errorf("cell %s: no measurement: %+v", c.Protocol, c)
+		}
+		if c.AllocGuard <= 0 {
+			t.Errorf("cell %s: default guard not applied", c.Protocol)
+		}
+		if c.GuardExceeded {
+			t.Errorf("cell %s: %v allocs/op exceeds guard %v — zero-copy path regressed",
+				c.Protocol, c.AllocsPerOp, c.AllocGuard)
+		}
+		if c.PoolGets == 0 {
+			t.Errorf("cell %s: pool counters did not move", c.Protocol)
+		}
+	}
+	if res.Cells[0].Logged || !res.Cells[1].Logged {
+		t.Fatalf("logged flags wrong: %+v", res.Cells)
+	}
+	if res.Table().String() == "" {
+		t.Fatal("table must render")
+	}
+}

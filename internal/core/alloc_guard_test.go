@@ -1,0 +1,88 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/buf"
+)
+
+// Allocation-regression guards on the steady-state eager send path. The
+// zero-copy fabric brings the path to two small allocations per send/recv
+// round (the two request headers): payload buffers and message headers are
+// pooled, the sender log retains the pooled payload instead of copying it,
+// and no trace machinery runs without a recorder. The thresholds leave slack
+// for a GC draining the pools mid-run, but sit far below the pre-fabric cost
+// (6 allocs/op native, 7 logged), so a reintroduced per-send copy or a
+// de-pooled header trips them.
+
+// Thresholds and GC cadence mirror the perf profile's defaults in
+// internal/bench/perf.go (defaultGuardUnlogged/defaultGuardLogged,
+// perfGCPeriod) — this package cannot import bench (bench imports core), so
+// keep the two enforcement points in sync by hand.
+const guardRounds = 100
+
+func guardAllocsPerSend(t *testing.T, logged bool) float64 {
+	t.Helper()
+	if raceEnabled {
+		// sync.Pool drops items on purpose under the race detector, so the
+		// pooled paths re-allocate; the guards run raceless in the CI bench
+		// job.
+		t.Skip("allocation guards are meaningless under the race detector")
+	}
+	p0, p1, store := newBenchPair(t, logged)
+	payload := make([]byte, 1024)
+	rbuf := make([]byte, 1024)
+	// Warm the channel state, the rings and the buffer pools.
+	if err := runEagerSteadyState(p0, p1, store, payload, rbuf, 2*benchGCPeriod); err != nil {
+		t.Fatal(err)
+	}
+	perRun := testing.AllocsPerRun(20, func() {
+		if err := runEagerSteadyState(p0, p1, store, payload, rbuf, guardRounds); err != nil {
+			t.Fatal(err)
+		}
+	})
+	return perRun / guardRounds
+}
+
+func TestAllocGuardEagerSendNative(t *testing.T) {
+	if got := guardAllocsPerSend(t, false); got > 3.0 {
+		t.Errorf("native eager send/recv allocates %.2f objects per round, want <= 3.0 "+
+			"(2 request headers plus pool-miss slack): the zero-copy path regressed", got)
+	}
+}
+
+func TestAllocGuardEagerSendSPBC(t *testing.T) {
+	if got := guardAllocsPerSend(t, true); got > 3.5 {
+		t.Errorf("logged (SPBC) eager send/recv allocates %.2f objects per round, want <= 3.5: "+
+			"the shared-payload log path regressed", got)
+	}
+}
+
+// The pool must actually recycle in steady state: a send/recv round with
+// periodic log GC returns every payload buffer, so pool gets vastly outnumber
+// pool misses.
+func TestBufferPoolRecyclesOnEagerPath(t *testing.T) {
+	if raceEnabled {
+		t.Skip("the race detector makes sync.Pool drop items on purpose")
+	}
+	p0, p1, store := newBenchPair(t, true)
+	payload := make([]byte, 1024)
+	rbuf := make([]byte, 1024)
+	if err := runEagerSteadyState(p0, p1, store, payload, rbuf, 2*benchGCPeriod); err != nil {
+		t.Fatal(err)
+	}
+	before := buf.PoolStats()
+	const rounds = 1000
+	if err := runEagerSteadyState(p0, p1, store, payload, rbuf, rounds); err != nil {
+		t.Fatal(err)
+	}
+	after := buf.PoolStats()
+	gets := after.Gets - before.Gets
+	missed := after.Misses - before.Misses
+	if gets < rounds {
+		t.Fatalf("expected at least %d pool gets, saw %d", rounds, gets)
+	}
+	if missed*10 > gets {
+		t.Errorf("pool misses %d out of %d gets: steady state should recycle (>90%% hits)", missed, gets)
+	}
+}

@@ -5,6 +5,7 @@ import (
 	"encoding/gob"
 	"fmt"
 
+	"repro/internal/buf"
 	"repro/internal/logstore"
 	"repro/internal/mpi"
 	"repro/internal/simnet"
@@ -101,11 +102,14 @@ func (s *SPBC) ExtraMatch(req, msg mpi.MatchID) bool { return req == msg }
 
 // OnSend logs the payload of the messages the policy selects in the sender's
 // memory (charging the memory-copy cost of the cost model, the protocol's
-// only failure-free overhead) and suppresses re-sends during recovery.
-func (s *SPBC) OnSend(p *mpi.Proc, env mpi.Envelope, payload []byte) (transmit bool, cost float64) {
+// only failure-free overhead) and suppresses re-sends during recovery. The
+// log retains a reference to the runtime's pooled payload copy instead of
+// copying it again: the virtual-time cost model still charges the paper's
+// memory-copy cost, but the simulator itself no longer pays a second copy.
+func (s *SPBC) OnSend(p *mpi.Proc, env mpi.Envelope, payload *buf.Buffer) (transmit bool, cost float64) {
 	if s.pol.Logs(env.Source, env.Dest) {
-		s.log.Append(logstore.Record{Env: env, Payload: payload, SendTime: p.Now()})
-		cost = s.cost.LogCost(len(payload))
+		s.log.AppendShared(env, payload, p.Now())
+		cost = s.cost.LogCost(payload.Len())
 	}
 	if cut, ok := s.cutoffs[env.OutChannel()]; ok && env.Seq <= cut {
 		return false, cost

@@ -3,6 +3,7 @@ package core
 import (
 	"testing"
 
+	"repro/internal/buf"
 	"repro/internal/logstore"
 	"repro/internal/mpi"
 	"repro/internal/simnet"
@@ -80,7 +81,7 @@ func TestSPBCOnSendLogsInterClusterOnly(t *testing.T) {
 	p := testProc(t)
 
 	intra := mpi.Envelope{Source: 0, Dest: 1, Seq: 1, Bytes: 4}
-	transmit, c := s.OnSend(p, intra, []byte{1, 2, 3, 4})
+	transmit, c := s.OnSend(p, intra, buf.Copy([]byte{1, 2, 3, 4}))
 	if !transmit || c != 0 {
 		t.Fatalf("intra-cluster send: transmit=%v cost=%g, want true/0", transmit, c)
 	}
@@ -89,7 +90,7 @@ func TestSPBCOnSendLogsInterClusterOnly(t *testing.T) {
 	}
 
 	inter := mpi.Envelope{Source: 0, Dest: 2, Seq: 1, Bytes: 4}
-	transmit, c = s.OnSend(p, inter, []byte{1, 2, 3, 4})
+	transmit, c = s.OnSend(p, inter, buf.Copy([]byte{1, 2, 3, 4}))
 	if !transmit {
 		t.Fatalf("inter-cluster send must be transmitted in failure-free mode")
 	}
@@ -110,7 +111,7 @@ func TestSPBCSuppressionCutoffs(t *testing.T) {
 
 	for seq, wantTransmit := range map[uint64]bool{1: false, 2: false, 3: true} {
 		env := mpi.Envelope{Source: 0, Dest: 1, Seq: seq, Bytes: 1}
-		transmit, _ := s.OnSend(p, env, []byte{9})
+		transmit, _ := s.OnSend(p, env, buf.Copy([]byte{9}))
 		if transmit != wantTransmit {
 			t.Fatalf("seq %d: transmit=%v, want %v", seq, transmit, wantTransmit)
 		}
@@ -122,7 +123,7 @@ func TestSPBCSuppressionCutoffs(t *testing.T) {
 
 	s.endRecovery()
 	env := mpi.Envelope{Source: 0, Dest: 1, Seq: 1, Bytes: 1}
-	if transmit, _ := s.OnSend(p, env, []byte{9}); !transmit {
+	if transmit, _ := s.OnSend(p, env, buf.Copy([]byte{9})); !transmit {
 		t.Fatalf("after endRecovery nothing is suppressed")
 	}
 }

@@ -4,51 +4,95 @@
 // outgoing channel and the per-channel sequence number, so that it can be
 // replayed after a failure of the destination's cluster.
 //
+// The store is sharded by outgoing channel: every channel log carries its own
+// mutex, so the application thread appending on one channel never contends
+// with a replay daemon reading another, and the volume counters are atomics
+// so the accounting reads taken by the harness are lock-free. Payloads are
+// held as references into the runtime's pooled buffer fabric (internal/buf):
+// AppendShared retains the sender's single payload copy instead of cloning
+// it, and Truncate — log garbage collection after the destination cluster
+// checkpoints — releases the references so the storage recycles.
+//
 // The store tracks both the currently retained volume (which can shrink when
-// logs are garbage-collected after the destination cluster checkpoints) and
-// the cumulative logged volume (which only grows and is what Table 1 of the
-// paper reports as the log growth rate).
+// logs are garbage-collected) and the cumulative logged volume (which only
+// grows and is what Table 1 of the paper reports as the log growth rate).
 package logstore
 
 import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
+	"repro/internal/buf"
 	"repro/internal/mpi"
 )
 
-// Record is one logged message.
+// Record is one logged message, in the export format of the store: the
+// payload is an independent copy, safe to hold across garbage collection.
 type Record struct {
 	Env      mpi.Envelope
 	Payload  []byte
 	SendTime float64 // virtual time at which the application sent the message
 }
 
-// channelLog holds the records of one outgoing channel in sequence order.
-type channelLog struct {
-	records []Record
+// entry is one logged message as held internally: a reference into the
+// pooled buffer fabric.
+type entry struct {
+	env      mpi.Envelope
+	payload  *buf.Buffer
+	sendTime float64
 }
 
-// locate returns the index of the record with the given seq, or -1.
+// channelLog holds the records of one outgoing channel in sequence order,
+// behind its own lock (the store's sharding unit).
+type channelLog struct {
+	mu      sync.Mutex
+	entries []entry
+}
+
+// locate returns the index of the entry with the given seq, or -1. Caller
+// holds c.mu.
 func (c *channelLog) locate(seq uint64) int {
-	i := sort.Search(len(c.records), func(i int) bool { return c.records[i].Env.Seq >= seq })
-	if i < len(c.records) && c.records[i].Env.Seq == seq {
+	i := sort.Search(len(c.entries), func(i int) bool { return c.entries[i].env.Seq >= seq })
+	if i < len(c.entries) && c.entries[i].env.Seq == seq {
 		return i
 	}
 	return -1
 }
 
+// insert places e in sequence order, returning false if an entry with the
+// same sequence number is already present (a re-logged duplicate). The
+// common case — monotonically increasing sequence numbers — is a plain
+// append; an out-of-order sequence number is placed by binary search, so the
+// slice stays sorted wherever the new entry lands. Caller holds c.mu.
+func (c *channelLog) insert(e entry) bool {
+	n := len(c.entries)
+	if n == 0 || e.env.Seq > c.entries[n-1].env.Seq {
+		c.entries = append(c.entries, e)
+		return true
+	}
+	i := sort.Search(n, func(i int) bool { return c.entries[i].env.Seq >= e.env.Seq })
+	if i < n && c.entries[i].env.Seq == e.env.Seq {
+		return false // duplicate from re-execution
+	}
+	c.entries = append(c.entries, entry{})
+	copy(c.entries[i+1:], c.entries[i:])
+	c.entries[i] = e
+	return true
+}
+
 // Store is a per-process sender-based message log. It is safe for concurrent
-// use by the application thread (appending) and the replay daemons (reading).
+// use by the application thread (appending) and the replay daemons (reading);
+// operations on different channels do not contend.
 type Store struct {
-	mu       sync.Mutex
+	mu       sync.RWMutex // guards the channel map only
 	channels map[mpi.ChanKey]*channelLog
 
-	retainedBytes   uint64
-	retainedCount   uint64
-	cumulativeBytes uint64
-	cumulativeCount uint64
+	retainedBytes   atomic.Uint64
+	retainedCount   atomic.Uint64
+	cumulativeBytes atomic.Uint64
+	cumulativeCount atomic.Uint64
 }
 
 // New creates an empty store.
@@ -56,107 +100,170 @@ func New() *Store {
 	return &Store{channels: make(map[mpi.ChanKey]*channelLog)}
 }
 
-// Append adds a record to the log. Appending a sequence number that is
-// already present (which happens when a recovering process re-executes and
-// re-logs its inter-cluster sends) is a no-op, so that replay content and
-// accounting stay consistent.
-func (s *Store) Append(rec Record) {
-	key := rec.Env.OutChannel()
+// channel returns the channel log for key, creating it on first use.
+func (s *Store) channel(key mpi.ChanKey) *channelLog {
+	s.mu.RLock()
+	cl := s.channels[key]
+	s.mu.RUnlock()
+	if cl != nil {
+		return cl
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	cl, ok := s.channels[key]
-	if !ok {
+	cl = s.channels[key]
+	if cl == nil {
 		cl = &channelLog{}
 		s.channels[key] = cl
 	}
-	if n := len(cl.records); n > 0 && rec.Env.Seq <= cl.records[n-1].Env.Seq {
-		if cl.locate(rec.Env.Seq) >= 0 {
-			return // duplicate from re-execution
-		}
+	return cl
+}
+
+// lookup returns the channel log for key, or nil.
+func (s *Store) lookup(key mpi.ChanKey) *channelLog {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.channels[key]
+}
+
+// account records one inserted payload in the volume counters.
+func (s *Store) account(n int) {
+	s.retainedBytes.Add(uint64(n))
+	s.retainedCount.Add(1)
+	s.cumulativeBytes.Add(uint64(n))
+	s.cumulativeCount.Add(1)
+}
+
+// sub atomically subtracts v from a (two's-complement addition).
+func sub(a *atomic.Uint64, v uint64) { a.Add(^(v - 1)) }
+
+// AppendShared adds a record whose payload is a pooled buffer, retaining a
+// reference instead of copying — the zero-copy path of the send hot loop.
+// Appending a sequence number that is already present (which happens when a
+// recovering process re-executes and re-logs its inter-cluster sends) is a
+// no-op, so replay content and accounting stay consistent.
+func (s *Store) AppendShared(env mpi.Envelope, payload *buf.Buffer, sendTime float64) {
+	cl := s.channel(env.OutChannel())
+	cl.mu.Lock()
+	// Accounting happens under the shard lock so a concurrent Truncate on
+	// the channel cannot subtract this entry before its add lands.
+	if cl.insert(entry{env: env, payload: payload, sendTime: sendTime}) {
+		payload.Retain()
+		s.account(payload.Len())
 	}
-	rec.Payload = append([]byte(nil), rec.Payload...)
-	cl.records = append(cl.records, rec)
-	// Keep the slice ordered even if an out-of-order append slips in.
-	if n := len(cl.records); n > 1 && cl.records[n-1].Env.Seq < cl.records[n-2].Env.Seq {
-		sort.Slice(cl.records, func(i, j int) bool { return cl.records[i].Env.Seq < cl.records[j].Env.Seq })
+	cl.mu.Unlock()
+}
+
+// Append adds a record, copying its payload. Duplicate sequence numbers are
+// a no-op, as in AppendShared.
+func (s *Store) Append(rec Record) {
+	cl := s.channel(rec.Env.OutChannel())
+	cl.mu.Lock()
+	// Copy into the pool only once insertion is certain.
+	if n := len(cl.entries); n > 0 && rec.Env.Seq <= cl.entries[n-1].env.Seq && cl.locate(rec.Env.Seq) >= 0 {
+		cl.mu.Unlock()
+		return
 	}
-	s.retainedBytes += uint64(len(rec.Payload))
-	s.retainedCount++
-	s.cumulativeBytes += uint64(len(rec.Payload))
-	s.cumulativeCount++
+	pb := buf.Copy(rec.Payload)
+	if cl.insert(entry{env: rec.Env, payload: pb, sendTime: rec.SendTime}) {
+		s.account(pb.Len())
+	} else {
+		pb.Release()
+	}
+	cl.mu.Unlock()
+}
+
+// export converts an internal entry to the public Record form, copying the
+// payload out of the pooled fabric.
+func (e *entry) export() Record {
+	return Record{
+		Env:      e.env,
+		Payload:  append([]byte(nil), e.payload.Bytes()...),
+		SendTime: e.sendTime,
+	}
 }
 
 // Get returns the record with the given sequence number on the channel to
 // (dstWorld, commID).
 func (s *Store) Get(dstWorld, commID int, seq uint64) (Record, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cl, ok := s.channels[mpi.ChanKey{Peer: dstWorld, Comm: commID}]
-	if !ok {
+	cl := s.lookup(mpi.ChanKey{Peer: dstWorld, Comm: commID})
+	if cl == nil {
 		return Record{}, false
 	}
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
 	i := cl.locate(seq)
 	if i < 0 {
 		return Record{}, false
 	}
-	return cl.records[i], true
+	return cl.entries[i].export(), true
 }
 
 // Range returns a copy of the records on the channel to (dstWorld, commID)
 // with sequence number >= fromSeq, in sequence order.
 func (s *Store) Range(dstWorld, commID int, fromSeq uint64) []Record {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cl, ok := s.channels[mpi.ChanKey{Peer: dstWorld, Comm: commID}]
-	if !ok {
+	cl := s.lookup(mpi.ChanKey{Peer: dstWorld, Comm: commID})
+	if cl == nil {
 		return nil
 	}
-	i := sort.Search(len(cl.records), func(i int) bool { return cl.records[i].Env.Seq >= fromSeq })
-	out := make([]Record, len(cl.records)-i)
-	copy(out, cl.records[i:])
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	i := sort.Search(len(cl.entries), func(i int) bool { return cl.entries[i].env.Seq >= fromSeq })
+	out := make([]Record, 0, len(cl.entries)-i)
+	for ; i < len(cl.entries); i++ {
+		out = append(out, cl.entries[i].export())
+	}
 	return out
 }
 
 // MaxSeq returns the highest logged sequence number on the channel, or 0.
 func (s *Store) MaxSeq(dstWorld, commID int) uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cl, ok := s.channels[mpi.ChanKey{Peer: dstWorld, Comm: commID}]
-	if !ok || len(cl.records) == 0 {
+	cl := s.lookup(mpi.ChanKey{Peer: dstWorld, Comm: commID})
+	if cl == nil {
 		return 0
 	}
-	return cl.records[len(cl.records)-1].Env.Seq
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	if len(cl.entries) == 0 {
+		return 0
+	}
+	return cl.entries[len(cl.entries)-1].env.Seq
 }
 
 // Truncate drops every record with sequence number <= uptoSeq on the channel
-// to (dstWorld, commID). It is used for log garbage collection once the
-// destination's cluster has taken a checkpoint that covers those messages.
-// The cumulative counters are unaffected. It returns the number of records
-// dropped.
+// to (dstWorld, commID), releasing the payload references back to the buffer
+// pool. It is used for log garbage collection once the destination's cluster
+// has taken a checkpoint that covers those messages. The cumulative counters
+// are unaffected. It returns the number of records dropped.
 func (s *Store) Truncate(dstWorld, commID int, uptoSeq uint64) int {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cl, ok := s.channels[mpi.ChanKey{Peer: dstWorld, Comm: commID}]
-	if !ok {
+	cl := s.lookup(mpi.ChanKey{Peer: dstWorld, Comm: commID})
+	if cl == nil {
 		return 0
 	}
-	i := sort.Search(len(cl.records), func(i int) bool { return cl.records[i].Env.Seq > uptoSeq })
-	for _, r := range cl.records[:i] {
-		s.retainedBytes -= uint64(len(r.Payload))
-		s.retainedCount--
+	cl.mu.Lock()
+	defer cl.mu.Unlock()
+	i := sort.Search(len(cl.entries), func(i int) bool { return cl.entries[i].env.Seq > uptoSeq })
+	if i == 0 {
+		return 0
 	}
-	cl.records = append([]Record(nil), cl.records[i:]...)
+	var bytes uint64
+	for j := 0; j < i; j++ {
+		bytes += uint64(cl.entries[j].payload.Len())
+		cl.entries[j].payload.Release()
+	}
+	cl.entries = append(cl.entries[:0], cl.entries[i:]...)
+	sub(&s.retainedBytes, bytes)
+	sub(&s.retainedCount, uint64(i))
 	return i
 }
 
 // Channels returns the channel keys present in the store, sorted.
 func (s *Store) Channels() []mpi.ChanKey {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
 	keys := make([]mpi.ChanKey, 0, len(s.channels))
 	for k := range s.channels {
 		keys = append(keys, k)
 	}
+	s.mu.RUnlock()
 	sort.Slice(keys, func(i, j int) bool {
 		if keys[i].Comm != keys[j].Comm {
 			return keys[i].Comm < keys[j].Comm
@@ -167,72 +274,84 @@ func (s *Store) Channels() []mpi.ChanKey {
 }
 
 // RetainedBytes returns the volume currently held in memory.
-func (s *Store) RetainedBytes() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.retainedBytes
-}
+func (s *Store) RetainedBytes() uint64 { return s.retainedBytes.Load() }
 
 // RetainedCount returns the number of records currently held.
-func (s *Store) RetainedCount() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.retainedCount
-}
+func (s *Store) RetainedCount() uint64 { return s.retainedCount.Load() }
 
 // CumulativeBytes returns the total volume ever logged (monotonic); this is
 // the quantity whose growth rate Table 1 reports.
-func (s *Store) CumulativeBytes() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cumulativeBytes
-}
+func (s *Store) CumulativeBytes() uint64 { return s.cumulativeBytes.Load() }
 
 // CumulativeCount returns the total number of records ever logged.
-func (s *Store) CumulativeCount() uint64 {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.cumulativeCount
-}
+func (s *Store) CumulativeCount() uint64 { return s.cumulativeCount.Load() }
 
 // Snapshot returns a deep copy of the store, used when the log is saved as
 // part of a coordinated checkpoint (Algorithm 1 line 15 saves (State, Logs)).
+// Channels are copied one at a time, so a snapshot taken while other shards
+// mutate is a per-channel-consistent cut rather than a global point in time;
+// the retained counters are recomputed from the copied entries, so the
+// snapshot's accounting always matches its contents exactly. (The engine
+// snapshots only at quiesced points, where the cut is exact.)
 func (s *Store) Snapshot() *Store {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	cp := &Store{
-		channels:        make(map[mpi.ChanKey]*channelLog, len(s.channels)),
-		retainedBytes:   s.retainedBytes,
-		retainedCount:   s.retainedCount,
-		cumulativeBytes: s.cumulativeBytes,
-		cumulativeCount: s.cumulativeCount,
-	}
-	for k, cl := range s.channels {
-		recs := make([]Record, len(cl.records))
-		for i, r := range cl.records {
-			recs[i] = Record{Env: r.Env, Payload: append([]byte(nil), r.Payload...), SendTime: r.SendTime}
+	cp := New()
+	var retBytes, retCount uint64
+	for _, key := range s.Channels() {
+		cl := s.lookup(key)
+		if cl == nil {
+			continue
 		}
-		cp.channels[k] = &channelLog{records: recs}
+		cl.mu.Lock()
+		entries := make([]entry, len(cl.entries))
+		for i := range cl.entries {
+			e := &cl.entries[i]
+			entries[i] = entry{env: e.env, payload: buf.Copy(e.payload.Bytes()), sendTime: e.sendTime}
+			retBytes += uint64(e.payload.Len())
+			retCount++
+		}
+		cl.mu.Unlock()
+		cp.channels[key] = &channelLog{entries: entries}
 	}
+	cp.retainedBytes.Store(retBytes)
+	cp.retainedCount.Store(retCount)
+	cp.cumulativeBytes.Store(s.cumulativeBytes.Load())
+	cp.cumulativeCount.Store(s.cumulativeCount.Load())
 	return cp
 }
 
-// RestoreFrom replaces the content of s with a deep copy of other.
+// RestoreFrom replaces the content of s with a deep copy of other, releasing
+// the payload references s currently holds.
+//
+// Unlike the append/read/GC operations, RestoreFrom is NOT safe against a
+// concurrent appender on s: an append racing the channel-map swap could land
+// in an orphaned shard and be lost. The caller must quiesce the store's
+// writer first — the engine only restores during rollback, between recovery
+// rendezvous, when the owning rank performs no sends.
 func (s *Store) RestoreFrom(other *Store) {
 	cp := other.Snapshot()
 	s.mu.Lock()
-	defer s.mu.Unlock()
+	old := s.channels
 	s.channels = cp.channels
-	s.retainedBytes = cp.retainedBytes
-	s.retainedCount = cp.retainedCount
-	s.cumulativeBytes = cp.cumulativeBytes
-	s.cumulativeCount = cp.cumulativeCount
+	s.mu.Unlock()
+	for _, cl := range old {
+		cl.mu.Lock()
+		for i := range cl.entries {
+			cl.entries[i].payload.Release()
+		}
+		cl.entries = nil
+		cl.mu.Unlock()
+	}
+	s.retainedBytes.Store(cp.retainedBytes.Load())
+	s.retainedCount.Store(cp.retainedCount.Load())
+	s.cumulativeBytes.Store(cp.cumulativeBytes.Load())
+	s.cumulativeCount.Store(cp.cumulativeCount.Load())
 }
 
 // String summarizes the store.
 func (s *Store) String() string {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+	s.mu.RLock()
+	n := len(s.channels)
+	s.mu.RUnlock()
 	return fmt.Sprintf("logstore{channels=%d retained=%dB cumulative=%dB}",
-		len(s.channels), s.retainedBytes, s.cumulativeBytes)
+		n, s.retainedBytes.Load(), s.cumulativeBytes.Load())
 }

@@ -1,9 +1,11 @@
 package logstore
 
 import (
+	"sync"
 	"testing"
 	"testing/quick"
 
+	"repro/internal/buf"
 	"repro/internal/mpi"
 )
 
@@ -186,5 +188,145 @@ func TestPropertyAccountingConsistent(t *testing.T) {
 	}
 	if err := quick.Check(f, nil); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// The repaired insertion path: a sequence number that lands more than one
+// position early must be placed by binary search, keeping the slice sorted so
+// locate's binary search (Get, Range, Truncate) stays correct, and must still
+// deduplicate re-logged records wherever they land.
+func TestOutOfOrderInsertionDeep(t *testing.T) {
+	s := New()
+	for _, seq := range []uint64{1, 2, 5, 6, 7} {
+		s.Append(rec(1, 0, seq, "x"))
+	}
+	s.Append(rec(1, 0, 3, "early")) // lands two positions before the tail
+	s.Append(rec(1, 0, 4, "early"))
+
+	got := s.Range(1, 0, 0)
+	if len(got) != 7 {
+		t.Fatalf("expected 7 records, got %d", len(got))
+	}
+	for i, r := range got {
+		if r.Env.Seq != uint64(i+1) {
+			t.Fatalf("records not in seq order after deep out-of-order insert: %v", got)
+		}
+	}
+	for seq := uint64(1); seq <= 7; seq++ {
+		if _, ok := s.Get(1, 0, seq); !ok {
+			t.Fatalf("Get(%d) failed: binary search broken by out-of-order insert", seq)
+		}
+	}
+
+	// Re-logging any position — head, middle, tail — must be a no-op.
+	before := s.CumulativeCount()
+	for _, seq := range []uint64{1, 3, 4, 7} {
+		s.Append(rec(1, 0, seq, "dup"))
+	}
+	if s.CumulativeCount() != before {
+		t.Fatalf("duplicate re-log changed accounting: %d -> %d", before, s.CumulativeCount())
+	}
+	if r, _ := s.Get(1, 0, 3); string(r.Payload) != "early" {
+		t.Fatalf("duplicate re-log overwrote content: %q", r.Payload)
+	}
+
+	// Truncation in the repaired middle must drop exactly the prefix.
+	if dropped := s.Truncate(1, 0, 4); dropped != 4 {
+		t.Fatalf("Truncate(<=4) dropped %d records, want 4", dropped)
+	}
+	if s.RetainedCount() != 3 || s.MaxSeq(1, 0) != 7 {
+		t.Fatalf("post-truncate state wrong: %s", s)
+	}
+}
+
+// AppendShared must retain the caller's pooled buffer instead of copying it,
+// retain nothing on duplicates, and give the reference back on Truncate.
+func TestAppendSharedRetainsAndReleases(t *testing.T) {
+	s := New()
+	payload := []byte("shared payload")
+	pb := buf.Copy(payload)
+	env := rec(1, 0, 1, string(payload)).Env
+
+	s.AppendShared(env, pb, 0.5)
+	if pb.Refs() != 2 {
+		t.Fatalf("log must retain the buffer: refs = %d, want 2", pb.Refs())
+	}
+	if got, ok := s.Get(1, 0, 1); !ok || string(got.Payload) != string(payload) {
+		t.Fatalf("Get after AppendShared = %q, %v", got.Payload, ok)
+	}
+	if s.CumulativeBytes() != uint64(len(payload)) {
+		t.Fatalf("cumulative bytes = %d, want %d", s.CumulativeBytes(), len(payload))
+	}
+
+	// A re-logged duplicate must not take another reference.
+	s.AppendShared(env, pb, 0.7)
+	if pb.Refs() != 2 {
+		t.Fatalf("duplicate AppendShared changed refs to %d", pb.Refs())
+	}
+
+	// Log GC releases the store's reference; the caller's remains valid.
+	if dropped := s.Truncate(1, 0, 1); dropped != 1 {
+		t.Fatalf("Truncate dropped %d, want 1", dropped)
+	}
+	if pb.Refs() != 1 {
+		t.Fatalf("Truncate must release the log's reference: refs = %d, want 1", pb.Refs())
+	}
+	if string(pb.Bytes()) != string(payload) {
+		t.Fatalf("caller's buffer corrupted after GC: %q", pb.Bytes())
+	}
+	pb.Release()
+}
+
+// The sharded store: concurrent appenders on distinct channels, a reader and
+// a garbage collector must not interfere (run under -race in CI).
+func TestConcurrentShardedUse(t *testing.T) {
+	s := New()
+	const perChannel = 200
+	var wg sync.WaitGroup
+	for dst := 1; dst <= 4; dst++ {
+		dst := dst
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for seq := 1; seq <= perChannel; seq++ {
+				s.Append(rec(dst, 0, uint64(seq), "abcdefgh"))
+			}
+		}()
+	}
+	wg.Add(2)
+	go func() { // replay-daemon style reader
+		defer wg.Done()
+		for i := 0; i < 100; i++ {
+			for dst := 1; dst <= 4; dst++ {
+				recs := s.Range(dst, 0, 1)
+				for j := 1; j < len(recs); j++ {
+					if recs[j].Env.Seq <= recs[j-1].Env.Seq {
+						t.Error("concurrent Range returned unsorted records")
+						return
+					}
+				}
+			}
+		}
+	}()
+	go func() { // checkpoint-GC style truncator on one channel
+		defer wg.Done()
+		for i := 0; i < 50; i++ {
+			s.Truncate(1, 0, uint64(i*2))
+		}
+	}()
+	wg.Wait()
+	if got := s.CumulativeCount(); got != 4*perChannel {
+		t.Fatalf("cumulative count = %d, want %d", got, 4*perChannel)
+	}
+	total := uint64(0)
+	for dst := 2; dst <= 4; dst++ {
+		if n := uint64(len(s.Range(dst, 0, 1))); n != perChannel {
+			t.Fatalf("channel %d lost records: %d", dst, n)
+		}
+		total += perChannel
+	}
+	total += uint64(len(s.Range(1, 0, 1)))
+	if s.RetainedCount() != total {
+		t.Fatalf("retained count = %d, want %d", s.RetainedCount(), total)
 	}
 }

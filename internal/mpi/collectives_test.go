@@ -5,6 +5,7 @@ import (
 	"math"
 	"testing"
 
+	"repro/internal/buf"
 	"repro/internal/simnet"
 )
 
@@ -341,7 +342,7 @@ type countingProtocol struct {
 	sends int
 }
 
-func (c *countingProtocol) OnSend(p *Proc, env Envelope, payload []byte) (bool, float64) {
+func (c *countingProtocol) OnSend(p *Proc, env Envelope, payload *buf.Buffer) (bool, float64) {
 	c.sends++
 	return true, 0
 }

@@ -4,20 +4,50 @@ import (
 	"fmt"
 	"sync"
 
+	bufpkg "repro/internal/buf"
 	"repro/internal/simnet"
 	"repro/internal/trace"
 )
 
 // inMessage is a message held by the destination process, either matched to a
-// request or sitting in the unexpected-message queue.
+// request or sitting in the unexpected-message queue. Instances are recycled
+// through msgPool: the runtime releases a message (and the references it
+// holds) when it is consumed by a receive, dropped as a duplicate, purged, or
+// discarded by a channel restore.
 type inMessage struct {
 	env        Envelope
-	payload    []byte
-	arriveTime float64 // eager: full payload available; rendezvous: header available
+	payload    *bufpkg.Buffer // one reference owned by the message
+	arriveTime float64        // eager: full payload available; rendezvous: header available
+	arrival    uint64         // stamp ordering entries across unexpected queues
 	eager      bool
 	sendReq    *Request // rendezvous: sender's request, completed when the transfer finishes
 	replayed   bool     // injected by a recovery replay daemon
-	senderVC   trace.VectorClock
+	// senderVC is the sender's clock at send time (empty when no recorder is
+	// attached). Its backing array survives pooling, so steady-state traced
+	// sends clone the clock without allocating.
+	senderVC trace.VectorClock
+}
+
+// msgPool recycles inMessage headers so the steady-state eager path performs
+// no per-message allocation.
+var msgPool = sync.Pool{New: func() any { return new(inMessage) }}
+
+// newMsg returns a zeroed message header.
+func newMsg() *inMessage { return msgPool.Get().(*inMessage) }
+
+// releaseMsg returns the message's payload reference and recycles the
+// header, keeping the sender-clock storage for the next traced send. The
+// caller must hold the only reference to the header.
+func releaseMsg(m *inMessage) {
+	if m.payload != nil {
+		m.payload.Release()
+	}
+	vc := m.senderVC
+	*m = inMessage{}
+	if vc != nil {
+		m.senderVC = vc[:0]
+	}
+	msgPool.Put(m)
 }
 
 // inChannelState is the per-incoming-channel bookkeeping of a process.
@@ -98,10 +128,13 @@ type ProcStatsView struct {
 }
 
 // Proc is the per-rank handle used by application code. All communication
-// methods must be called from the rank's own goroutine (the one started by
-// World.Run); protocol daemons interact with a Proc only through the
-// explicitly concurrent-safe methods (InjectReplay, SetRouted, channel
-// accessors, snapshot/restore helpers).
+// methods (Isend/Irecv/Send/Recv/Iprobe/Probe, the collectives, and the
+// Wait/Test family) must be called from the rank's own goroutine (the one
+// started by World.Run): beyond the virtual clock, they share per-rank
+// scratch state (the stamping envelope, the vector clock) that is
+// deliberately unsynchronized. Protocol daemons interact with a Proc only
+// through the explicitly concurrent-safe methods (InjectReplay, SetRouted,
+// channel accessors, snapshot/restore helpers).
 type Proc struct {
 	world    *World
 	id       int
@@ -111,17 +144,31 @@ type Proc struct {
 
 	Stats ProcStats
 
-	mu         sync.Mutex
-	cond       *sync.Cond
-	unexpected []*inMessage
-	posted     []*Request
-	inState    map[ChanKey]*inChannelState
-	pending    int // incomplete requests
+	mu   sync.Mutex
+	cond *sync.Cond
+	// unexp indexes received-but-unmatched messages by their concrete
+	// (source, comm, tag); arrivals stamps them so wildcard receives can
+	// recover global arrival order across queues.
+	unexp    map[matchKey]*ring[*inMessage]
+	unexpN   int
+	arrivals uint64
+	// posted indexes outstanding reception requests by their requested
+	// (source, comm, tag), wildcards included; postStamp orders them.
+	posted    map[matchKey]*ring[*Request]
+	postStamp uint64
+	inState   map[ChanKey]*inChannelState
+	pending   int // incomplete requests
 
 	outMu sync.Mutex
 	out   map[ChanKey]*outChannelState
 
 	collSeq map[int]uint64 // per-communicator collective sequence
+
+	// stampEnv is the scratch envelope handed to the protocol's stamping
+	// hooks. Passing a pointer into the Proc instead of a stack local keeps
+	// the interface call from forcing a heap allocation per operation; it is
+	// only touched from the rank's own goroutine (the stamping contract).
+	stampEnv Envelope
 }
 
 func newProc(w *World, id int) *Proc {
@@ -129,6 +176,8 @@ func newProc(w *World, id int) *Proc {
 		world:    w,
 		id:       id,
 		protocol: NopProtocol{},
+		unexp:    make(map[matchKey]*ring[*inMessage]),
+		posted:   make(map[matchKey]*ring[*Request]),
 		inState:  make(map[ChanKey]*inChannelState),
 		out:      make(map[ChanKey]*outChannelState),
 		collSeq:  make(map[int]uint64),
@@ -226,7 +275,10 @@ func (p *Proc) Isend(buf []byte, dest, tag int, comm *Comm) (*Request, error) {
 	return p.isend(buf, dstWorld, tag, comm)
 }
 
-// isend is the internal send path; tag may be in the collective range.
+// isend is the internal send path; tag may be in the collective range. The
+// user buffer is copied exactly once, into a pooled refcounted buffer that is
+// then shared by the in-flight message and (through the protocol's OnSend
+// hook) the sender-based log record.
 func (p *Proc) isend(buf []byte, dstWorld, tag int, comm *Comm) (*Request, error) {
 	if p.world.Stopped() {
 		return nil, ErrWorldStopped
@@ -240,7 +292,7 @@ func (p *Proc) isend(buf []byte, dstWorld, tag int, comm *Comm) (*Request, error
 	routed := out.routed
 	out.mu.Unlock()
 
-	env := Envelope{
+	p.stampEnv = Envelope{
 		Source: p.id,
 		Dest:   dstWorld,
 		CommID: comm.id,
@@ -248,11 +300,15 @@ func (p *Proc) isend(buf []byte, dstWorld, tag int, comm *Comm) (*Request, error
 		Seq:    seq,
 		Bytes:  len(buf),
 	}
-	p.protocol.StampSend(p, &env)
+	p.protocol.StampSend(p, &p.stampEnv)
+	env := p.stampEnv
 
 	p.clock.Advance(cost.SendOverhead)
 
-	transmit, extra := p.protocol.OnSend(p, env, buf)
+	// The single payload copy: the protocol retains it if it logs the
+	// message, and the message carries it to the receiver.
+	pb := bufpkg.Copy(buf)
+	transmit, extra := p.protocol.OnSend(p, env, pb)
 	p.clock.Advance(extra)
 
 	req := &Request{proc: p, kind: reqSend, comm: comm}
@@ -274,10 +330,9 @@ func (p *Proc) isend(buf []byte, dstWorld, tag int, comm *Comm) (*Request, error
 	}
 	p.Stats.mu.Unlock()
 
-	var senderVC trace.VectorClock
-	if p.world.rec != nil {
+	recorded := p.world.rec != nil
+	if recorded {
 		p.vc.Tick(p.id)
-		senderVC = p.vc.Clone()
 		p.world.rec.Record(trace.Event{
 			Kind:    trace.EventSend,
 			Rank:    p.id,
@@ -287,26 +342,28 @@ func (p *Proc) isend(buf []byte, dstWorld, tag int, comm *Comm) (*Request, error
 			Bytes:   len(buf),
 			Time:    now,
 			Digest:  trace.Digest(buf),
-			Clock:   senderVC,
+			Clock:   p.vc, // cloned by Record
 		})
 	}
 
 	if !transmit || routed {
 		// Suppressed (recovery re-execution, Algorithm 1 line 7) or routed
-		// through a replay daemon: the send request completes locally.
+		// through a replay daemon: the send request completes locally. The
+		// log holds its own reference if the message was logged.
+		pb.Release()
 		p.mu.Lock()
 		p.completeLocked(req, now, Status{})
 		p.mu.Unlock()
 		return req, nil
 	}
 
-	payload := append([]byte(nil), buf...)
 	eager := cost.IsEager(len(buf))
-	msg := &inMessage{
-		env:      env,
-		payload:  payload,
-		eager:    eager,
-		senderVC: senderVC,
+	msg := newMsg()
+	msg.env = env
+	msg.payload = pb
+	msg.eager = eager
+	if recorded {
+		msg.senderVC = trace.CloneInto(msg.senderVC, p.vc)
 	}
 	if eager {
 		msg.arriveTime = cost.EagerArrival(now, p.id, dstWorld, len(buf))
@@ -353,25 +410,21 @@ func (p *Proc) deliverMessage(msg *inMessage) {
 		// Duplicate (recovery replay overlapped with a direct transmission):
 		// channel-determinism guarantees the payload is identical, drop it.
 		p.mu.Unlock()
+		releaseMsg(msg)
 		return
 	}
 	st.maxSeqSeen = msg.env.Seq
 
-	// Try to match against the posted-receive queue, in post order.
-	matched := false
-	for i, req := range p.posted {
-		if p.canMatchLocked(req, msg) {
-			p.posted = append(p.posted[:i], p.posted[i+1:]...)
-			senderDone, sT := p.matchLocked(req, msg)
-			if senderDone != nil {
-				completeSender, senderTime = senderDone, sT
-			}
-			matched = true
-			break
+	// Match against the earliest posted matching request, in post order.
+	if req := p.matchPostedLocked(msg); req != nil {
+		senderDone, sT := p.matchLocked(req, msg)
+		if senderDone != nil {
+			completeSender, senderTime = senderDone, sT
 		}
-	}
-	if !matched {
-		p.unexpected = append(p.unexpected, msg)
+	} else {
+		p.arrivals++
+		msg.arrival = p.arrivals
+		p.pushUnexpectedLocked(msg)
 	}
 	p.cond.Broadcast()
 	p.mu.Unlock()
@@ -379,6 +432,111 @@ func (p *Proc) deliverMessage(msg *inMessage) {
 	if completeSender != nil {
 		completeSender.proc.completeExternal(completeSender, senderTime)
 	}
+}
+
+// pushUnexpectedLocked files a stamped message under its concrete
+// (source, comm, tag) queue. Caller holds p.mu.
+func (p *Proc) pushUnexpectedLocked(msg *inMessage) {
+	key := matchKey{source: msg.env.Source, comm: msg.env.CommID, tag: msg.env.Tag}
+	q := p.unexp[key]
+	if q == nil {
+		q = &ring[*inMessage]{}
+		p.unexp[key] = q
+	}
+	q.push(msg)
+	p.unexpN++
+}
+
+// dropUnexpectedLocked releases and discards every queued unexpected message.
+// Caller holds p.mu.
+func (p *Proc) dropUnexpectedLocked() {
+	for _, q := range p.unexp {
+		for i := q.head; i < len(q.items); i++ {
+			releaseMsg(q.items[i])
+		}
+		q.reset()
+	}
+	p.unexpN = 0
+}
+
+// matchPostedLocked finds — and removes from its queue — the earliest posted
+// request that matches msg, considering the four (source, tag) wildcard
+// combinations the message can match. Caller holds p.mu.
+func (p *Proc) matchPostedLocked(msg *inMessage) *Request {
+	keys := [4]matchKey{
+		{msg.env.Source, msg.env.CommID, msg.env.Tag},
+		{msg.env.Source, msg.env.CommID, AnyTag},
+		{AnySource, msg.env.CommID, msg.env.Tag},
+		{AnySource, msg.env.CommID, AnyTag},
+	}
+	var best *Request
+	var bestQ *ring[*Request]
+	bestIdx := -1
+	for _, k := range keys {
+		q := p.posted[k]
+		if q == nil {
+			continue
+		}
+		// First matching request in this queue; queues are in post order, so
+		// the stamp-minimal first-match across queues is the globally
+		// earliest posted match.
+		for i := q.head; i < len(q.items); i++ {
+			req := q.items[i]
+			if p.canMatchLocked(req, msg) {
+				if best == nil || req.stamp < best.stamp {
+					best, bestQ, bestIdx = req, q, i
+				}
+				break
+			}
+		}
+	}
+	if best != nil {
+		bestQ.removeAt(bestIdx)
+	}
+	return best
+}
+
+// scanUnexpectedLocked finds the earliest arrived unexpected message matching
+// req, returning its queue and absolute index (or a nil message). The caller
+// decides whether to consume it (receive) or only observe it (probe). Caller
+// holds p.mu.
+func (p *Proc) scanUnexpectedLocked(req *Request) (*inMessage, *ring[*inMessage], int) {
+	var best *inMessage
+	var bestQ *ring[*inMessage]
+	bestIdx := -1
+	consider := func(q *ring[*inMessage]) {
+		// First matching message in this queue; queues are in arrival order,
+		// so the arrival-minimal first-match across queues is the globally
+		// earliest arrived match.
+		for i := q.head; i < len(q.items); i++ {
+			m := q.items[i]
+			if p.canMatchLocked(req, m) {
+				if best == nil || m.arrival < best.arrival {
+					best, bestQ, bestIdx = m, q, i
+				}
+				return
+			}
+		}
+	}
+	if req.wantSource != AnySource && req.wantTag != AnyTag {
+		if q := p.unexp[matchKey{req.wantSource, req.comm.id, req.wantTag}]; q != nil {
+			consider(q)
+		}
+		return best, bestQ, bestIdx
+	}
+	for k, q := range p.unexp {
+		if k.comm != req.comm.id {
+			continue
+		}
+		if req.wantSource != AnySource && k.source != req.wantSource {
+			continue
+		}
+		if req.wantTag != AnyTag && k.tag != req.wantTag {
+			continue
+		}
+		consider(q)
+	}
+	return best, bestQ, bestIdx
 }
 
 // canMatchLocked applies the MPI matching rules plus the protocol's extra
@@ -485,28 +643,34 @@ func (p *Proc) irecv(buf []byte, srcWorld, tag int, comm *Comm) (*Request, error
 		comm:       comm,
 		postTime:   p.clock.Now(),
 	}
-	env := Envelope{Source: srcWorld, Dest: p.id, CommID: comm.id, Tag: tag}
-	p.protocol.StampRecv(p, &env)
-	req.match = env.Match
+	p.stampEnv = Envelope{Source: srcWorld, Dest: p.id, CommID: comm.id, Tag: tag}
+	p.protocol.StampRecv(p, &p.stampEnv)
+	req.match = p.stampEnv.Match
 
 	var completeSender *Request
 	var senderTime float64
 
 	p.mu.Lock()
 	p.pending++
-	// Search the unexpected queue in arrival order for the first match.
-	for i, msg := range p.unexpected {
-		if p.canMatchLocked(req, msg) {
-			p.unexpected = append(p.unexpected[:i], p.unexpected[i+1:]...)
-			senderDone, sT := p.matchLocked(req, msg)
-			if senderDone != nil {
-				completeSender, senderTime = senderDone, sT
-			}
-			break
+	p.postStamp++
+	req.stamp = p.postStamp
+	// Take the earliest arrived matching unexpected message, if any.
+	if msg, q, idx := p.scanUnexpectedLocked(req); msg != nil {
+		q.removeAt(idx)
+		p.unexpN--
+		senderDone, sT := p.matchLocked(req, msg)
+		if senderDone != nil {
+			completeSender, senderTime = senderDone, sT
 		}
 	}
 	if req.msg == nil {
-		p.posted = append(p.posted, req)
+		key := matchKey{source: req.wantSource, comm: comm.id, tag: req.wantTag}
+		q := p.posted[key]
+		if q == nil {
+			q = &ring[*Request]{}
+			p.posted[key] = q
+		}
+		q.push(req)
 	}
 	p.mu.Unlock()
 
@@ -645,7 +809,9 @@ func (p *Proc) Testall(reqs []*Request) (bool, error) {
 }
 
 // finalize applies the effects of a completed request: clock advance,
-// statistics, payload copy, protocol delivery callback and trace event.
+// statistics, payload copy, protocol delivery callback and trace event. For a
+// receive it consumes the matched message: the payload reference, the pooled
+// sender clock and the message header are all recycled here.
 func (p *Proc) finalize(req *Request, waitStart float64) (Status, error) {
 	p.mu.Lock()
 	if req.finalized {
@@ -658,6 +824,7 @@ func (p *Proc) finalize(req *Request, waitStart float64) (Status, error) {
 		p.pending--
 	}
 	msg := req.msg
+	req.msg = nil
 	st := req.status
 	completeTime := req.completeTime
 	p.mu.Unlock()
@@ -671,8 +838,7 @@ func (p *Proc) finalize(req *Request, waitStart float64) (Status, error) {
 	}
 
 	if req.kind == reqRecv && msg != nil {
-		n := copy(req.buf, msg.payload)
-		_ = n
+		copy(req.buf, msg.payload.Bytes())
 		p.Stats.mu.Lock()
 		p.Stats.Recvs++
 		p.Stats.BytesRecv += uint64(msg.env.Bytes)
@@ -680,11 +846,10 @@ func (p *Proc) finalize(req *Request, waitStart float64) (Status, error) {
 		p.protocol.OnDeliver(p, msg.env)
 		if p.world.rec != nil {
 			p.mu.Lock()
-			if msg.senderVC != nil {
+			if len(msg.senderVC) > 0 {
 				p.vc.Merge(msg.senderVC)
 			}
 			p.vc.Tick(p.id)
-			vc := p.vc.Clone()
 			p.mu.Unlock()
 			p.world.rec.Record(trace.Event{
 				Kind:    trace.EventDeliver,
@@ -694,10 +859,11 @@ func (p *Proc) finalize(req *Request, waitStart float64) (Status, error) {
 				Tag:     msg.env.Tag,
 				Bytes:   msg.env.Bytes,
 				Time:    p.clock.Now(),
-				Digest:  trace.Digest(msg.payload),
-				Clock:   vc,
+				Digest:  trace.Digest(msg.payload.Bytes()),
+				Clock:   p.vc, // cloned by Record
 			})
 		}
+		releaseMsg(msg)
 	}
 	return st, nil
 }
@@ -726,30 +892,29 @@ func (p *Proc) Iprobe(src, tag int, comm *Comm) (bool, Status, error) {
 		wantTag:    tag,
 		comm:       comm,
 	}
-	env := Envelope{Source: srcWorld, Dest: p.id, CommID: comm.id, Tag: tag}
-	p.protocol.StampRecv(p, &env)
-	probe.match = env.Match
+	p.stampEnv = Envelope{Source: srcWorld, Dest: p.id, CommID: comm.id, Tag: tag}
+	p.protocol.StampRecv(p, &p.stampEnv)
+	probe.match = p.stampEnv.Match
 
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	for _, msg := range p.unexpected {
-		if p.canMatchLocked(probe, msg) {
-			st := Status{
-				Source: comm.CommRank(msg.env.Source),
-				Tag:    msg.env.Tag,
-				Bytes:  msg.env.Bytes,
-				Match:  msg.env.Match,
-				Seq:    msg.env.Seq,
-			}
-			// Probing observes the arrival: virtual time cannot be earlier
-			// than the message's availability.
-			if msg.arriveTime > p.clock.Now() {
-				p.clock.AdvanceTo(msg.arriveTime)
-			}
-			return true, st, nil
-		}
+	msg, _, _ := p.scanUnexpectedLocked(probe)
+	if msg == nil {
+		return false, Status{}, nil
 	}
-	return false, Status{}, nil
+	st := Status{
+		Source: comm.CommRank(msg.env.Source),
+		Tag:    msg.env.Tag,
+		Bytes:  msg.env.Bytes,
+		Match:  msg.env.Match,
+		Seq:    msg.env.Seq,
+	}
+	// Probing observes the arrival: virtual time cannot be earlier than the
+	// message's availability.
+	if msg.arriveTime > p.clock.Now() {
+		p.clock.AdvanceTo(msg.arriveTime)
+	}
+	return true, st, nil
 }
 
 // Probe blocks until a matching message is available and returns its status.
@@ -781,5 +946,5 @@ func (p *Proc) PendingRequests() int {
 func (p *Proc) UnexpectedCount() int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	return len(p.unexpected)
+	return p.unexpN
 }

@@ -1,5 +1,7 @@
 package mpi
 
+import "repro/internal/buf"
+
 // Protocol is the interposition interface used by checkpointing protocols
 // (SPBC, HydEE) to hook into the runtime, mirroring what the paper implements
 // inside MPICH (Section 5.2). A Protocol instance is attached per process; the
@@ -19,12 +21,15 @@ type Protocol interface {
 	StampRecv(p *Proc, env *Envelope)
 
 	// OnSend is called for every outgoing message after sequence-number
-	// assignment and stamping. The payload is the application buffer and
-	// must be copied if the protocol retains it (sender-based logging).
-	// It returns whether the message should be transmitted now (false is
-	// used to suppress re-sends during recovery, Algorithm 1 line 7) and
-	// the extra virtual-time cost incurred at the sender (payload logging).
-	OnSend(p *Proc, env Envelope, payload []byte) (transmit bool, cost float64)
+	// assignment and stamping. The payload is the runtime's pooled copy of
+	// the application buffer (the single sender-side copy of the zero-copy
+	// fabric): a protocol that retains it beyond the call — sender-based
+	// logging — must Retain it (logstore.AppendShared does) rather than
+	// copy it. It returns whether the message should be transmitted now
+	// (false is used to suppress re-sends during recovery, Algorithm 1
+	// line 7) and the extra virtual-time cost incurred at the sender
+	// (payload logging).
+	OnSend(p *Proc, env Envelope, payload *buf.Buffer) (transmit bool, cost float64)
 
 	// ExtraMatch reports whether a reception request with identifier req may
 	// be matched with a message carrying identifier msg, in addition to the
@@ -47,7 +52,7 @@ func (NopProtocol) StampSend(*Proc, *Envelope) {}
 func (NopProtocol) StampRecv(*Proc, *Envelope) {}
 
 // OnSend transmits everything at no extra cost.
-func (NopProtocol) OnSend(*Proc, Envelope, []byte) (bool, float64) { return true, 0 }
+func (NopProtocol) OnSend(*Proc, Envelope, *buf.Buffer) (bool, float64) { return true, 0 }
 
 // ExtraMatch ignores identifiers, as unmodified MPICH does.
 func (NopProtocol) ExtraMatch(MatchID, MatchID) bool { return true }

@@ -1,0 +1,75 @@
+package mpi
+
+// This file implements the indexed matching structures of the runtime: the
+// posted-receive queue and the unexpected-message queue are maps keyed by
+// (source, communicator, tag) with per-key FIFO rings, replacing the linear
+// scans over flat slices. Matching semantics are unchanged — a message
+// matches the earliest posted matching request, a request matches the
+// earliest arrived matching message — because every queued entry carries a
+// monotonically increasing stamp that totally orders entries across keys;
+// candidate keys (exact plus wildcard combinations) are scanned and the
+// stamp-minimal match wins, which is exactly what the flat scan computed.
+
+// matchKey indexes a matching queue. For unexpected messages the fields are
+// always concrete; for posted requests source may be AnySource and tag
+// AnyTag.
+type matchKey struct {
+	source int
+	comm   int
+	tag    int
+}
+
+// ring is a FIFO with O(1) amortized push and dequeue-from-head. Entries are
+// stored in a slice with a moving head; the slice is reset when it empties
+// and compacted when the dead prefix dominates, so steady-state traffic
+// reuses the same storage.
+type ring[T any] struct {
+	items []T
+	head  int
+}
+
+// size returns the number of live entries.
+func (q *ring[T]) size() int { return len(q.items) - q.head }
+
+// push appends an entry.
+func (q *ring[T]) push(v T) {
+	if q.head == len(q.items) && q.head > 0 {
+		q.reset()
+	}
+	q.items = append(q.items, v)
+}
+
+// removeAt deletes the entry at absolute index i (q.head <= i < len(q.items)).
+func (q *ring[T]) removeAt(i int) {
+	var zero T
+	if i == q.head {
+		q.items[i] = zero
+		q.head++
+		if q.head == len(q.items) {
+			q.reset()
+		} else if q.head >= 32 && q.head*2 >= len(q.items) {
+			q.compact()
+		}
+		return
+	}
+	copy(q.items[i:], q.items[i+1:])
+	q.items[len(q.items)-1] = zero
+	q.items = q.items[:len(q.items)-1]
+}
+
+// reset drops the dead prefix of an empty ring, keeping the storage.
+func (q *ring[T]) reset() {
+	q.items = q.items[:0]
+	q.head = 0
+}
+
+// compact moves live entries to the front, dropping the dead prefix.
+func (q *ring[T]) compact() {
+	var zero T
+	n := copy(q.items, q.items[q.head:])
+	for i := n; i < len(q.items); i++ {
+		q.items[i] = zero
+	}
+	q.items = q.items[:n]
+	q.head = 0
+}

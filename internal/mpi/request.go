@@ -23,6 +23,7 @@ type Request struct {
 	comm       *Comm
 	match      MatchID
 	postTime   float64
+	stamp      uint64 // post-order stamp across the indexed posted queues
 
 	// Completion.
 	done         bool

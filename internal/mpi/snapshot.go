@@ -1,6 +1,11 @@
 package mpi
 
-import "fmt"
+import (
+	"fmt"
+	"sort"
+
+	bufpkg "repro/internal/buf"
+)
 
 // This file contains the recovery-support surface of the runtime: channel
 // state snapshot/restore (used by coordinated checkpointing and rollback),
@@ -61,10 +66,20 @@ func (p *Proc) SnapshotChannels() (*ChannelSnapshot, error) {
 	for k, st := range p.inState {
 		snap.In[k] = InChannelState{MaxSeqSeen: st.maxSeqSeen, Delivered: st.delivered}
 	}
-	for _, msg := range p.unexpected {
+	// Reconstruct global arrival order across the indexed unexpected queues
+	// from the arrival stamps; the checkpoint owns plain copies of the
+	// payloads (its lifetime is independent of the buffer pool).
+	queued := make([]*inMessage, 0, p.unexpN)
+	for _, q := range p.unexp {
+		for i := q.head; i < len(q.items); i++ {
+			queued = append(queued, q.items[i])
+		}
+	}
+	sort.Slice(queued, func(i, j int) bool { return queued[i].arrival < queued[j].arrival })
+	for _, msg := range queued {
 		snap.Queued = append(snap.Queued, QueuedMessage{
 			Env:        msg.env,
-			Payload:    append([]byte(nil), msg.payload...),
+			Payload:    append([]byte(nil), msg.payload.Bytes()...),
 			ArriveTime: msg.arriveTime,
 			Replayed:   msg.replayed,
 		})
@@ -95,9 +110,9 @@ func (p *Proc) RestoreChannels(snap *ChannelSnapshot, keepQueued func(QueuedMess
 		keepQueued = func(QueuedMessage) bool { return true }
 	}
 	p.mu.Lock()
-	p.posted = nil
+	p.posted = make(map[matchKey]*ring[*Request])
 	p.pending = 0
-	p.unexpected = nil
+	p.dropUnexpectedLocked()
 	p.inState = make(map[ChanKey]*inChannelState, len(snap.In))
 	for k, st := range snap.In {
 		p.inState[k] = &inChannelState{maxSeqSeen: st.MaxSeqSeen, delivered: st.Delivered}
@@ -106,13 +121,15 @@ func (p *Proc) RestoreChannels(snap *ChannelSnapshot, keepQueued func(QueuedMess
 		if !keepQueued(q) {
 			continue
 		}
-		p.unexpected = append(p.unexpected, &inMessage{
-			env:        q.Env,
-			payload:    append([]byte(nil), q.Payload...),
-			arriveTime: q.ArriveTime,
-			eager:      true,
-			replayed:   q.Replayed,
-		})
+		msg := newMsg()
+		msg.env = q.Env
+		msg.payload = bufpkg.Copy(q.Payload)
+		msg.arriveTime = q.ArriveTime
+		msg.eager = true
+		msg.replayed = q.Replayed
+		p.arrivals++
+		msg.arrival = p.arrivals
+		p.pushUnexpectedLocked(msg)
 	}
 	p.collSeq = make(map[int]uint64, len(snap.CollSeq))
 	for c, s := range snap.CollSeq {
@@ -143,16 +160,28 @@ func (p *Proc) RestoreChannels(snap *ChannelSnapshot, keepQueued func(QueuedMess
 func (p *Proc) PurgeChannel(srcWorld, commID int) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
-	kept := p.unexpected[:0]
 	purged := 0
-	for _, msg := range p.unexpected {
-		if msg.env.Source == srcWorld && msg.env.CommID == commID && !msg.replayed {
-			purged++
+	for k, q := range p.unexp {
+		if k.source != srcWorld || k.comm != commID {
 			continue
 		}
-		kept = append(kept, msg)
+		live := q.items[q.head:]
+		kept := q.items[:0]
+		for _, msg := range live {
+			if !msg.replayed {
+				purged++
+				releaseMsg(msg)
+				continue
+			}
+			kept = append(kept, msg)
+		}
+		for i := len(kept); i < len(q.items); i++ {
+			q.items[i] = nil
+		}
+		q.items = kept
+		q.head = 0
 	}
-	p.unexpected = kept
+	p.unexpN -= purged
 	return purged
 }
 
@@ -248,13 +277,12 @@ func (w *World) InjectReplay(env Envelope, payload []byte, availTime float64) er
 		return fmt.Errorf("mpi: replay destination %d out of range", env.Dest)
 	}
 	dst := w.procs[env.Dest]
-	msg := &inMessage{
-		env:        env,
-		payload:    append([]byte(nil), payload...),
-		arriveTime: availTime,
-		eager:      true,
-		replayed:   true,
-	}
+	msg := newMsg()
+	msg.env = env
+	msg.payload = bufpkg.Copy(payload)
+	msg.arriveTime = availTime
+	msg.eager = true
+	msg.replayed = true
 	dst.deliverMessage(msg)
 	return nil
 }

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"fmt"
+	"sync"
+	"testing"
+)
+
+// Recording benchmarks. The per-rank sharding matters in the parallel case:
+// every rank appends to its own buffer behind its own (uncontended) mutex,
+// where the previous design serialized all ranks behind one global lock.
+
+func benchEvent(rank int, seq uint64, clock VectorClock) Event {
+	return Event{
+		Kind:    EventSend,
+		Rank:    rank,
+		Channel: ChannelKey{Src: rank, Dst: (rank + 1) % 8, Comm: 0},
+		Seq:     seq,
+		Bytes:   64,
+		Digest:  seq,
+		Clock:   clock,
+	}
+}
+
+func BenchmarkRecorderRecord(b *testing.B) {
+	for _, clocked := range []bool{false, true} {
+		b.Run(fmt.Sprintf("clock=%v", clocked), func(b *testing.B) {
+			r := NewRecorder(8)
+			var vc VectorClock
+			if clocked {
+				vc = NewVectorClock(8)
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				r.Record(benchEvent(0, uint64(i+1), vc))
+			}
+		})
+	}
+}
+
+func BenchmarkRecorderRecordParallel(b *testing.B) {
+	// One goroutine per rank, as in a real execution: with per-rank buffers
+	// the ranks do not contend.
+	const ranks = 8
+	b.ReportAllocs()
+	b.RunParallel(func(pb *testing.PB) {
+		// Each worker impersonates one rank (workers cycle through ranks).
+		r := rankCounter.next() % ranks
+		rec := sharedRecorder
+		seq := uint64(0)
+		for pb.Next() {
+			seq++
+			rec.Record(benchEvent(r, seq, nil))
+		}
+	})
+}
+
+var sharedRecorder = NewRecorder(8)
+
+type counter struct {
+	mu sync.Mutex
+	n  int
+}
+
+func (c *counter) next() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.n++
+	return c.n - 1
+}
+
+var rankCounter counter
+
+func BenchmarkCloneInto(b *testing.B) {
+	vc := NewVectorClock(64)
+	var scratch VectorClock
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		scratch = CloneInto(scratch[:0], vc)
+	}
+	_ = scratch
+}

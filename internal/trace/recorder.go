@@ -8,64 +8,92 @@ import (
 // Recorder collects the communication events of one execution. It is safe for
 // concurrent use by all ranks of the execution. Recording is optional in the
 // runtime: when no recorder is attached the hot path pays nothing.
+//
+// Events are kept in per-rank append-only buffers so that concurrent ranks
+// never contend on a shared lock: each rank records its own events (sends
+// from the sender's goroutine, delivers from the receiver's), so a rank's
+// buffer has a single writer and its mutex is uncontended. The per-channel
+// views that earlier versions maintained eagerly under a global mutex are now
+// reconstructed at read time: a channel has exactly one sender rank, so the
+// channel's send order is the sender's program order restricted to that
+// channel (sequence numbers are assigned in that same order).
 type Recorder struct {
+	nranks  int
+	perRank []rankLog
+}
+
+// rankLog is one rank's append-only event buffer. The trailing padding sizes
+// the struct to a full 64-byte cache line (8-byte mutex + 24-byte slice
+// header + 32), so adjacent ranks' write-hot state never false-shares.
+type rankLog struct {
 	mu     sync.Mutex
-	nranks int
-	// events per rank, in program order.
-	perRank [][]Event
-	// send sequence per channel, in channel order (which equals seqnum order
-	// because seqnums are assigned at send time).
-	perChannel map[ChannelKey][]Event
+	events []Event
+	_      [32]byte
 }
 
 // NewRecorder creates a recorder for an execution with n ranks.
 func NewRecorder(n int) *Recorder {
 	return &Recorder{
-		nranks:     n,
-		perRank:    make([][]Event, n),
-		perChannel: make(map[ChannelKey][]Event),
+		nranks:  n,
+		perRank: make([]rankLog, n),
 	}
 }
 
 // Ranks returns the number of ranks of the recorded execution.
 func (r *Recorder) Ranks() int { return r.nranks }
 
-// Record appends an event. The event's Clock, if non-nil, is cloned so the
-// caller may keep mutating its working clock.
+// Record appends an event to the event's rank buffer. The event's Clock, if
+// non-nil, is cloned — outside the buffer lock, and only when the event is
+// actually stored — so the caller may keep mutating its working clock (and
+// may hand in a pooled clone and recycle it afterwards).
 func (r *Recorder) Record(e Event) {
+	if e.Rank < 0 || e.Rank >= r.nranks {
+		return
+	}
 	if e.Clock != nil {
 		e.Clock = e.Clock.Clone()
 	}
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if e.Rank >= 0 && e.Rank < r.nranks {
-		r.perRank[e.Rank] = append(r.perRank[e.Rank], e)
-	}
-	if e.Kind == EventSend {
-		r.perChannel[e.Channel] = append(r.perChannel[e.Channel], e)
-	}
+	rl := &r.perRank[e.Rank]
+	rl.mu.Lock()
+	rl.events = append(rl.events, e)
+	rl.mu.Unlock()
+}
+
+// snapshotRank returns a copy of one rank's events.
+func (r *Recorder) snapshotRank(rank int) []Event {
+	rl := &r.perRank[rank]
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	out := make([]Event, len(rl.events))
+	copy(out, rl.events)
+	return out
 }
 
 // EventsOf returns a copy of the events recorded on the given rank, in
 // program order.
 func (r *Recorder) EventsOf(rank int) []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	if rank < 0 || rank >= r.nranks {
 		return nil
 	}
-	out := make([]Event, len(r.perRank[rank]))
-	copy(out, r.perRank[rank])
-	return out
+	return r.snapshotRank(rank)
 }
 
 // Channels returns the set of channels on which at least one send was
 // recorded, in a deterministic order.
 func (r *Recorder) Channels() []ChannelKey {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	keys := make([]ChannelKey, 0, len(r.perChannel))
-	for k := range r.perChannel {
+	seen := make(map[ChannelKey]bool)
+	for rank := 0; rank < r.nranks; rank++ {
+		rl := &r.perRank[rank]
+		rl.mu.Lock()
+		for i := range rl.events {
+			if rl.events[i].Kind == EventSend {
+				seen[rl.events[i].Channel] = true
+			}
+		}
+		rl.mu.Unlock()
+	}
+	keys := make([]ChannelKey, 0, len(seen))
+	for k := range seen {
 		keys = append(keys, k)
 	}
 	sort.Slice(keys, func(i, j int) bool {
@@ -81,13 +109,23 @@ func (r *Recorder) Channels() []ChannelKey {
 	return keys
 }
 
-// ChannelSends returns the sequence of send events recorded on a channel.
+// ChannelSends returns the sequence of send events recorded on a channel: the
+// sender rank's program order restricted to the channel, which equals the
+// channel's send order (re-executed sends during recovery appear again at the
+// point of re-execution, exactly as they are recorded).
 func (r *Recorder) ChannelSends(c ChannelKey) []Event {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	evs := r.perChannel[c]
-	out := make([]Event, len(evs))
-	copy(out, evs)
+	if c.Src < 0 || c.Src >= r.nranks {
+		return nil
+	}
+	rl := &r.perRank[c.Src]
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	var out []Event
+	for i := range rl.events {
+		if rl.events[i].Kind == EventSend && rl.events[i].Channel == c {
+			out = append(out, rl.events[i])
+		}
+	}
 	return out
 }
 
@@ -95,15 +133,19 @@ func (r *Recorder) ChannelSends(c ChannelKey) []Event {
 // message identities (seqnum + payload digest) sent on it. This is the
 // "sub-sequence of send events per channel" of Definition 2.
 func (r *Recorder) SendSequenceByChannel() map[ChannelKey][]MessageIdentity {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	out := make(map[ChannelKey][]MessageIdentity, len(r.perChannel))
-	for c, evs := range r.perChannel {
-		seq := make([]MessageIdentity, len(evs))
-		for i, e := range evs {
-			seq[i] = MessageIdentity{Seq: e.Seq, Tag: e.Tag, Bytes: e.Bytes, Digest: e.Digest}
+	out := make(map[ChannelKey][]MessageIdentity)
+	for rank := 0; rank < r.nranks; rank++ {
+		rl := &r.perRank[rank]
+		rl.mu.Lock()
+		for i := range rl.events {
+			e := &rl.events[i]
+			if e.Kind != EventSend {
+				continue
+			}
+			out[e.Channel] = append(out[e.Channel],
+				MessageIdentity{Seq: e.Seq, Tag: e.Tag, Bytes: e.Bytes, Digest: e.Digest})
 		}
-		out[c] = seq
+		rl.mu.Unlock()
 	}
 	return out
 }
@@ -112,22 +154,9 @@ func (r *Recorder) SendSequenceByChannel() map[ChannelKey][]MessageIdentity {
 // performed (across all its outgoing channels), which is the per-process send
 // sequence of Definition 1 (send-determinism).
 func (r *Recorder) SendSequenceByRank() [][]RankSend {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make([][]RankSend, r.nranks)
 	for rank := 0; rank < r.nranks; rank++ {
-		for _, e := range r.perRank[rank] {
-			if e.Kind != EventSend {
-				continue
-			}
-			out[rank] = append(out[rank], RankSend{
-				Channel: e.Channel,
-				Seq:     e.Seq,
-				Tag:     e.Tag,
-				Bytes:   e.Bytes,
-				Digest:  e.Digest,
-			})
-		}
+		out[rank] = r.rankSends(rank, EventSend)
 	}
 	return out
 }
@@ -137,22 +166,31 @@ func (r *Recorder) SendSequenceByRank() [][]RankSend {
 // channel-deterministic application may differ in these sequences (relative
 // order across channels may change) while still being valid.
 func (r *Recorder) DeliverSequenceByRank() [][]RankSend {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	out := make([][]RankSend, r.nranks)
 	for rank := 0; rank < r.nranks; rank++ {
-		for _, e := range r.perRank[rank] {
-			if e.Kind != EventDeliver {
-				continue
-			}
-			out[rank] = append(out[rank], RankSend{
-				Channel: e.Channel,
-				Seq:     e.Seq,
-				Tag:     e.Tag,
-				Bytes:   e.Bytes,
-				Digest:  e.Digest,
-			})
+		out[rank] = r.rankSends(rank, EventDeliver)
+	}
+	return out
+}
+
+// rankSends extracts one rank's events of the given kind as RankSends.
+func (r *Recorder) rankSends(rank int, kind EventKind) []RankSend {
+	rl := &r.perRank[rank]
+	rl.mu.Lock()
+	defer rl.mu.Unlock()
+	var out []RankSend
+	for i := range rl.events {
+		e := &rl.events[i]
+		if e.Kind != kind {
+			continue
 		}
+		out = append(out, RankSend{
+			Channel: e.Channel,
+			Seq:     e.Seq,
+			Tag:     e.Tag,
+			Bytes:   e.Bytes,
+			Digest:  e.Digest,
+		})
 	}
 	return out
 }
@@ -178,11 +216,12 @@ type RankSend struct {
 
 // TotalEvents returns the total number of recorded events.
 func (r *Recorder) TotalEvents() int {
-	r.mu.Lock()
-	defer r.mu.Unlock()
 	n := 0
-	for _, evs := range r.perRank {
-		n += len(evs)
+	for rank := 0; rank < r.nranks; rank++ {
+		rl := &r.perRank[rank]
+		rl.mu.Lock()
+		n += len(rl.events)
+		rl.mu.Unlock()
 	}
 	return n
 }

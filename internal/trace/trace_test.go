@@ -265,3 +265,84 @@ func TestRecorderAccessors(t *testing.T) {
 		t.Errorf("rank 1 should have 3 deliver events, got %d", len(got))
 	}
 }
+
+func TestChannelSendsPreservesReexecutionOrder(t *testing.T) {
+	// A recovering rank re-records earlier (channel, seq) positions after its
+	// later ones; the reconstructed channel order must be program order, with
+	// the duplicates exactly where they were recorded.
+	r := NewRecorder(2)
+	ch := ChannelKey{Src: 0, Dst: 1, Comm: 0}
+	for _, seq := range []uint64{1, 2, 3, 2, 3} { // failure after 3, re-exec 2..3
+		r.Record(Event{Kind: EventSend, Rank: 0, Channel: ch, Seq: seq, Digest: seq * 7})
+	}
+	sends := r.ChannelSends(ch)
+	if len(sends) != 5 {
+		t.Fatalf("expected 5 send events (duplicates preserved), got %d", len(sends))
+	}
+	want := []uint64{1, 2, 3, 2, 3}
+	for i, e := range sends {
+		if e.Seq != want[i] {
+			t.Fatalf("send #%d seq = %d, want %d", i, e.Seq, want[i])
+		}
+	}
+	seqs := r.SendSequenceByChannel()[ch]
+	for i, id := range seqs {
+		if id.Seq != want[i] || id.Digest != want[i]*7 {
+			t.Fatalf("identity #%d = %+v", i, id)
+		}
+	}
+}
+
+func TestRecordReusedClockSafeToScribble(t *testing.T) {
+	// Record clones the clock, so the caller may reuse its working copy
+	// immediately — the recorded event must keep the original value.
+	r := NewRecorder(1)
+	vc := NewVectorClock(4)
+	vc.Tick(0)
+	var scratch VectorClock
+	scratch = CloneInto(scratch, vc)
+	r.Record(Event{Kind: EventSend, Rank: 0, Channel: ChannelKey{Src: 0, Dst: 0}, Seq: 1, Clock: scratch})
+	for i := range scratch {
+		scratch[i] = 99 // scribble, as a reused message clock would
+	}
+	got := r.EventsOf(0)[0].Clock
+	if !got.Equal(vc) {
+		t.Fatalf("recorded clock = %v, want %v (must be an independent clone)", got, vc)
+	}
+}
+
+func TestCloneInto(t *testing.T) {
+	src := VectorClock{3, 1, 4}
+	var dst VectorClock
+	dst = CloneInto(dst, src)
+	if !dst.Equal(src) {
+		t.Fatalf("CloneInto = %v, want %v", dst, src)
+	}
+	// Reuse: a large-enough destination must keep its backing array.
+	big := make(VectorClock, 8)
+	p := &big[0]
+	got := CloneInto(big, src)
+	if len(got) != 3 || !got.Equal(src) {
+		t.Fatalf("CloneInto reuse = %v", got)
+	}
+	if &got[0] != p {
+		t.Fatal("CloneInto must reuse sufficient storage")
+	}
+	// Shrunk-then-grown reuse, as pooled message headers do.
+	got = CloneInto(got[:0], VectorClock{9, 9, 9, 9, 9})
+	if len(got) != 5 || got[4] != 9 {
+		t.Fatalf("CloneInto grow = %v", got)
+	}
+}
+
+func TestRecordOutOfRangeRankDropped(t *testing.T) {
+	r := NewRecorder(2)
+	r.Record(Event{Kind: EventSend, Rank: 5, Channel: ChannelKey{Src: 5, Dst: 0}, Seq: 1})
+	r.Record(Event{Kind: EventSend, Rank: -1, Seq: 1})
+	if r.TotalEvents() != 0 {
+		t.Fatalf("out-of-range ranks must be dropped, got %d events", r.TotalEvents())
+	}
+	if r.ChannelSends(ChannelKey{Src: 5, Dst: 0}) != nil {
+		t.Fatal("sends of out-of-range ranks must not be reconstructible")
+	}
+}

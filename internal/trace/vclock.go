@@ -18,6 +18,21 @@ func (v VectorClock) Clone() VectorClock {
 	return c
 }
 
+// CloneInto copies src into dst, reusing dst's storage when it is large
+// enough, and returns the clone. The runtime uses it for the sender-side
+// clock copies that ride along with in-flight messages: the destination
+// lives in a pooled message header, so steady state re-uses the same backing
+// array instead of allocating one clock per message.
+func CloneInto(dst, src VectorClock) VectorClock {
+	if cap(dst) >= len(src) {
+		dst = dst[:len(src)]
+	} else {
+		dst = make(VectorClock, len(src))
+	}
+	copy(dst, src)
+	return dst
+}
+
 // Tick increments the component of the given rank and returns the clock.
 func (v VectorClock) Tick(rank int) VectorClock {
 	if rank >= 0 && rank < len(v) {
