@@ -19,11 +19,19 @@
 // -profile perf switches to the allocation/contention profile of the
 // simulator's own hot path: real allocs/op, bytes/op and ns/op of a
 // steady-state eager send/recv round per protocol and payload size, written
-// as BENCH_perf_<name>.json. The profile enforces allocs/op guards (see
-// -alloc-guard) and exits non-zero when a guard is violated, so CI can hold
-// the zero-copy line:
+// as BENCH_perf_<name>.json. The profile also measures the checkpoint
+// pipeline (in-barrier capture stall vs the legacy gob path, commit cost,
+// encoded image size) and enforces allocs/op guards plus the capture speedup
+// floor (see -alloc-guard, -capture-guard, -speedup-floor), exiting non-zero
+// on any violation, so CI can hold the zero-copy line:
 //
 //	spbcbench -profile perf -name baseline -out .
+//
+// -profile compare gates a candidate perf profile against a committed
+// baseline (benchstat-style: tight on machine-independent allocs/op, ratio-
+// thresholded on ns/op), exiting non-zero on regressions:
+//
+//	spbcbench -profile compare -baseline BENCH_perf_baseline.json -candidate BENCH_perf_ci.json
 package main
 
 import (
@@ -41,9 +49,15 @@ func main() {
 	var (
 		name       = flag.String("name", "sweep", "sweep name; output file is BENCH_<name>.json (BENCH_perf_<name>.json with -profile perf)")
 		out        = flag.String("out", ".", "output directory")
-		profile    = flag.String("profile", "sweep", "what to measure: 'sweep' (virtual-time protocol matrix) or 'perf' (real allocs/op and ns/op of the runtime hot path)")
+		profile    = flag.String("profile", "sweep", "what to measure: 'sweep' (virtual-time protocol matrix), 'perf' (real allocs/op and ns/op of the runtime hot path) or 'compare' (regression gate of -candidate against -baseline)")
 		sizes      = flag.String("sizes", "64,1024,16384", "comma-separated payload sizes for -profile perf")
 		allocGuard = flag.Float64("alloc-guard", 0, "allocs/op ceiling for -profile perf cells: 0 = protocol defaults, negative disables")
+		capGuard   = flag.Float64("capture-guard", 0, "capture allocs/op ceiling for the checkpoint profile: 0 = default, negative disables")
+		spdFloor   = flag.Float64("speedup-floor", 0, "minimum capture speedup vs the legacy gob path: 0 = default (5x), negative disables")
+		baseline   = flag.String("baseline", "BENCH_perf_baseline.json", "baseline perf profile for -profile compare")
+		candidate  = flag.String("candidate", "BENCH_perf_ci.json", "candidate perf profile for -profile compare")
+		allocSlack = flag.Float64("alloc-slack", 0, "allocs/op slack for -profile compare (0 = default 1.0)")
+		nsFactor   = flag.Float64("ns-factor", 0, "ns/op ratio threshold for -profile compare (0 = default 5.0)")
 		protocols  = flag.String("protocols", "", "comma-separated protocols (default: all four)")
 		kernels    = flag.String("kernels", "ring:16:3,solver:24", "comma-separated kernels, name:size[:reduceEvery]")
 		ranks      = flag.String("ranks", "8", "comma-separated rank counts")
@@ -60,11 +74,14 @@ func main() {
 
 	switch *profile {
 	case "perf":
-		runPerfProfile(*name, *out, *protocols, *sizes, *allocGuard, *quiet)
+		runPerfProfile(*name, *out, *protocols, *sizes, *allocGuard, *capGuard, *spdFloor, *quiet)
+		return
+	case "compare":
+		runCompare(*baseline, *candidate, *allocSlack, *nsFactor)
 		return
 	case "sweep":
 	default:
-		fatal(fmt.Errorf("unknown profile %q (have sweep, perf)", *profile))
+		fatal(fmt.Errorf("unknown profile %q (have sweep, perf, compare)", *profile))
 	}
 
 	m := bench.Matrix{
@@ -120,10 +137,15 @@ func fatal(err error) {
 	os.Exit(2)
 }
 
-// runPerfProfile executes the allocation/contention profile and exits
-// non-zero when an allocs/op guard is violated.
-func runPerfProfile(name, out, protocols, sizes string, allocGuard float64, quiet bool) {
-	m := bench.PerfMatrix{Name: name, AllocGuard: allocGuard}
+// runPerfProfile executes the allocation/contention profile (send hot path
+// plus checkpoint pipeline) and exits non-zero when any guard is violated.
+func runPerfProfile(name, out, protocols, sizes string, allocGuard, captureGuard, speedupFloor float64, quiet bool) {
+	m := bench.PerfMatrix{
+		Name:                name,
+		AllocGuard:          allocGuard,
+		CaptureAllocGuard:   captureGuard,
+		CaptureSpeedupFloor: speedupFloor,
+	}
 	var err error
 	if m.Protocols, err = parseProtocols(protocols); err != nil {
 		fatal(err)
@@ -141,15 +163,38 @@ func runPerfProfile(name, out, protocols, sizes string, allocGuard float64, quie
 	}
 	if !quiet {
 		fmt.Println(res.Table())
+		if len(res.Checkpoint) > 0 {
+			fmt.Println(res.CheckpointTable())
+		}
 	}
 	violations := res.Violations()
-	fmt.Printf("wrote %s (%d cells, %d guard violations)\n", path, len(res.Cells), len(violations))
+	fmt.Printf("wrote %s (%d cells, %d checkpoint cells, %d guard violations)\n",
+		path, len(res.Cells), len(res.Checkpoint), len(violations))
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "guard violation:", v)
 		}
 		os.Exit(1)
 	}
+}
+
+// runCompare gates a candidate perf profile against a baseline and exits
+// non-zero on regressions.
+func runCompare(baseline, candidate string, allocSlack, nsFactor float64) {
+	findings, err := bench.ComparePerfFiles(baseline, candidate,
+		bench.CompareOpts{AllocSlack: allocSlack, NsFactor: nsFactor})
+	if err != nil {
+		fatal(err)
+	}
+	if len(findings) == 0 {
+		fmt.Printf("compare: %s holds the line against %s\n", candidate, baseline)
+		return
+	}
+	for _, f := range findings {
+		fmt.Fprintln(os.Stderr, "regression:", f)
+	}
+	fmt.Fprintf(os.Stderr, "compare: %d regressions of %s against %s\n", len(findings), candidate, baseline)
+	os.Exit(1)
 }
 
 // parseProtocols parses a comma-separated protocol list; empty means all.

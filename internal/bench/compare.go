@@ -1,0 +1,131 @@
+package bench
+
+// Benchstat-style regression gate over perf profiles: CI measures a fresh
+// BENCH_perf_ci.json and compares it against the committed
+// BENCH_perf_baseline.json. Allocation counts are machine-independent (up to
+// a GC draining the pools mid-measurement), so they gate tightly on an
+// absolute slack; wall-clock ns/op varies across runners, so it gates on a
+// generous ratio that still catches order-of-magnitude regressions (a copy
+// or an encode returning to a hot path).
+
+import (
+	"fmt"
+	"os"
+)
+
+// CompareOpts tunes the regression thresholds.
+type CompareOpts struct {
+	// AllocSlack is the absolute allocs/op increase tolerated per cell.
+	// Zero selects the default (1.0 — room for one pool miss).
+	AllocSlack float64
+	// NsFactor is the maximum candidate/baseline ns-per-op ratio tolerated.
+	// Zero selects the default (5.0 — baseline and CI run on different
+	// machines). Cells faster than 1µs are exempt from the ns gate: they sit
+	// in measurement noise.
+	NsFactor float64
+}
+
+func (o *CompareOpts) normalize() {
+	if o.AllocSlack == 0 {
+		o.AllocSlack = 1.0
+	}
+	if o.NsFactor == 0 {
+		o.NsFactor = 5.0
+	}
+}
+
+// nsGateFloor exempts sub-microsecond measurements from the ns ratio gate.
+const nsGateFloor = 1000.0
+
+// ComparePerf returns one finding per regression of candidate against
+// baseline: higher allocs/op than the baseline plus slack, ns/op beyond the
+// ratio threshold, or a baseline cell missing from the candidate. Extra
+// candidate cells are not regressions. An empty result means the gate
+// passes.
+func ComparePerf(baseline, candidate *PerfResult, opts CompareOpts) []string {
+	opts.normalize()
+	var out []string
+
+	type cellKey struct {
+		proto string
+		size  int
+	}
+	candCells := make(map[cellKey]*PerfCell, len(candidate.Cells))
+	for i := range candidate.Cells {
+		c := &candidate.Cells[i]
+		candCells[cellKey{c.Protocol, c.Size}] = c
+	}
+	for i := range baseline.Cells {
+		b := &baseline.Cells[i]
+		key := fmt.Sprintf("%s/size=%d", b.Protocol, b.Size)
+		c, ok := candCells[cellKey{b.Protocol, b.Size}]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: cell missing from candidate", key))
+			continue
+		}
+		if c.AllocsPerOp > b.AllocsPerOp+opts.AllocSlack {
+			out = append(out, fmt.Sprintf("%s: allocs/op %.2f vs baseline %.2f (+%.2f slack)",
+				key, c.AllocsPerOp, b.AllocsPerOp, opts.AllocSlack))
+		}
+		if b.NsPerOp >= nsGateFloor && c.NsPerOp > b.NsPerOp*opts.NsFactor {
+			out = append(out, fmt.Sprintf("%s: ns/op %.0f vs baseline %.0f (>%.1fx)",
+				key, c.NsPerOp, b.NsPerOp, opts.NsFactor))
+		}
+	}
+
+	type ckptKey struct {
+		proto               string
+		state, logs, record int
+	}
+	candCkpt := make(map[ckptKey]*CheckpointCell, len(candidate.Checkpoint))
+	for i := range candidate.Checkpoint {
+		c := &candidate.Checkpoint[i]
+		candCkpt[ckptKey{c.Protocol, c.StateBytes, c.LogRecords, c.RecordBytes}] = c
+	}
+	for i := range baseline.Checkpoint {
+		b := &baseline.Checkpoint[i]
+		key := fmt.Sprintf("checkpoint/%s/state=%d/logs=%d", b.Protocol, b.StateBytes, b.LogRecords)
+		c, ok := candCkpt[ckptKey{b.Protocol, b.StateBytes, b.LogRecords, b.RecordBytes}]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: cell missing from candidate", key))
+			continue
+		}
+		if c.CaptureAllocsPerOp > b.CaptureAllocsPerOp+opts.AllocSlack {
+			out = append(out, fmt.Sprintf("%s: capture allocs/op %.2f vs baseline %.2f (+%.2f slack)",
+				key, c.CaptureAllocsPerOp, b.CaptureAllocsPerOp, opts.AllocSlack))
+		}
+		if b.CaptureNsPerOp >= nsGateFloor && c.CaptureNsPerOp > b.CaptureNsPerOp*opts.NsFactor {
+			out = append(out, fmt.Sprintf("%s: capture ns/op %.0f vs baseline %.0f (>%.1fx)",
+				key, c.CaptureNsPerOp, b.CaptureNsPerOp, opts.NsFactor))
+		}
+		// Enforce the baseline's speedup floor only where the baseline itself
+		// held it (a violated baseline cell cannot gate anyone).
+		if b.SpeedupFloor > 0 && !b.SpeedupViolated && c.CaptureSpeedup < b.SpeedupFloor {
+			out = append(out, fmt.Sprintf("%s: capture speedup %.1fx below baseline floor %.1fx",
+				key, c.CaptureSpeedup, b.SpeedupFloor))
+		}
+	}
+	return out
+}
+
+// ComparePerfFiles loads two perf-profile JSON files and gates candidate
+// against baseline.
+func ComparePerfFiles(baselinePath, candidatePath string, opts CompareOpts) ([]string, error) {
+	baseRaw, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return nil, fmt.Errorf("bench: read baseline: %w", err)
+	}
+	base, err := ReadPerfResult(baseRaw)
+	if err != nil {
+		return nil, fmt.Errorf("bench: baseline %s: %w", baselinePath, err)
+	}
+	candRaw, err := os.ReadFile(candidatePath)
+	if err != nil {
+		return nil, fmt.Errorf("bench: read candidate: %w", err)
+	}
+	cand, err := ReadPerfResult(candRaw)
+	if err != nil {
+		return nil, fmt.Errorf("bench: candidate %s: %w", candidatePath, err)
+	}
+	return ComparePerf(base, cand, opts), nil
+}

@@ -58,6 +58,16 @@ type PerfMatrix struct {
 	// included for a GC draining the pools mid-measurement), negative
 	// disables the guard.
 	AllocGuard float64 `json:"alloc_guard,omitempty"`
+	// CheckpointShapes is the checkpoint-profile axis (capture stall vs the
+	// legacy gob path, commit cost). Empty selects the default shapes;
+	// SkipCheckpoint disables the section.
+	CheckpointShapes []CheckpointShape `json:"checkpoint_shapes,omitempty"`
+	SkipCheckpoint   bool              `json:"skip_checkpoint,omitempty"`
+	// CaptureAllocGuard bounds capture allocs/op per checkpoint cell and
+	// CaptureSpeedupFloor bounds the legacy/capture speedup from below: 0
+	// selects the defaults (40 allocs, 5x), negative disables.
+	CaptureAllocGuard   float64 `json:"capture_alloc_guard,omitempty"`
+	CaptureSpeedupFloor float64 `json:"capture_speedup_floor,omitempty"`
 }
 
 // normalize applies defaults and validates the matrix.
@@ -79,6 +89,17 @@ func (m *PerfMatrix) normalize() error {
 	for _, s := range m.Sizes {
 		if s < 1 {
 			return fmt.Errorf("bench: perf payload sizes must be positive, got %d", s)
+		}
+	}
+	if len(m.CheckpointShapes) == 0 && !m.SkipCheckpoint {
+		m.CheckpointShapes = defaultCheckpointShapes()
+	}
+	for _, sh := range m.CheckpointShapes {
+		if sh.StateBytes < 0 || sh.LogRecords < 0 || sh.RecordBytes < 0 {
+			return fmt.Errorf("bench: negative checkpoint shape %+v", sh)
+		}
+		if sh.LogRecords > 0 && sh.RecordBytes < 1 {
+			return fmt.Errorf("bench: checkpoint shape %+v logs records of no bytes", sh)
 		}
 	}
 	return nil
@@ -115,6 +136,9 @@ type PerfResult struct {
 	GoMaxProcs int        `json:"gomaxprocs"`
 	GoVersion  string     `json:"go_version"`
 	Cells      []PerfCell `json:"cells"`
+	// Checkpoint holds the checkpoint-pipeline profile (in-barrier capture
+	// stall vs the legacy gob path, commit cost off the critical path).
+	Checkpoint []CheckpointCell `json:"checkpoint,omitempty"`
 }
 
 // perfPolicy builds the policy profiled for a protocol on a two-rank world
@@ -240,10 +264,30 @@ func RunPerf(m PerfMatrix) (*PerfResult, error) {
 			out.Cells = append(out.Cells, cell)
 		}
 	}
+	// The checkpoint section profiles the SPBC wave pipeline; skip it when
+	// the protocol filter excludes SPBC (a native-only profile must not
+	// build SPBC fixtures or fail on SPBC guards).
+	profilesSPBC := false
+	for _, p := range m.Protocols {
+		if p == runner.ProtocolSPBC {
+			profilesSPBC = true
+		}
+	}
+	if profilesSPBC {
+		for _, shape := range m.CheckpointShapes {
+			cell, err := runCheckpointCell(shape, m.CaptureAllocGuard, m.CaptureSpeedupFloor)
+			if err != nil {
+				return nil, err
+			}
+			out.Checkpoint = append(out.Checkpoint, cell)
+		}
+	}
 	return out, nil
 }
 
-// Violations returns a description per cell that exceeded its alloc guard.
+// Violations returns a description per cell that exceeded its alloc guard,
+// plus checkpoint cells that exceeded the capture alloc guard or fell below
+// the capture speedup floor.
 func (r *PerfResult) Violations() []string {
 	var out []string
 	for i := range r.Cells {
@@ -251,6 +295,18 @@ func (r *PerfResult) Violations() []string {
 		if c.GuardExceeded {
 			out = append(out, fmt.Sprintf("%s/size=%d: %.2f allocs/op exceeds guard %.2f",
 				c.Protocol, c.Size, c.AllocsPerOp, c.AllocGuard))
+		}
+	}
+	for i := range r.Checkpoint {
+		c := &r.Checkpoint[i]
+		key := fmt.Sprintf("checkpoint/%s/state=%d/logs=%d", c.Protocol, c.StateBytes, c.LogRecords)
+		if c.GuardExceeded {
+			out = append(out, fmt.Sprintf("%s: %.2f capture allocs/op exceeds guard %.2f",
+				key, c.CaptureAllocsPerOp, c.AllocGuard))
+		}
+		if c.SpeedupViolated {
+			out = append(out, fmt.Sprintf("%s: capture speedup %.1fx below floor %.1fx (in-barrier stall regressed)",
+				key, c.CaptureSpeedup, c.SpeedupFloor))
 		}
 	}
 	return out
@@ -327,6 +383,40 @@ func (r *PerfResult) Table() *stats.Table {
 			fmt.Sprintf("%.0f", c.BytesPerOp),
 			fmt.Sprintf("%.1f", hit),
 			guard,
+		)
+	}
+	return t
+}
+
+// CheckpointTable renders the checkpoint-pipeline profile, one row per shape.
+func (r *PerfResult) CheckpointTable() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("BENCH perf %s checkpoint pipeline", r.Name),
+		"protocol", "state", "logs", "capture_ns", "legacy_ns", "speedup", "commit_ns",
+		"cap_allocs", "encoded_B", "guards")
+	for i := range r.Checkpoint {
+		c := &r.Checkpoint[i]
+		guards := "-"
+		switch {
+		case c.GuardExceeded && c.SpeedupViolated:
+			guards = "ALLOCS+SPEEDUP VIOLATED"
+		case c.GuardExceeded:
+			guards = fmt.Sprintf("ALLOCS VIOLATED(>%.0f)", c.AllocGuard)
+		case c.SpeedupViolated:
+			guards = fmt.Sprintf("SPEEDUP VIOLATED(<%.1fx)", c.SpeedupFloor)
+		case c.AllocGuard > 0 || c.SpeedupFloor > 0:
+			guards = fmt.Sprintf("<=%.0f allocs, >=%.1fx", c.AllocGuard, c.SpeedupFloor)
+		}
+		t.AddRow(
+			c.Protocol,
+			fmt.Sprint(c.StateBytes),
+			fmt.Sprint(c.LogRecords),
+			fmt.Sprintf("%.0f", c.CaptureNsPerOp),
+			fmt.Sprintf("%.0f", c.LegacyNsPerOp),
+			fmt.Sprintf("%.1fx", c.CaptureSpeedup),
+			fmt.Sprintf("%.0f", c.CommitNsPerOp),
+			fmt.Sprintf("%.1f", c.CaptureAllocsPerOp),
+			fmt.Sprint(c.EncodedBytes),
+			guards,
 		)
 	}
 	return t

@@ -1,0 +1,281 @@
+package bench
+
+// The checkpoint section of the perf profile measures the two-phase
+// checkpoint pipeline of the engine: the *capture* cost (the in-barrier
+// stall every cluster member pays per wave — retain-only snapshots,
+// O(metadata)) against the *legacy* in-barrier cost it replaced (deep-copy
+// of the sender log and channel snapshot plus a gob encode and the gob
+// clone-decode the old MemoryStorage.Save performed), and the *commit* cost
+// (binary encode into a pooled buffer plus a staged, atomically published
+// store) that now runs off the critical path in the background committer.
+//
+// The capture_speedup column — legacy over capture ns/op — is the headline
+// number of the pipeline and is enforced as a guard (default floor 5x): a
+// payload copy or an encode sneaking back under the barrier trips it.
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/logstore"
+	"repro/internal/mpi"
+	"repro/internal/runner"
+	"repro/internal/simnet"
+)
+
+// CheckpointShape parameterizes one checkpoint-profile cell: the size of the
+// application state and the sender-log population captured per wave.
+type CheckpointShape struct {
+	StateBytes  int `json:"state_bytes"`
+	LogRecords  int `json:"log_records"`
+	RecordBytes int `json:"record_bytes"`
+}
+
+// defaultCheckpointShapes is the default matrix of the checkpoint profile.
+func defaultCheckpointShapes() []CheckpointShape {
+	return []CheckpointShape{
+		{StateBytes: 1 << 10, LogRecords: 0, RecordBytes: 0},
+		{StateBytes: 16 << 10, LogRecords: 16, RecordBytes: 1 << 10},
+		{StateBytes: 64 << 10, LogRecords: 64, RecordBytes: 1 << 10},
+	}
+}
+
+// defaultCaptureAllocGuard bounds capture allocations per wave: the capture
+// is O(metadata) (snapshot maps, the record slice, the ref slices — ~15
+// objects at the default shapes), so the guard sits at 2x that, far below
+// one allocation per record that a reintroduced payload copy would cost.
+const defaultCaptureAllocGuard = 40.0
+
+// defaultCaptureSpeedupFloor is the enforced minimum legacy/capture ratio.
+const defaultCaptureSpeedupFloor = 5.0
+
+// CheckpointCell is one measured checkpoint-profile point.
+type CheckpointCell struct {
+	Protocol    string `json:"protocol"`
+	StateBytes  int    `json:"state_bytes"`
+	LogRecords  int    `json:"log_records"`
+	RecordBytes int    `json:"record_bytes"`
+	// CaptureNsPerOp / CaptureAllocsPerOp / CaptureBytesPerOp cost one
+	// in-barrier capture (zero-copy snapshot of channels, sender log and
+	// protocol state).
+	CaptureNsPerOp     float64 `json:"capture_ns_per_op"`
+	CaptureAllocsPerOp float64 `json:"capture_allocs_per_op"`
+	CaptureBytesPerOp  float64 `json:"capture_bytes_per_op"`
+	// LegacyNsPerOp is the old in-barrier stall: deep-copied snapshots plus
+	// gob encode plus the gob clone-decode of the old in-memory save.
+	LegacyNsPerOp float64 `json:"legacy_ns_per_op"`
+	// CaptureSpeedup is LegacyNsPerOp / CaptureNsPerOp.
+	CaptureSpeedup float64 `json:"capture_speedup"`
+	// CommitNsPerOp / CommitAllocsPerOp cost the off-critical-path commit:
+	// binary encode into a pooled image plus stage + atomic publish.
+	CommitNsPerOp     float64 `json:"commit_ns_per_op"`
+	CommitAllocsPerOp float64 `json:"commit_allocs_per_op"`
+	// EncodedBytes is the binary image size of the cell's checkpoint.
+	EncodedBytes int `json:"encoded_bytes"`
+	// AllocGuard bounds CaptureAllocsPerOp; SpeedupFloor bounds
+	// CaptureSpeedup from below. Zero means not enforced.
+	AllocGuard      float64 `json:"alloc_guard,omitempty"`
+	GuardExceeded   bool    `json:"guard_exceeded,omitempty"`
+	SpeedupFloor    float64 `json:"speedup_floor,omitempty"`
+	SpeedupViolated bool    `json:"speedup_violated,omitempty"`
+}
+
+// checkpointBenchState is the fixture of one cell: a two-rank world with the
+// SPBC protocol logging the 0->1 channel, the sender log populated to the
+// shape, and a pre-built application state.
+type checkpointBenchState struct {
+	p0    *mpi.Proc
+	store *logstore.Store
+	proto *core.SPBC
+	state []byte
+}
+
+func newCheckpointBenchState(shape CheckpointShape) (*checkpointBenchState, error) {
+	w, err := mpi.NewWorld(2, simnet.DefaultCostModel())
+	if err != nil {
+		return nil, err
+	}
+	pol := core.NewSPBCProtocol([]int{0, 1})
+	store := logstore.New()
+	proto := core.NewSPBC(0, pol, w.Cost(), store)
+	p0, p1 := w.Proc(0), w.Proc(1)
+	p0.SetProtocol(proto)
+	p1.SetProtocol(core.NewSPBC(1, pol, w.Cost(), logstore.New()))
+	payload := make([]byte, shape.RecordBytes)
+	for i := range payload {
+		payload[i] = byte(i)
+	}
+	rbuf := make([]byte, shape.RecordBytes)
+	for i := 0; i < shape.LogRecords; i++ {
+		if err := p0.Send(payload, 1, 0, nil); err != nil {
+			return nil, err
+		}
+		if _, err := p1.Recv(rbuf, 0, 0, nil); err != nil {
+			return nil, err
+		}
+	}
+	state := make([]byte, shape.StateBytes)
+	for i := range state {
+		state[i] = byte(i * 7)
+	}
+	return &checkpointBenchState{p0: p0, store: store, proto: proto, state: state}, nil
+}
+
+// capture performs one zero-copy capture, exactly as the engine does under
+// the wave barrier, and returns the capture-form checkpoint. The caller
+// releases it.
+func (s *checkpointBenchState) capture() (*checkpoint.Checkpoint, error) {
+	snap, snapRefs, err := s.p0.SnapshotChannelsShared()
+	if err != nil {
+		return nil, err
+	}
+	proto, err := s.proto.EncodeState()
+	if err != nil {
+		return nil, err
+	}
+	logs, logRefs := s.store.SnapshotShared()
+	cp := &checkpoint.Checkpoint{
+		Rank:     0,
+		AppState: s.state,
+		Channels: snap,
+		Logs:     core.ToCheckpointRecords(logs),
+		Protocol: proto,
+	}
+	cp.HoldShared(snapRefs)
+	cp.HoldShared(logRefs)
+	return cp, nil
+}
+
+// legacyCapture performs the old in-barrier work: deep-copied channel
+// snapshot and log export, gob encode, and the gob clone-decode the previous
+// MemoryStorage.Save paid.
+func (s *checkpointBenchState) legacyCapture() error {
+	snap, err := s.p0.SnapshotChannels()
+	if err != nil {
+		return err
+	}
+	var logs []checkpoint.LogRecord
+	for _, key := range s.store.Channels() {
+		logs = append(logs, core.ToCheckpointRecords(s.store.Range(key.Peer, key.Comm, 0))...)
+	}
+	proto, err := s.proto.EncodeState()
+	if err != nil {
+		return err
+	}
+	cp := &checkpoint.Checkpoint{
+		Rank:     0,
+		AppState: s.state,
+		Channels: snap,
+		Logs:     logs,
+		Protocol: proto,
+	}
+	raw, err := checkpoint.EncodeGob(cp)
+	if err != nil {
+		return err
+	}
+	_, err = checkpoint.DecodeGob(raw)
+	return err
+}
+
+// runCheckpointCell measures one checkpoint-profile shape.
+func runCheckpointCell(shape CheckpointShape, allocGuard, speedupFloor float64) (CheckpointCell, error) {
+	cell := CheckpointCell{
+		Protocol:    string(runner.ProtocolSPBC),
+		StateBytes:  shape.StateBytes,
+		LogRecords:  shape.LogRecords,
+		RecordBytes: shape.RecordBytes,
+	}
+
+	var benchErr error
+	measure := func(op func() error) testing.BenchmarkResult {
+		return testing.Benchmark(func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if err := op(); err != nil {
+					benchErr = err
+					b.SkipNow()
+					return
+				}
+			}
+		})
+	}
+
+	st, err := newCheckpointBenchState(shape)
+	if err != nil {
+		return cell, fmt.Errorf("bench: checkpoint cell %+v: %w", shape, err)
+	}
+
+	capRes := measure(func() error {
+		cp, err := st.capture()
+		if err != nil {
+			return err
+		}
+		cp.ReleaseShared()
+		return nil
+	})
+	legacyRes := measure(st.legacyCapture)
+
+	// Commit: encode the capture into a pooled image and publish it through
+	// the two-phase store, as the background committer does.
+	cp, err := st.capture()
+	if err != nil {
+		return cell, err
+	}
+	defer cp.ReleaseShared()
+	image, err := checkpoint.EncodeBuffer(cp)
+	if err != nil {
+		return cell, err
+	}
+	cell.EncodedBytes = image.Len()
+	image.Release()
+	mem := checkpoint.NewMemoryStorage()
+	commitRes := measure(func() error {
+		img, err := checkpoint.EncodeBuffer(cp)
+		if err != nil {
+			return err
+		}
+		commit, _, err := mem.StageImage(0, img)
+		img.Release()
+		if err != nil {
+			return err
+		}
+		return commit()
+	})
+	if benchErr != nil {
+		return cell, fmt.Errorf("bench: checkpoint cell %+v: %w", shape, benchErr)
+	}
+
+	perOp := func(r testing.BenchmarkResult) float64 {
+		if r.N == 0 {
+			return 0
+		}
+		return float64(r.T.Nanoseconds()) / float64(r.N)
+	}
+	cell.CaptureNsPerOp = perOp(capRes)
+	cell.CaptureAllocsPerOp = float64(capRes.AllocsPerOp())
+	cell.CaptureBytesPerOp = float64(capRes.AllocedBytesPerOp())
+	cell.LegacyNsPerOp = perOp(legacyRes)
+	if cell.CaptureNsPerOp > 0 {
+		cell.CaptureSpeedup = cell.LegacyNsPerOp / cell.CaptureNsPerOp
+	}
+	cell.CommitNsPerOp = perOp(commitRes)
+	cell.CommitAllocsPerOp = float64(commitRes.AllocsPerOp())
+
+	if allocGuard >= 0 {
+		if allocGuard == 0 {
+			allocGuard = defaultCaptureAllocGuard
+		}
+		cell.AllocGuard = allocGuard
+		cell.GuardExceeded = cell.CaptureAllocsPerOp > allocGuard
+	}
+	if speedupFloor >= 0 {
+		if speedupFloor == 0 {
+			speedupFloor = defaultCaptureSpeedupFloor
+		}
+		cell.SpeedupFloor = speedupFloor
+		cell.SpeedupViolated = cell.CaptureSpeedup < speedupFloor
+	}
+	return cell, nil
+}

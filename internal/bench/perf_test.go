@@ -18,6 +18,13 @@ func TestPerfMatrixNormalize(t *testing.T) {
 	if m.Name != "profile" || len(m.Protocols) != 4 || len(m.Sizes) != 3 {
 		t.Fatalf("defaults wrong: %+v", m)
 	}
+	if len(m.CheckpointShapes) != 3 {
+		t.Fatalf("default checkpoint shapes = %v", m.CheckpointShapes)
+	}
+	skip := PerfMatrix{SkipCheckpoint: true}
+	if err := skip.normalize(); err != nil || len(skip.CheckpointShapes) != 0 {
+		t.Fatalf("SkipCheckpoint must leave no shapes: %v %v", skip.CheckpointShapes, err)
+	}
 	bad := PerfMatrix{Sizes: []int{0}}
 	if err := bad.normalize(); err == nil {
 		t.Fatal("non-positive payload size must be rejected")
@@ -25,6 +32,10 @@ func TestPerfMatrixNormalize(t *testing.T) {
 	badProto := PerfMatrix{Protocols: []runner.Protocol{"warp-drive"}}
 	if err := badProto.normalize(); err == nil {
 		t.Fatal("unknown protocol must be rejected")
+	}
+	badShape := PerfMatrix{CheckpointShapes: []CheckpointShape{{StateBytes: -1}}}
+	if err := badShape.normalize(); err == nil {
+		t.Fatal("negative checkpoint shape must be rejected")
 	}
 }
 
@@ -47,6 +58,23 @@ func goldenPerfResult() *PerfResult {
 				NsPerOp: 900.25, AllocsPerOp: 4, BytesPerOp: 500,
 				PoolGets: 100000, PoolMisses: 12,
 				AllocGuard: 3.5, GuardExceeded: true,
+			},
+		},
+		Checkpoint: []CheckpointCell{
+			{
+				Protocol: "spbc", StateBytes: 65536, LogRecords: 64, RecordBytes: 1024,
+				CaptureNsPerOp: 6000.5, CaptureAllocsPerOp: 15, CaptureBytesPerOp: 14000,
+				LegacyNsPerOp: 320000.25, CaptureSpeedup: 53.3,
+				CommitNsPerOp: 5100, CommitAllocsPerOp: 3, EncodedBytes: 132327,
+				AllocGuard: 40, SpeedupFloor: 5,
+			},
+			{
+				Protocol: "spbc", StateBytes: 1024, LogRecords: 0, RecordBytes: 0,
+				CaptureNsPerOp: 50000, CaptureAllocsPerOp: 90, CaptureBytesPerOp: 440,
+				LegacyNsPerOp: 60000, CaptureSpeedup: 1.2,
+				CommitNsPerOp: 250, CommitAllocsPerOp: 2, EncodedBytes: 1059,
+				AllocGuard: 40, GuardExceeded: true,
+				SpeedupFloor: 5, SpeedupViolated: true,
 			},
 		},
 	}
@@ -83,8 +111,14 @@ func TestPerfGoldenJSON(t *testing.T) {
 		t.Fatalf("golden round trip changed the result:\nin  %+v\nout %+v", res, parsed)
 	}
 	vio := parsed.Violations()
-	if len(vio) != 1 || !strings.Contains(vio[0], "spbc/size=1024") {
-		t.Fatalf("golden violations = %v, want the spbc cell", vio)
+	if len(vio) != 3 || !strings.Contains(vio[0], "spbc/size=1024") {
+		t.Fatalf("golden violations = %v, want the spbc send cell plus the second checkpoint cell twice", vio)
+	}
+	if !strings.Contains(vio[1], "capture allocs/op") || !strings.Contains(vio[2], "capture speedup") {
+		t.Fatalf("checkpoint violations missing: %v", vio)
+	}
+	if parsed.CheckpointTable().String() == "" {
+		t.Fatal("checkpoint table must render")
 	}
 }
 
@@ -96,9 +130,10 @@ func TestRunPerfSmoke(t *testing.T) {
 		t.Skip("perf profile measures real time")
 	}
 	res, err := RunPerf(PerfMatrix{
-		Name:      "smoke",
-		Protocols: []runner.Protocol{runner.ProtocolNative, runner.ProtocolSPBC},
-		Sizes:     []int{512},
+		Name:           "smoke",
+		Protocols:      []runner.Protocol{runner.ProtocolNative, runner.ProtocolSPBC},
+		Sizes:          []int{512},
+		SkipCheckpoint: true, // the checkpoint section has its own smoke test
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -126,5 +161,115 @@ func TestRunPerfSmoke(t *testing.T) {
 	}
 	if res.Table().String() == "" {
 		t.Fatal("table must render")
+	}
+}
+
+// TestRunCheckpointCellSmoke measures one real checkpoint-profile shape and
+// checks the pipeline's invariants — capture is allocation-light and beats
+// the legacy gob path by the enforced floor — without asserting
+// machine-dependent numbers beyond the committed guards.
+func TestRunCheckpointCellSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("checkpoint profile measures real time")
+	}
+	cell, err := runCheckpointCell(CheckpointShape{StateBytes: 16 << 10, LogRecords: 16, RecordBytes: 1 << 10}, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.CaptureNsPerOp <= 0 || cell.LegacyNsPerOp <= 0 || cell.CommitNsPerOp <= 0 {
+		t.Fatalf("no measurement: %+v", cell)
+	}
+	if cell.AllocGuard != defaultCaptureAllocGuard || cell.SpeedupFloor != defaultCaptureSpeedupFloor {
+		t.Fatalf("default guards not applied: %+v", cell)
+	}
+	if cell.GuardExceeded {
+		t.Errorf("capture allocates %.1f/op, guard %.0f — zero-copy capture regressed", cell.CaptureAllocsPerOp, cell.AllocGuard)
+	}
+	if cell.SpeedupViolated {
+		t.Errorf("capture speedup %.1fx below floor %.1fx — the in-barrier stall regressed", cell.CaptureSpeedup, cell.SpeedupFloor)
+	}
+	if cell.EncodedBytes < cell.StateBytes {
+		t.Errorf("encoded image (%dB) smaller than the state it contains (%dB)", cell.EncodedBytes, cell.StateBytes)
+	}
+}
+
+// TestComparePerf exercises the regression gate on synthetic profiles.
+func TestComparePerf(t *testing.T) {
+	base := goldenPerfResult()
+	same := goldenPerfResult()
+	if f := ComparePerf(base, same, CompareOpts{}); len(f) != 0 {
+		t.Fatalf("identical profiles must pass the gate: %v", f)
+	}
+
+	worse := goldenPerfResult()
+	worse.Cells[0].AllocsPerOp += 2 // beyond the 1.0 slack
+	worse.Cells[1].NsPerOp *= 10    // beyond the 5x factor... but below the 1µs ns floor
+	worse.Checkpoint[0].CaptureAllocsPerOp += 2
+	worse.Checkpoint[0].CaptureNsPerOp *= 10
+	worse.Checkpoint[0].CaptureSpeedup = 2 // below the baseline's floor of 5
+	f := ComparePerf(base, worse, CompareOpts{})
+	assertFinding := func(sub string) {
+		t.Helper()
+		for _, line := range f {
+			if strings.Contains(line, sub) {
+				return
+			}
+		}
+		t.Fatalf("expected a finding containing %q in %v", sub, f)
+	}
+	assertFinding("native/size=1024: allocs/op")
+	assertFinding("checkpoint/spbc/state=65536/logs=64: capture allocs/op")
+	assertFinding("checkpoint/spbc/state=65536/logs=64: capture ns/op")
+	assertFinding("capture speedup 2.0x below baseline floor")
+	for _, line := range f {
+		if strings.Contains(line, "spbc/size=1024: ns/op") {
+			t.Fatalf("sub-microsecond cells must be exempt from the ns gate: %v", f)
+		}
+	}
+
+	missing := goldenPerfResult()
+	missing.Cells = missing.Cells[:1]
+	missing.Checkpoint = nil
+	f = ComparePerf(base, missing, CompareOpts{})
+	assertFinding("spbc/size=1024: cell missing")
+	assertFinding("checkpoint/spbc/state=65536/logs=64: cell missing")
+
+	// Custom thresholds: a 1.5x ns regression passes at the default factor,
+	// fails at 1.2.
+	mild := goldenPerfResult()
+	mild.Checkpoint[0].CaptureNsPerOp *= 1.5
+	if f := ComparePerf(base, mild, CompareOpts{}); len(f) != 0 {
+		t.Fatalf("1.5x ns must pass the default gate: %v", f)
+	}
+	if f := ComparePerf(base, mild, CompareOpts{NsFactor: 1.2}); len(f) != 1 {
+		t.Fatalf("1.5x ns must fail a 1.2x gate: %v", f)
+	}
+}
+
+// TestComparePerfFiles round-trips the gate through JSON files, as CI runs it.
+func TestComparePerfFiles(t *testing.T) {
+	dir := t.TempDir()
+	base := goldenPerfResult()
+	base.Name = "base"
+	basePath, err := base.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cand := goldenPerfResult()
+	cand.Name = "cand"
+	cand.Cells[0].AllocsPerOp += 3
+	candPath, err := cand.WriteFile(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	findings, err := ComparePerfFiles(basePath, candPath, CompareOpts{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(findings) != 1 || !strings.Contains(findings[0], "allocs/op") {
+		t.Fatalf("findings = %v", findings)
+	}
+	if _, err := ComparePerfFiles(filepath.Join(dir, "nope.json"), candPath, CompareOpts{}); err == nil {
+		t.Fatal("missing baseline must error")
 	}
 }

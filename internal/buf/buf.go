@@ -139,6 +139,17 @@ func (b *Buffer) Bytes() []byte { return b.data }
 // Len returns the payload length.
 func (b *Buffer) Len() int { return len(b.data) }
 
+// Truncate shrinks the payload to its first n bytes. It is used by writers
+// that obtain a buffer sized to an upper bound and then settle on the exact
+// length (the checkpoint encoder); the full class-sized storage is restored
+// when the buffer is recycled.
+func (b *Buffer) Truncate(n int) {
+	if n < 0 || n > len(b.data) {
+		panic(fmt.Sprintf("buf: Truncate(%d) outside [0,%d]", n, len(b.data)))
+	}
+	b.data = b.data[:n]
+}
+
 // Retain adds a reference and returns b, so a store can retain in one
 // expression.
 func (b *Buffer) Retain() *Buffer {

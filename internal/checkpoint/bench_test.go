@@ -6,9 +6,10 @@ import (
 	"repro/internal/mpi"
 )
 
-// Checkpoint encode/decode runs once per rank per wave in the bench sweep
-// (DirStorage) and on every MemoryStorage save/load (deep copies go through
-// gob). Names are benchstat-friendly.
+// Checkpoint encode/decode runs once per rank per wave in the background
+// committer (binary codec) and once per restart read (Load decodes the shared
+// image). The *Gob variants measure the old wire format the binary codec
+// replaced, so benchstat can quantify the win. Names are benchstat-friendly.
 
 func benchCheckpoint(stateBytes, logRecords int) *Checkpoint {
 	cp := &Checkpoint{
@@ -82,6 +83,70 @@ func BenchmarkCheckpointDecode(b *testing.B) {
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if _, err := Decode(raw); err != nil {
+					b.Fatalf("decode: %v", err)
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkCheckpointEncodeBuffer measures the committer's actual encode
+// path: image into a pooled buffer, released after use.
+func BenchmarkCheckpointEncodeBuffer(b *testing.B) {
+	cp := benchCheckpoint(64<<10, 64)
+	b.SetBytes(int64(cp.Size()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		image, err := EncodeBuffer(cp)
+		if err != nil {
+			b.Fatalf("encode: %v", err)
+		}
+		image.Release()
+	}
+}
+
+func BenchmarkCheckpointEncodeGob(b *testing.B) {
+	for _, tc := range []struct {
+		name              string
+		state, logRecords int
+	}{
+		{"state=1KiB/logs=0", 1 << 10, 0},
+		{"state=64KiB/logs=64", 64 << 10, 64},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cp := benchCheckpoint(tc.state, tc.logRecords)
+			b.SetBytes(int64(cp.Size()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := EncodeGob(cp); err != nil {
+					b.Fatalf("encode: %v", err)
+				}
+			}
+		})
+	}
+}
+
+func BenchmarkCheckpointDecodeGob(b *testing.B) {
+	for _, tc := range []struct {
+		name              string
+		state, logRecords int
+	}{
+		{"state=1KiB/logs=0", 1 << 10, 0},
+		{"state=64KiB/logs=64", 64 << 10, 64},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			cp := benchCheckpoint(tc.state, tc.logRecords)
+			raw, err := EncodeGob(cp)
+			if err != nil {
+				b.Fatalf("encode: %v", err)
+			}
+			b.SetBytes(int64(cp.Size()))
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, err := DecodeGob(raw); err != nil {
 					b.Fatalf("decode: %v", err)
 				}
 			}

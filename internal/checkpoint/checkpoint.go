@@ -6,27 +6,42 @@
 // A checkpoint of a rank bundles the application state (an opaque byte
 // slice produced by the application's Snapshot method), the MPI-level
 // channel state (sequence counters, reception bookkeeping and undelivered
-// messages) and the sender-based message log. Two storage back-ends are
-// provided: an in-memory store (used by the benchmarks, which follow the
-// paper in excluding checkpoint I/O from the measurements) and a
-// directory-backed store using encoding/gob (used to exercise the full
-// save/load path).
+// messages) and the sender-based message log. Checkpoints exist in two
+// forms:
+//
+//   - Capture form: produced under the checkpoint barrier. Payload slices
+//     alias the runtime's pooled buffers (internal/buf) that the capture
+//     retained — building it costs O(metadata), no payload is copied. The
+//     holder releases the references with ReleaseShared once the checkpoint
+//     is durably encoded.
+//   - Materialized form: produced by Decode. Every payload is an independent
+//     heap copy whose lifetime is decoupled from the buffer pool.
+//
+// Both forms encode to the same binary image (codec.go). Two storage
+// back-ends are provided: an in-memory store that keeps the immutable
+// encoded image per rank (used by the benchmarks, which follow the paper in
+// excluding checkpoint I/O from the measurements) and a directory-backed
+// store with per-rank file locks so a committer pool can write a wave's
+// members in parallel. Both support two-phase saves (StageImage): an
+// expensive stage step that makes the image durable without publishing it,
+// and a cheap commit step that atomically makes it the rank's latest
+// checkpoint — the hook the engine uses to publish whole waves atomically
+// and to discard waves a failure interrupted.
 package checkpoint
 
 import (
-	"bytes"
-	"encoding/gob"
 	"fmt"
 	"os"
 	"path/filepath"
 	"sort"
 	"sync"
 
+	"repro/internal/buf"
 	"repro/internal/mpi"
 )
 
-// LogRecord mirrors logstore.Record in a self-contained, gob-friendly form so
-// the checkpoint package does not depend on the log store implementation.
+// LogRecord mirrors logstore.Record in a self-contained form so the
+// checkpoint package does not depend on the log store implementation.
 type LogRecord struct {
 	Env      mpi.Envelope
 	Payload  []byte
@@ -48,7 +63,33 @@ type Checkpoint struct {
 	// must be rolled back with the application so that re-executed sends and
 	// receives are stamped with the same identifiers as the logged messages.
 	Protocol []byte
+
+	// retained backs a capture-form checkpoint: the pooled-buffer references
+	// whose storage the Logs and Channels payload slices alias. nil for a
+	// materialized checkpoint.
+	retained []*buf.Buffer
 }
+
+// HoldShared records the pooled-buffer references backing this checkpoint's
+// payload slices. The checkpoint takes over the caller's references; they are
+// dropped by ReleaseShared.
+func (c *Checkpoint) HoldShared(refs []*buf.Buffer) {
+	c.retained = append(c.retained, refs...)
+}
+
+// ReleaseShared drops the pooled-buffer references of a capture-form
+// checkpoint. The payload slices of Logs and Channels.Queued must not be
+// used afterwards. Safe to call on a materialized checkpoint (no-op).
+func (c *Checkpoint) ReleaseShared() {
+	for _, b := range c.retained {
+		b.Release()
+	}
+	c.retained = nil
+}
+
+// Shared reports whether the checkpoint is in capture form (payloads alias
+// retained pooled buffers).
+func (c *Checkpoint) Shared() bool { return len(c.retained) > 0 }
 
 // Validate performs basic sanity checks on a checkpoint.
 func (c *Checkpoint) Validate() error {
@@ -95,47 +136,91 @@ type Storage interface {
 	Ranks() ([]int, error)
 }
 
-// MemoryStorage keeps checkpoints in memory. It is safe for concurrent use.
+// WaveStorage is the two-phase save interface used by the engine's
+// background committer: StageImage makes the encoded checkpoint image
+// durable without publishing it; the returned commit publishes it as the
+// rank's latest checkpoint (cheap — a rename or a pointer swap — so a whole
+// wave can be published atomically under one lock), and abort discards the
+// staged image. Exactly one of commit and abort must be called.
+type WaveStorage interface {
+	Storage
+	StageImage(rank int, image *buf.Buffer) (commit func() error, abort func(), err error)
+}
+
+// MemoryStorage keeps the latest encoded checkpoint image of every rank in
+// memory. It is safe for concurrent use; saves of different ranks do not
+// contend beyond the brief pointer swap.
 type MemoryStorage struct {
 	mu    sync.Mutex
-	byRnk map[int]*Checkpoint
+	byRnk map[int]*buf.Buffer // immutable encoded image per rank, retained
 	saves int
 }
 
 // NewMemoryStorage creates an empty in-memory store.
 func NewMemoryStorage() *MemoryStorage {
-	return &MemoryStorage{byRnk: make(map[int]*Checkpoint)}
+	return &MemoryStorage{byRnk: make(map[int]*buf.Buffer)}
 }
 
-// Save stores a deep copy of the checkpoint.
+// publish installs an image as the rank's latest checkpoint, taking over the
+// caller's reference and releasing the previous image.
+func (m *MemoryStorage) publish(rank int, image *buf.Buffer) {
+	m.mu.Lock()
+	prev := m.byRnk[rank]
+	m.byRnk[rank] = image
+	m.saves++
+	m.mu.Unlock()
+	if prev != nil {
+		prev.Release()
+	}
+}
+
+// Save encodes the checkpoint once and stores the immutable image.
 func (m *MemoryStorage) Save(cp *Checkpoint) error {
 	if err := cp.Validate(); err != nil {
 		return err
 	}
-	clone, err := cloneCheckpoint(cp)
+	image, err := EncodeBuffer(cp)
 	if err != nil {
 		return err
 	}
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	m.byRnk[cp.Rank] = clone
-	m.saves++
+	m.publish(cp.Rank, image)
 	return nil
 }
 
-// Load returns a deep copy of the latest checkpoint of the rank.
+// StageImage implements WaveStorage: the image is retained immediately (it is
+// already durable — this is the in-memory model of stable storage), commit
+// publishes it with a pointer swap, abort drops the reference.
+func (m *MemoryStorage) StageImage(rank int, image *buf.Buffer) (func() error, func(), error) {
+	staged := image.Retain()
+	commit := func() error {
+		m.publish(rank, staged)
+		return nil
+	}
+	abort := func() { staged.Release() }
+	return commit, abort, nil
+}
+
+// Load decodes the rank's latest image into a fresh, independent checkpoint:
+// the encoded image is shared, never the decoded structures, so mutating a
+// loaded checkpoint cannot corrupt the store.
 func (m *MemoryStorage) Load(rank int) (*Checkpoint, bool, error) {
 	m.mu.Lock()
-	cp, ok := m.byRnk[rank]
+	image := m.byRnk[rank]
+	if image != nil {
+		// Hold the image across the decode: a concurrent Save replacing it
+		// must not recycle the storage under the decoder.
+		image.Retain()
+	}
 	m.mu.Unlock()
-	if !ok {
+	if image == nil {
 		return nil, false, nil
 	}
-	clone, err := cloneCheckpoint(cp)
+	cp, err := Decode(image.Bytes())
+	image.Release()
 	if err != nil {
 		return nil, false, err
 	}
-	return clone, true, nil
+	return cp, true, nil
 }
 
 // Ranks lists ranks with a stored checkpoint, sorted.
@@ -150,18 +235,22 @@ func (m *MemoryStorage) Ranks() ([]int, error) {
 	return out, nil
 }
 
-// Saves returns the number of successful Save calls.
+// Saves returns the number of checkpoints published (Save calls plus
+// committed stages).
 func (m *MemoryStorage) Saves() int {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	return m.saves
 }
 
-// DirStorage stores checkpoints as gob files in a directory, one file per
-// rank (overwritten on every save, like a two-phase local checkpoint).
+// DirStorage stores checkpoints as binary files in a directory, one file per
+// rank (overwritten on every save, like a two-phase local checkpoint). Locks
+// are per rank, so a committer pool can write a wave's members in parallel.
 type DirStorage struct {
 	dir string
-	mu  sync.Mutex
+	mu  sync.Mutex // guards locks and tmpSeq only
+	lks map[int]*sync.Mutex
+	seq int // distinguishes concurrent temp files of one rank
 }
 
 // NewDirStorage creates (if needed) and uses the given directory.
@@ -169,11 +258,41 @@ func NewDirStorage(dir string) (*DirStorage, error) {
 	if err := os.MkdirAll(dir, 0o755); err != nil {
 		return nil, fmt.Errorf("checkpoint: create storage dir: %w", err)
 	}
-	return &DirStorage{dir: dir}, nil
+	return &DirStorage{dir: dir, lks: make(map[int]*sync.Mutex)}, nil
 }
 
 func (d *DirStorage) path(rank int) string {
 	return filepath.Join(d.dir, fmt.Sprintf("rank-%06d.ckpt", rank))
+}
+
+// lock returns the per-rank file lock, creating it on first use.
+func (d *DirStorage) lock(rank int) *sync.Mutex {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	lk := d.lks[rank]
+	if lk == nil {
+		lk = &sync.Mutex{}
+		d.lks[rank] = lk
+	}
+	return lk
+}
+
+// tmpPath returns a unique temp-file path for the rank.
+func (d *DirStorage) tmpPath(rank int) string {
+	d.mu.Lock()
+	d.seq++
+	n := d.seq
+	d.mu.Unlock()
+	return fmt.Sprintf("%s.%d.tmp", d.path(rank), n)
+}
+
+// writeImage writes raw to a temp file and returns its path.
+func (d *DirStorage) writeImage(rank int, raw []byte) (string, error) {
+	tmp := d.tmpPath(rank)
+	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		return "", fmt.Errorf("checkpoint: write %s: %w", tmp, err)
+	}
+	return tmp, nil
 }
 
 // Save writes the checkpoint atomically (write to temp file then rename).
@@ -181,27 +300,55 @@ func (d *DirStorage) Save(cp *Checkpoint) error {
 	if err := cp.Validate(); err != nil {
 		return err
 	}
-	raw, err := Encode(cp)
+	image, err := EncodeBuffer(cp)
 	if err != nil {
 		return err
 	}
-	d.mu.Lock()
-	defer d.mu.Unlock()
-	tmp := d.path(cp.Rank) + ".tmp"
-	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
-		return fmt.Errorf("checkpoint: write %s: %w", tmp, err)
+	commit, abort, err := d.StageImage(cp.Rank, image)
+	image.Release()
+	if err != nil {
+		return err
 	}
-	if err := os.Rename(tmp, d.path(cp.Rank)); err != nil {
-		return fmt.Errorf("checkpoint: rename: %w", err)
+	if err := commit(); err != nil {
+		abort()
+		return err
 	}
 	return nil
 }
 
+// StageImage implements WaveStorage: stage writes the temp file (the slow,
+// parallel part), commit renames it into place under the rank lock, abort
+// removes it.
+func (d *DirStorage) StageImage(rank int, image *buf.Buffer) (func() error, func(), error) {
+	tmp, err := d.writeImage(rank, image.Bytes())
+	if err != nil {
+		return nil, nil, err
+	}
+	committed := false
+	commit := func() error {
+		lk := d.lock(rank)
+		lk.Lock()
+		defer lk.Unlock()
+		if err := os.Rename(tmp, d.path(rank)); err != nil {
+			return fmt.Errorf("checkpoint: rename: %w", err)
+		}
+		committed = true
+		return nil
+	}
+	abort := func() {
+		if !committed {
+			os.Remove(tmp)
+		}
+	}
+	return commit, abort, nil
+}
+
 // Load reads the latest checkpoint of the rank from disk.
 func (d *DirStorage) Load(rank int) (*Checkpoint, bool, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
+	lk := d.lock(rank)
+	lk.Lock()
 	raw, err := os.ReadFile(d.path(rank))
+	lk.Unlock()
 	if os.IsNotExist(err) {
 		return nil, false, nil
 	}
@@ -217,8 +364,6 @@ func (d *DirStorage) Load(rank int) (*Checkpoint, bool, error) {
 
 // Ranks lists ranks with a checkpoint file.
 func (d *DirStorage) Ranks() ([]int, error) {
-	d.mu.Lock()
-	defer d.mu.Unlock()
 	entries, err := os.ReadDir(d.dir)
 	if err != nil {
 		return nil, fmt.Errorf("checkpoint: list: %w", err)
@@ -226,7 +371,7 @@ func (d *DirStorage) Ranks() ([]int, error) {
 	var out []int
 	for _, e := range entries {
 		var rank int
-		if _, err := fmt.Sscanf(e.Name(), "rank-%d.ckpt", &rank); err == nil {
+		if _, err := fmt.Sscanf(e.Name(), "rank-%d.ckpt", &rank); err == nil && !isTmp(e.Name()) {
 			out = append(out, rank)
 		}
 	}
@@ -234,34 +379,12 @@ func (d *DirStorage) Ranks() ([]int, error) {
 	return out, nil
 }
 
-// Encode serializes a checkpoint with encoding/gob.
-func Encode(cp *Checkpoint) ([]byte, error) {
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(cp); err != nil {
-		return nil, fmt.Errorf("checkpoint: encode: %w", err)
-	}
-	return buf.Bytes(), nil
-}
-
-// Decode deserializes a checkpoint produced by Encode.
-func Decode(raw []byte) (*Checkpoint, error) {
-	var cp Checkpoint
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&cp); err != nil {
-		return nil, fmt.Errorf("checkpoint: decode: %w", err)
-	}
-	return &cp, nil
-}
-
-// cloneCheckpoint deep-copies a checkpoint through gob.
-func cloneCheckpoint(cp *Checkpoint) (*Checkpoint, error) {
-	raw, err := Encode(cp)
-	if err != nil {
-		return nil, err
-	}
-	return Decode(raw)
-}
+// isTmp reports whether the file name is a staged (uncommitted) image.
+func isTmp(name string) bool { return filepath.Ext(name) == ".tmp" }
 
 var (
-	_ Storage = (*MemoryStorage)(nil)
-	_ Storage = (*DirStorage)(nil)
+	_ Storage     = (*MemoryStorage)(nil)
+	_ Storage     = (*DirStorage)(nil)
+	_ WaveStorage = (*MemoryStorage)(nil)
+	_ WaveStorage = (*DirStorage)(nil)
 )

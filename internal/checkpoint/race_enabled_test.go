@@ -1,0 +1,7 @@
+//go:build race
+
+package checkpoint
+
+// raceEnabled reports that this binary was built with the race detector,
+// under which sync.Pool intentionally drops items to surface races.
+const raceEnabled = true

@@ -1,0 +1,345 @@
+package core
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// The committer is the second half of the two-phase checkpoint pipeline.
+//
+// A checkpoint wave used to stall every member of a cluster, inside the
+// barrier, for the full cost of deep-copying its sender log, gob-encoding
+// the checkpoint and persisting it behind one storage mutex — the opposite
+// of the paper's claim that SPBC's failure-free overhead reduces to the
+// sender-side log copy. The engine now only *captures* under the barrier
+// (retain-only snapshots, O(metadata)) and hands the wave to this background
+// committer, which encodes and persists it off the critical path:
+//
+//   - One worker goroutine per recovery group, so waves of one cluster
+//     commit in capture order (stable storage never regresses) while
+//     different clusters drain in parallel.
+//   - Within a wave, the per-rank images are encoded and staged in parallel
+//     (checkpoint.WaveStorage stages are independent: per-rank temp files or
+//     retained in-memory images).
+//   - A wave is *published* — made the latest checkpoint of all its members
+//     — atomically under the committer lock, so recovery can never observe a
+//     half-saved wave (an inconsistent cut).
+//   - Remote-log garbage collection for the wave runs only after the wave is
+//     durably published: a fault that interrupts a draining wave rolls back
+//     to the last durable wave, whose replay records are still in the
+//     senders' logs (the paper's stable-storage semantics).
+//
+// On a fault, recovery calls cancelClusters for the affected groups: every
+// unpublished wave of those clusters is discarded (its buffers released, no
+// GC), and if a cluster has no durable wave yet — a fault racing the very
+// first commit — the call first waits for the oldest in-flight wave to
+// publish, so rollback always finds a checkpoint. Re-execution re-captures
+// the canceled boundaries deterministically.
+
+// wave accumulates the capture-form checkpoints of one (cluster, epoch)
+// checkpoint wave until every member has submitted, then moves through the
+// cluster's commit queue.
+type wave struct {
+	cluster  int
+	epoch    int
+	expect   int
+	members  []*checkpoint.Checkpoint
+	captured time.Time // when the last member was captured
+	// canceled and published are guarded by committer.mu. A wave is
+	// exactly one of: discarded (canceled before publish) or published.
+	canceled  bool
+	published bool
+}
+
+// committer drains captured checkpoint waves to stable storage in the
+// background.
+type committer struct {
+	e       *Engine
+	storage checkpoint.Storage
+	ws      checkpoint.WaveStorage   // nil when storage lacks the two-phase fast path
+	stall   func(cluster, epoch int) // Config.CommitStall test/chaos hook
+
+	mu       sync.Mutex
+	cond     *sync.Cond
+	partial  map[int]*wave   // cluster -> wave still accumulating members
+	queues   map[int][]*wave // cluster -> complete waves in capture order
+	inflight map[int]*wave   // cluster -> wave its worker is committing
+	workers  map[int]bool    // clusters with a started worker
+	durable  map[int]int     // cluster -> published wave count
+	closed   bool
+	err      error // first stage/publish error
+	wg       sync.WaitGroup
+}
+
+func newCommitter(e *Engine, storage checkpoint.Storage, stall func(cluster, epoch int)) *committer {
+	c := &committer{
+		e:        e,
+		storage:  storage,
+		stall:    stall,
+		partial:  make(map[int]*wave),
+		queues:   make(map[int][]*wave),
+		inflight: make(map[int]*wave),
+		workers:  make(map[int]bool),
+		durable:  make(map[int]int),
+	}
+	c.ws, _ = storage.(checkpoint.WaveStorage)
+	c.cond = sync.NewCond(&c.mu)
+	return c
+}
+
+// submit hands one rank's capture-form checkpoint to the committer. The
+// committer takes over the checkpoint's retained buffer references. Members
+// of one cluster submit an epoch completely before any member can reach the
+// next (the wave's exit barrier), so at most one wave per cluster
+// accumulates at a time.
+func (c *committer) submit(cluster, epoch int, cp *checkpoint.Checkpoint) {
+	c.mu.Lock()
+	w := c.partial[cluster]
+	if w == nil {
+		w = &wave{cluster: cluster, epoch: epoch, expect: c.e.groupSize[cluster]}
+		c.partial[cluster] = w
+		if !c.workers[cluster] {
+			c.workers[cluster] = true
+			c.wg.Add(1)
+			go c.worker(cluster)
+		}
+	}
+	w.members = append(w.members, cp)
+	if len(w.members) == w.expect {
+		delete(c.partial, cluster)
+		w.captured = time.Now()
+		c.queues[cluster] = append(c.queues[cluster], w)
+		c.cond.Broadcast()
+	}
+	c.mu.Unlock()
+}
+
+// worker drains one cluster's queue in FIFO order.
+func (c *committer) worker(cluster int) {
+	defer c.wg.Done()
+	for {
+		c.mu.Lock()
+		for len(c.queues[cluster]) == 0 && !c.closed {
+			c.cond.Wait()
+		}
+		if len(c.queues[cluster]) == 0 {
+			c.mu.Unlock()
+			return
+		}
+		w := c.queues[cluster][0]
+		c.queues[cluster] = c.queues[cluster][1:]
+		c.inflight[cluster] = w
+		c.mu.Unlock()
+
+		c.commitWave(w)
+
+		c.mu.Lock()
+		delete(c.inflight, cluster)
+		// A discarded wave changes hasUnpublishedLocked: wake any
+		// cancelClusters re-evaluating its wait condition.
+		c.cond.Broadcast()
+		c.mu.Unlock()
+	}
+}
+
+// discard releases a wave's capture buffers without publishing.
+func (w *wave) discard() {
+	for _, cp := range w.members {
+		cp.ReleaseShared()
+	}
+}
+
+// commitWave encodes, stages and publishes one wave, then garbage-collects
+// the remote log records the wave covers.
+func (c *committer) commitWave(w *wave) {
+	if c.stall != nil {
+		c.stall(w.cluster, w.epoch)
+	}
+	c.mu.Lock()
+	canceled := w.canceled
+	c.mu.Unlock()
+	if canceled {
+		w.discard()
+		return
+	}
+
+	// Stage the members in parallel: encode each rank's binary image and make
+	// it durable without publishing (temp file / retained image).
+	commits := make([]func() error, len(w.members))
+	aborts := make([]func(), len(w.members))
+	errs := make([]error, len(w.members))
+	var wg sync.WaitGroup
+	for i := range w.members {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			cp := w.members[i]
+			if c.ws == nil {
+				// Plain Storage fallback: publish is a full Save. The
+				// capture's buffer references stay valid until the wave is
+				// released, so Save sees consistent payloads.
+				commits[i] = func() error { return c.storage.Save(cp) }
+				return
+			}
+			image, err := checkpoint.EncodeBuffer(cp)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			commit, abort, err := c.ws.StageImage(cp.Rank, image)
+			image.Release()
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			commits[i], aborts[i] = commit, abort
+		}(i)
+	}
+	wg.Wait()
+	var stageErr error
+	for _, err := range errs {
+		if err != nil {
+			stageErr = err
+			break
+		}
+	}
+
+	// Publish atomically: every member commits under the lock (commit is
+	// cheap — a rename or pointer swap), so recovery either sees the whole
+	// wave or none of it, and a cancellation that lost the race to this
+	// critical section finds the wave already durable.
+	c.mu.Lock()
+	if w.canceled || stageErr != nil {
+		c.setErrLocked(stageErr)
+		c.mu.Unlock()
+		for _, abort := range aborts {
+			if abort != nil {
+				abort()
+			}
+		}
+		w.discard()
+		return
+	}
+	for i, commit := range commits {
+		if err := commit(); err != nil {
+			// Members before i are already published and cannot be undone —
+			// a rename failing mid-publish leaves a partial wave on stable
+			// storage. The error fails the run (checkpointRank surfaces it at
+			// the next wave), so no in-run recovery consumes the mixed state;
+			// the failed member and the rest are aborted so no staged images
+			// leak.
+			c.setErrLocked(fmt.Errorf("core: publish checkpoint of rank %d: %w", w.members[i].Rank, err))
+			c.mu.Unlock()
+			for _, abort := range aborts[i:] {
+				if abort != nil {
+					abort()
+				}
+			}
+			w.discard()
+			return
+		}
+	}
+	w.published = true
+	c.durable[w.cluster]++
+	c.cond.Broadcast() // wake a cancelClusters waiting for a first durable wave
+	c.mu.Unlock()
+
+	var bytes uint64
+	for _, cp := range w.members {
+		bytes += cp.Size()
+	}
+	cnt := &c.e.counters
+	cnt.saves.Add(int64(len(w.members)))
+	cnt.savedBytes.Add(bytes)
+	cnt.waves.Add(1)
+	cnt.commitNs.Add(time.Since(w.captured).Nanoseconds())
+
+	// The wave is durable: only now may the remote-log records it covers be
+	// garbage-collected (Algorithm 1's truncation). Until this point a fault
+	// would roll the cluster back to the previous durable wave, whose replay
+	// records must still be in the senders' logs.
+	c.e.gcLogsWave(w)
+	w.discard()
+}
+
+// setErrLocked records the first commit error and wakes any cancelClusters
+// parked on the condvar: its wait loop exits on c.err, so an error on the
+// very first wave must not leave a recovery leader sleeping forever. Caller
+// holds c.mu.
+func (c *committer) setErrLocked(err error) {
+	if err != nil && c.err == nil {
+		c.err = err
+		c.cond.Broadcast()
+	}
+}
+
+// firstErr returns the first commit error, if any.
+func (c *committer) firstErr() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.err
+}
+
+// hasUnpublishedLocked reports whether the cluster has waves that are
+// captured (possibly partially) but not yet published. Caller holds c.mu.
+func (c *committer) hasUnpublishedLocked(cluster int) bool {
+	return c.partial[cluster] != nil || c.inflight[cluster] != nil || len(c.queues[cluster]) > 0
+}
+
+// cancelClusters discards every unpublished wave of the given clusters, so
+// recovery rolls back to the last durable wave. For a cluster with no
+// durable wave yet (a fault racing the very first commit), it waits for the
+// oldest in-flight wave to publish first — checkpointing starts at iteration
+// 0, so such a wave always exists — keeping "no checkpoint to roll back to"
+// impossible. Returns the number of waves canceled. It must be called while
+// the affected ranks are quiescent (between the fault rendezvous and the
+// checkpoint loads), so no new wave of these clusters can appear
+// concurrently.
+func (c *committer) cancelClusters(clusters map[int]bool) int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for cl := range clusters {
+		for c.durable[cl] == 0 && c.hasUnpublishedLocked(cl) && c.err == nil {
+			c.cond.Wait()
+		}
+	}
+	n := 0
+	cancel := func(w *wave) {
+		// A wave that already published is durable — recovery will restore
+		// it; marking it canceled would only skew the wave accounting.
+		if w != nil && !w.canceled && !w.published {
+			w.canceled = true
+			n++
+		}
+	}
+	for cl := range clusters {
+		cancel(c.partial[cl])
+		cancel(c.inflight[cl])
+		for _, w := range c.queues[cl] {
+			cancel(w)
+		}
+	}
+	return n
+}
+
+// drain closes the committer and waits for every queued wave to commit. It
+// returns the first commit error.
+func (c *committer) drain() error {
+	c.mu.Lock()
+	c.closed = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+	c.wg.Wait()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// An aborted run can leave a partially captured wave behind; release its
+	// buffers (it is never published).
+	for cl, w := range c.partial {
+		w.discard()
+		delete(c.partial, cl)
+	}
+	return c.err
+}

@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/checkpoint"
 	"repro/internal/clustering"
@@ -44,10 +46,20 @@ type Config struct {
 	Interval int
 	// Steps is the number of application iterations to run.
 	Steps int
-	// Storage receives the checkpoints.
+	// Storage receives the checkpoints. Storages implementing
+	// checkpoint.WaveStorage get the two-phase fast path: encoded images are
+	// staged in parallel and whole waves publish atomically; plain Storages
+	// fall back to Save at publish time.
 	Storage checkpoint.Storage
 	// Faults is the failure plan. Iterations must lie in [0, Steps).
 	Faults []Fault
+	// CommitStall, if set, is called by the background committer before it
+	// stages a wave. It is test/chaos instrumentation: a blocking hook keeps
+	// the wave in the not-yet-durable state, so tests can pin a fault into
+	// the middle of a draining wave. Hooks must eventually return, and must
+	// not block a cluster's very first wave across a fault of that cluster
+	// (recovery waits for the first durable wave).
+	CommitStall func(cluster, epoch int)
 }
 
 // policy resolves the configured policy, applying the ClusterOf shortcut.
@@ -106,6 +118,8 @@ func (c *Config) resolve(size int) (Policy, []int, error) {
 // Metrics accumulates the engine-level counters of one run. They complement
 // the per-rank mpi.ProcStats and the log stores' volume counters.
 type Metrics struct {
+	// CheckpointSaves / CheckpointBytes count per-rank checkpoints durably
+	// published (content bytes, not encoded-image bytes).
 	CheckpointSaves     int    `json:"checkpoint_saves"`
 	CheckpointBytes     uint64 `json:"checkpoint_bytes"`
 	TruncatedLogRecords int    `json:"truncated_log_records"`
@@ -114,6 +128,35 @@ type Metrics struct {
 	RestoredCheckpoints int    `json:"restored_checkpoints"`
 	ReplayedRecords     int    `json:"replayed_records"`
 	ReplayedBytes       uint64 `json:"replayed_bytes"`
+	// CheckpointWaves counts cluster waves durably committed;
+	// CheckpointWavesCanceled counts waves a fault interrupted mid-drain
+	// (recovery rolled back to the last durable wave instead).
+	CheckpointWaves         int `json:"checkpoint_waves"`
+	CheckpointWavesCanceled int `json:"checkpoint_waves_canceled"`
+	// CheckpointCaptureNs is the total real time ranks spent capturing
+	// checkpoints inside the wave barrier (the in-barrier stall the two-phase
+	// pipeline minimizes); CheckpointCommitNs is the total real capture→
+	// durable drain latency across waves. Both are wall-clock, not virtual.
+	CheckpointCaptureNs int64 `json:"checkpoint_capture_ns"`
+	CheckpointCommitNs  int64 `json:"checkpoint_commit_ns"`
+}
+
+// counters is the lock-free accumulator behind Metrics: checkpoint waves
+// must not serialize on an engine-wide mutex (satellite of the two-phase
+// pipeline), and the committer updates them from background goroutines while
+// ranks run.
+type counters struct {
+	saves           atomic.Int64
+	savedBytes      atomic.Uint64
+	truncated       atomic.Int64
+	recoveryEvents  atomic.Int64
+	restored        atomic.Int64
+	replayedRecords atomic.Int64
+	replayedBytes   atomic.Uint64
+	waves           atomic.Int64
+	wavesCanceled   atomic.Int64
+	captureNs       atomic.Int64
+	commitNs        atomic.Int64
 }
 
 // Engine composes a fault-tolerance Policy, the MPI runtime, checkpoint
@@ -123,22 +166,24 @@ type Metrics struct {
 // across policies; everything protocol-specific is delegated to the Policy.
 // Create it with NewEngine and drive it with Run.
 type Engine struct {
-	world    *mpi.World
-	cfg      Config
-	pol      Policy
-	groupOf  []int
-	groups   int
-	protos   []*SPBC
-	stores   []*logstore.Store
-	bar      *rendezvous
-	faultsAt map[int][]Fault
+	world     *mpi.World
+	cfg       Config
+	pol       Policy
+	groupOf   []int
+	groups    int
+	groupSize []int // members per recovery group
+	protos    []*SPBC
+	stores    []*logstore.Store
+	bar       *rendezvous
+	faultsAt  map[int][]Fault
+	committer *committer
+
+	counters counters
+	verify   []float64 // per-rank slot, written only by the owning rank
 
 	mu        sync.Mutex
-	snaps     []*mpi.ChannelSnapshot // latest checkpoint channel snapshot per rank
-	failTimes map[int]float64        // fault iteration -> max virtual time at rollback
-	metrics   Metrics
+	failTimes map[int]float64 // fault iteration -> max virtual time at rollback
 	rolled    map[int]bool
-	verify    []float64
 }
 
 // NewEngine builds an engine over an existing world. The world must be fresh
@@ -161,14 +206,17 @@ func NewEngine(w *mpi.World, cfg Config) (*Engine, error) {
 		pol:       pol,
 		groupOf:   groupOf,
 		groups:    groups,
+		groupSize: make([]int, groups),
 		protos:    make([]*SPBC, w.Size()),
 		stores:    make([]*logstore.Store, w.Size()),
 		bar:       newRendezvous(w.Size()),
 		faultsAt:  make(map[int][]Fault),
-		snaps:     make([]*mpi.ChannelSnapshot, w.Size()),
 		failTimes: make(map[int]float64),
 		rolled:    make(map[int]bool),
 		verify:    make([]float64, w.Size()),
+	}
+	for _, g := range groupOf {
+		e.groupSize[g]++
 	}
 	for r := 0; r < w.Size(); r++ {
 		e.stores[r] = logstore.New()
@@ -176,6 +224,9 @@ func NewEngine(w *mpi.World, cfg Config) (*Engine, error) {
 	}
 	for _, f := range cfg.Faults {
 		e.faultsAt[f.Iteration] = append(e.faultsAt[f.Iteration], f)
+	}
+	if cfg.Storage != nil {
+		e.committer = newCommitter(e, cfg.Storage, cfg.CommitStall)
 	}
 	return e, nil
 }
@@ -195,15 +246,29 @@ func (e *Engine) Clusters() int { return e.groups }
 // Store returns the sender-based log store of a rank.
 func (e *Engine) Store(rank int) *logstore.Store { return e.stores[rank] }
 
-// Metrics returns a copy of the engine counters. Call it after Run returns.
+// Metrics returns a copy of the engine counters. It is safe to call while
+// the run is in flight (the counters are atomics); totals are final once Run
+// has returned.
 func (e *Engine) Metrics() Metrics {
+	c := &e.counters
+	m := Metrics{
+		CheckpointSaves:         int(c.saves.Load()),
+		CheckpointBytes:         c.savedBytes.Load(),
+		TruncatedLogRecords:     int(c.truncated.Load()),
+		RecoveryEvents:          int(c.recoveryEvents.Load()),
+		RestoredCheckpoints:     int(c.restored.Load()),
+		ReplayedRecords:         int(c.replayedRecords.Load()),
+		ReplayedBytes:           c.replayedBytes.Load(),
+		CheckpointWaves:         int(c.waves.Load()),
+		CheckpointWavesCanceled: int(c.wavesCanceled.Load()),
+		CheckpointCaptureNs:     c.captureNs.Load(),
+		CheckpointCommitNs:      c.commitNs.Load(),
+	}
 	e.mu.Lock()
-	defer e.mu.Unlock()
-	m := e.metrics
-	m.RolledBackRanks = nil
 	for r := range e.rolled {
 		m.RolledBackRanks = append(m.RolledBackRanks, r)
 	}
+	e.mu.Unlock()
 	sort.Ints(m.RolledBackRanks)
 	return m
 }
@@ -224,9 +289,11 @@ func (e *Engine) LoggedBytesByCluster() []uint64 {
 
 // Run executes the application on every rank of the world, with
 // checkpointing, failure injection and recovery as configured. It returns the
-// first per-rank error.
+// first per-rank error. Before returning, Run drains the background
+// checkpoint committer, so every captured wave is durable (and the metrics
+// final) by the time the caller regains control.
 func (e *Engine) Run(factory model.AppFactory) error {
-	return e.world.Run(func(p *mpi.Proc) error {
+	err := e.world.Run(func(p *mpi.Proc) error {
 		defer func() {
 			if r := recover(); r != nil {
 				e.bar.abort() // free ranks parked at a fault rendezvous
@@ -239,6 +306,12 @@ func (e *Engine) Run(factory model.AppFactory) error {
 		}
 		return nil
 	})
+	if e.committer != nil {
+		if derr := e.committer.drain(); err == nil && derr != nil {
+			err = derr
+		}
+	}
+	return err
 }
 
 // runRank is the per-rank driver: init, the iteration loop with checkpoint
@@ -259,6 +332,7 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 	handled := make(map[int]bool) // fault iterations already processed
 	epoch := 0
 	rejoinAt := -1
+	reenter := false // next checkpoint re-enters a restored wave (no entry barrier)
 	for iter := 0; iter < e.cfg.Steps; {
 		if rejoinAt == iter {
 			// Re-execution has reached the failure point: recovery is over.
@@ -266,9 +340,10 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 			rejoinAt = -1
 		}
 		if e.cfg.Interval > 0 && iter%e.cfg.Interval == 0 {
-			if err := e.checkpointRank(p, app, clusterComm, cluster, iter, &epoch); err != nil {
+			if err := e.checkpointRank(p, app, clusterComm, cluster, iter, &epoch, reenter); err != nil {
 				return err
 			}
+			reenter = false
 		}
 		if len(e.faultsAt[iter]) > 0 && !handled[iter] {
 			handled[iter] = true
@@ -279,6 +354,16 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 			if rolledBack {
 				rejoinAt = iter
 				iter = resume
+				// The restored checkpoint was captured between the wave's
+				// entry and exit barriers, so re-execution resumes from that
+				// mid-wave point: the checkpoint at the resume boundary must
+				// skip the entry barrier (recovery's rendezvous already
+				// quiesced every member) and run capture + exit barrier only.
+				// Re-running both barriers would insert one extra collective
+				// op and shift every later per-channel sequence number off
+				// the original execution's numbering, breaking the
+				// bit-identical replay the protocol depends on.
+				reenter = true
 				continue
 			}
 		}
@@ -291,28 +376,39 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 	if err != nil {
 		return fmt.Errorf("core: rank %d: verify: %w", rank, err)
 	}
-	e.mu.Lock()
-	e.verify[rank] = v
-	e.mu.Unlock()
+	e.verify[rank] = v // per-rank slot; published to the caller by Run's join
 	return nil
 }
 
 // checkpointRank takes one coordinated checkpoint of the rank's cluster
 // (Algorithm 1 lines 13-15): an intra-cluster barrier brings every member to
-// the same iteration boundary with quiescent channels, each member saves
-// (application state, channel state, logs) to stable storage, and the cluster
-// leader then garbage-collects the remote log records that the new checkpoint
-// wave covers.
-func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, clusterComm *mpi.Comm, cluster, iter int, epoch *int) error {
+// the same iteration boundary with quiescent channels, each member *captures*
+// (application state, channel state, logs) — a retain-only, zero-copy
+// snapshot, so the in-barrier stall is O(metadata) — and hands the capture to
+// the background committer, which encodes and persists the wave off the
+// critical path and garbage-collects the remote log records once the wave is
+// durable. The exit barrier keeps members from racing ahead and sending
+// intra-cluster messages into a member that has not captured yet (which would
+// put an orphan message across the cut).
+func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, clusterComm *mpi.Comm, cluster, iter int, epoch *int, reenter bool) error {
 	rank := p.Rank()
-	if err := p.Barrier(clusterComm); err != nil {
-		return fmt.Errorf("core: rank %d: checkpoint barrier: %w", rank, err)
+	// A post-rollback re-entry resumes from the restored wave's mid-point
+	// (the capture sits between the barriers), so the entry barrier already
+	// happened before the restored state was captured and must not run again.
+	if !reenter {
+		if err := p.Barrier(clusterComm); err != nil {
+			return fmt.Errorf("core: rank %d: checkpoint barrier: %w", rank, err)
+		}
 	}
+	if err := e.committer.firstErr(); err != nil {
+		return fmt.Errorf("core: rank %d: checkpoint commit: %w", rank, err)
+	}
+	start := time.Now()
 	state, err := app.Snapshot()
 	if err != nil {
 		return fmt.Errorf("core: rank %d: app snapshot: %w", rank, err)
 	}
-	snap, err := p.SnapshotChannels()
+	snap, snapRefs, err := p.SnapshotChannelsShared()
 	if err != nil {
 		return fmt.Errorf("core: rank %d: channel snapshot: %w", rank, err)
 	}
@@ -320,6 +416,7 @@ func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, clusterComm *mpi.Com
 	if err != nil {
 		return fmt.Errorf("core: rank %d: %w", rank, err)
 	}
+	logs, logRefs := e.stores[rank].SnapshotShared()
 	cp := &checkpoint.Checkpoint{
 		Rank:      rank,
 		Cluster:   cluster,
@@ -328,52 +425,40 @@ func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, clusterComm *mpi.Com
 		Time:      p.Now(),
 		AppState:  state,
 		Channels:  snap,
-		Logs:      storeRecords(e.stores[rank]),
+		Logs:      ToCheckpointRecords(logs),
 		Protocol:  proto,
 	}
-	if err := e.cfg.Storage.Save(cp); err != nil {
-		return fmt.Errorf("core: rank %d: save checkpoint: %w", rank, err)
-	}
+	cp.HoldShared(snapRefs)
+	cp.HoldShared(logRefs)
+	e.counters.captureNs.Add(time.Since(start).Nanoseconds())
+	e.committer.submit(cluster, *epoch, cp)
 	*epoch++
-	e.mu.Lock()
-	e.metrics.CheckpointSaves++
-	e.metrics.CheckpointBytes += cp.Size()
-	e.snaps[rank] = snap
-	e.mu.Unlock()
 
-	// A second barrier guarantees the leader sees every member's snapshot
-	// before truncating remote logs up to what the wave covers.
 	if err := p.Barrier(clusterComm); err != nil {
 		return fmt.Errorf("core: rank %d: checkpoint barrier: %w", rank, err)
-	}
-	if rank == clusterComm.WorldRank(0) {
-		e.gcLogs(clusterComm, cluster)
 	}
 	return nil
 }
 
-// gcLogs truncates, on every remote sender, the log records that the just
-// checkpointed cluster no longer needs: a message delivered before the
-// member's checkpoint is covered by it and will never be replayed.
-func (e *Engine) gcLogs(clusterComm *mpi.Comm, cluster int) {
+// gcLogsWave truncates, on every remote sender, the log records that a
+// durably committed checkpoint wave no longer needs: a message delivered
+// before a member's checkpoint is covered by it and will never be replayed.
+// Called by the committer after the wave published; concurrent recovery
+// replay is safe because replay reads strictly above the wave's coverage.
+func (e *Engine) gcLogsWave(w *wave) {
 	dropped := 0
-	for _, d := range clusterComm.Members() {
-		e.mu.Lock()
-		snap := e.snaps[d]
-		e.mu.Unlock()
-		if snap == nil {
+	for _, cp := range w.members {
+		if cp.Channels == nil {
 			continue
 		}
-		for key, st := range snap.In {
-			if e.groupOf[key.Peer] == cluster {
+		for key, st := range cp.Channels.In {
+			if e.groupOf[key.Peer] == w.cluster {
 				continue
 			}
-			dropped += e.stores[key.Peer].Truncate(d, key.Comm, st.MaxSeqSeen)
+			dropped += e.stores[key.Peer].Truncate(cp.Rank, key.Comm, st.MaxSeqSeen)
 		}
 	}
-	e.mu.Lock()
-	e.metrics.TruncatedLogRecords += dropped
-	e.mu.Unlock()
+	e.counters.truncated.Add(int64(dropped))
 }
 
 // handleFaults performs the globally coordinated part of recovery for the
@@ -393,6 +478,22 @@ func (e *Engine) handleFaults(p *mpi.Proc, app model.App, iter int) (resume int,
 	// iteration boundary with no pending requests and no in-flight sends.
 	if err := e.bar.await(); err != nil {
 		return 0, false, err
+	}
+
+	// The recovery leader discards every checkpoint wave of the failed
+	// groups that is still draining in the background: a checkpoint is not
+	// usable for rollback until it is durably published, so recovery
+	// proceeds from the last durable wave — whose replay records are still
+	// in the senders' logs, because remote-log GC runs only after a wave
+	// commits. This happens before rendezvous 2, so every subsequent Load
+	// observes a stable storage state.
+	if rank == leaderOf(set) {
+		groups := make(map[int]bool)
+		for r := range set {
+			groups[e.groupOf[r]] = true
+		}
+		n := e.committer.cancelClusters(groups)
+		e.counters.wavesCanceled.Add(int64(n))
 	}
 
 	var cuts map[mpi.ChanKey]uint64
@@ -442,8 +543,8 @@ func (e *Engine) handleFaults(p *mpi.Proc, app model.App, iter int) (resume int,
 			e.stores[rank].RestoreFrom(storeFromRecords(cp.Logs))
 		}
 		e.protos[rank].beginRecovery(cuts)
+		e.counters.restored.Add(1)
 		e.mu.Lock()
-		e.metrics.RestoredCheckpoints++
 		e.rolled[rank] = true
 		e.mu.Unlock()
 	}
@@ -457,9 +558,7 @@ func (e *Engine) handleFaults(p *mpi.Proc, app model.App, iter int) (resume int,
 		if err := e.injectReplays(iter, set); err != nil {
 			return 0, false, err
 		}
-		e.mu.Lock()
-		e.metrics.RecoveryEvents++
-		e.mu.Unlock()
+		e.counters.recoveryEvents.Add(1)
 	}
 
 	// Rendezvous 4: replayed messages are lodged in the recovering ranks'
@@ -514,10 +613,8 @@ func (e *Engine) injectReplays(iter int, set map[int]bool) error {
 			}
 		}
 	}
-	e.mu.Lock()
-	e.metrics.ReplayedRecords += records
-	e.metrics.ReplayedBytes += bytes
-	e.mu.Unlock()
+	e.counters.replayedRecords.Add(int64(records))
+	e.counters.replayedBytes.Add(bytes)
 	return nil
 }
 
@@ -547,13 +644,17 @@ func leaderOf(set map[int]bool) int {
 	return leader
 }
 
-// storeRecords flattens a log store into checkpoint records.
-func storeRecords(s *logstore.Store) []checkpoint.LogRecord {
-	var out []checkpoint.LogRecord
-	for _, key := range s.Channels() {
-		for _, r := range s.Range(key.Peer, key.Comm, 0) {
-			out = append(out, checkpoint.LogRecord{Env: r.Env, Payload: r.Payload, SendTime: r.SendTime})
-		}
+// ToCheckpointRecords converts a log-store snapshot to checkpoint records.
+// Payload slices are carried through as-is: for a shared snapshot they alias
+// the pooled buffers the capture retained. Exported so the bench checkpoint
+// profile measures the exact conversion the engine's capture performs.
+func ToCheckpointRecords(recs []logstore.Record) []checkpoint.LogRecord {
+	if len(recs) == 0 {
+		return nil
+	}
+	out := make([]checkpoint.LogRecord, len(recs))
+	for i, r := range recs {
+		out[i] = checkpoint.LogRecord{Env: r.Env, Payload: r.Payload, SendTime: r.SendTime}
 	}
 	return out
 }

@@ -1,9 +1,9 @@
 package core
 
 import (
-	"bytes"
-	"encoding/gob"
+	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"repro/internal/buf"
 	"repro/internal/logstore"
@@ -122,36 +122,61 @@ func (s *SPBC) OnSend(p *mpi.Proc, env mpi.Envelope, payload *buf.Buffer) (trans
 // (Section 4.1 — no determinants are logged).
 func (s *SPBC) OnDeliver(p *mpi.Proc, env mpi.Envelope) {}
 
-// patternState is the serializable pattern-API state of a rank. It is saved
-// in every checkpoint and restored on rollback: re-executed communication
-// must be stamped with the same (pattern, iteration) identifiers that the
-// logged messages carry, or identifier matching would reject every replay.
-type patternState struct {
-	NextPattern uint32
-	Iterations  map[uint32]uint32
-}
-
-// EncodeState serializes the pattern-API state for inclusion in a checkpoint.
+// EncodeState serializes the pattern-API state (Section 5.1 counters) for
+// inclusion in a checkpoint: a deterministic uvarint stream (next pattern id,
+// then the sorted pattern→iteration pairs), encoded in-barrier on every wave
+// — hand-rolled so the capture stall stays O(patterns) with no reflection.
+// It is restored on rollback: re-executed communication must be stamped with
+// the same (pattern, iteration) identifiers the logged messages carry, or
+// identifier matching would reject every replay.
 func (s *SPBC) EncodeState() ([]byte, error) {
-	var buf bytes.Buffer
-	st := patternState{NextPattern: s.nextPattern, Iterations: s.iterations}
-	if err := gob.NewEncoder(&buf).Encode(st); err != nil {
-		return nil, fmt.Errorf("core: encode protocol state: %w", err)
+	patterns := make([]uint32, 0, len(s.iterations))
+	for p := range s.iterations {
+		patterns = append(patterns, p)
 	}
-	return buf.Bytes(), nil
+	sort.Slice(patterns, func(i, j int) bool { return patterns[i] < patterns[j] })
+	out := make([]byte, 0, (2+2*len(patterns))*binary.MaxVarintLen32)
+	out = binary.AppendUvarint(out, uint64(s.nextPattern))
+	out = binary.AppendUvarint(out, uint64(len(patterns)))
+	for _, p := range patterns {
+		out = binary.AppendUvarint(out, uint64(p))
+		out = binary.AppendUvarint(out, uint64(s.iterations[p]))
+	}
+	return out, nil
 }
 
 // RestoreState restores the pattern-API state saved by EncodeState.
 func (s *SPBC) RestoreState(raw []byte) error {
-	var st patternState
-	if err := gob.NewDecoder(bytes.NewReader(raw)).Decode(&st); err != nil {
-		return fmt.Errorf("core: decode protocol state: %w", err)
+	fail := fmt.Errorf("core: decode protocol state: truncated or invalid")
+	next, n := binary.Uvarint(raw)
+	if n <= 0 {
+		return fail
 	}
-	s.nextPattern = st.NextPattern
-	s.iterations = st.Iterations
-	if s.iterations == nil {
-		s.iterations = make(map[uint32]uint32)
+	raw = raw[n:]
+	count, n := binary.Uvarint(raw)
+	if n <= 0 || count > uint64(len(raw)) {
+		return fail
 	}
+	raw = raw[n:]
+	iterations := make(map[uint32]uint32, count)
+	for i := uint64(0); i < count; i++ {
+		p, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return fail
+		}
+		raw = raw[n:]
+		it, n := binary.Uvarint(raw)
+		if n <= 0 {
+			return fail
+		}
+		raw = raw[n:]
+		iterations[uint32(p)] = uint32(it)
+	}
+	if len(raw) != 0 {
+		return fail
+	}
+	s.nextPattern = uint32(next)
+	s.iterations = iterations
 	s.current = mpi.MatchID{}
 	return nil
 }

@@ -234,8 +234,17 @@ func (s *Store) MaxSeq(dstWorld, commID int) uint64 {
 // pool. It is used for log garbage collection once the destination's cluster
 // has taken a checkpoint that covers those messages. The cumulative counters
 // are unaffected. It returns the number of records dropped.
+//
+// The channel-map read lock is held for the whole operation (not just the
+// shard lookup): the background committer garbage-collects remote logs
+// concurrently with recovery, and holding the read lock here lets
+// RestoreFrom's map swap act as a barrier — once RestoreFrom holds the write
+// lock, no in-flight Truncate still references an orphaned shard or its
+// accounting.
 func (s *Store) Truncate(dstWorld, commID int, uptoSeq uint64) int {
-	cl := s.lookup(mpi.ChanKey{Peer: dstWorld, Comm: commID})
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	cl := s.channels[mpi.ChanKey{Peer: dstWorld, Comm: commID}]
 	if cl == nil {
 		return 0
 	}
@@ -319,6 +328,33 @@ func (s *Store) Snapshot() *Store {
 	return cp
 }
 
+// SnapshotShared returns every record of the store in channel/sequence order
+// without copying a single payload byte: the Payload slices alias the pooled
+// buffers, and the returned references keep that storage alive across later
+// garbage collection. This is the in-barrier capture path of a checkpoint
+// wave — O(records) metadata, zero payload copies. The caller owns one
+// reference per returned buffer and must Release them all once the snapshot
+// has been encoded or discarded.
+func (s *Store) SnapshotShared() ([]Record, []*buf.Buffer) {
+	n := int(s.retainedCount.Load()) // capacity hint; append grows if racy
+	out := make([]Record, 0, n)
+	refs := make([]*buf.Buffer, 0, n)
+	for _, key := range s.Channels() {
+		cl := s.lookup(key)
+		if cl == nil {
+			continue
+		}
+		cl.mu.Lock()
+		for i := range cl.entries {
+			e := &cl.entries[i]
+			out = append(out, Record{Env: e.env, Payload: e.payload.Bytes(), SendTime: e.sendTime})
+			refs = append(refs, e.payload.Retain())
+		}
+		cl.mu.Unlock()
+	}
+	return out, refs
+}
+
 // RestoreFrom replaces the content of s with a deep copy of other, releasing
 // the payload references s currently holds.
 //
@@ -329,9 +365,17 @@ func (s *Store) Snapshot() *Store {
 // rendezvous, when the owning rank performs no sends.
 func (s *Store) RestoreFrom(other *Store) {
 	cp := other.Snapshot()
+	// Swap the map and the retained counters under one write lock: Truncate
+	// holds the read lock for its whole run, so after this critical section
+	// no concurrent GC still operates on an orphaned shard or subtracts from
+	// the new counters entries it dropped from the old ones.
 	s.mu.Lock()
 	old := s.channels
 	s.channels = cp.channels
+	s.retainedBytes.Store(cp.retainedBytes.Load())
+	s.retainedCount.Store(cp.retainedCount.Load())
+	s.cumulativeBytes.Store(cp.cumulativeBytes.Load())
+	s.cumulativeCount.Store(cp.cumulativeCount.Load())
 	s.mu.Unlock()
 	for _, cl := range old {
 		cl.mu.Lock()
@@ -341,10 +385,6 @@ func (s *Store) RestoreFrom(other *Store) {
 		cl.entries = nil
 		cl.mu.Unlock()
 	}
-	s.retainedBytes.Store(cp.retainedBytes.Load())
-	s.retainedCount.Store(cp.retainedCount.Load())
-	s.cumulativeBytes.Store(cp.cumulativeBytes.Load())
-	s.cumulativeCount.Store(cp.cumulativeCount.Load())
 }
 
 // String summarizes the store.

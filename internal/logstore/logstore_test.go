@@ -330,3 +330,77 @@ func TestConcurrentShardedUse(t *testing.T) {
 		t.Fatalf("retained count = %d, want %d", s.RetainedCount(), total)
 	}
 }
+
+// TestSnapshotShared pins the zero-copy capture contract: the returned
+// records alias the pooled payload buffers (no copy), every buffer gains one
+// reference, content survives a concurrent Truncate, and releasing the
+// references returns the storage to the pool.
+func TestSnapshotShared(t *testing.T) {
+	s := New()
+	p1 := buf.Copy([]byte("alpha"))
+	p2 := buf.Copy([]byte("beta"))
+	s.AppendShared(mpi.Envelope{Dest: 1, Seq: 1, Bytes: 5}, p1, 0.1)
+	s.AppendShared(mpi.Envelope{Dest: 2, Seq: 1, Bytes: 4}, p2, 0.2)
+	p1.Release() // store keeps its own reference
+	p2.Release()
+
+	recs, refs := s.SnapshotShared()
+	if len(recs) != 2 || len(refs) != 2 {
+		t.Fatalf("snapshot = %d records, %d refs; want 2, 2", len(recs), len(refs))
+	}
+	for i, r := range refs {
+		if r.Refs() != 2 {
+			t.Fatalf("ref %d count = %d, want 2 (store + snapshot)", i, r.Refs())
+		}
+		if &recs[i].Payload[0] != &r.Bytes()[0] {
+			t.Fatalf("record %d payload does not alias the pooled buffer (copied?)", i)
+		}
+	}
+
+	// GC both channels: the store's references go away, the snapshot's keep
+	// the content alive and intact.
+	s.Truncate(1, 0, 1)
+	s.Truncate(2, 0, 1)
+	if s.RetainedCount() != 0 {
+		t.Fatalf("retained count after truncate = %d", s.RetainedCount())
+	}
+	if string(recs[0].Payload) != "alpha" || string(recs[1].Payload) != "beta" {
+		t.Fatalf("snapshot content corrupted after GC: %q %q", recs[0].Payload, recs[1].Payload)
+	}
+	for i, r := range refs {
+		if r.Refs() != 1 {
+			t.Fatalf("ref %d count after GC = %d, want 1", i, r.Refs())
+		}
+		r.Release()
+	}
+}
+
+// TestSnapshotSharedOrderMatchesRange pins that the shared snapshot yields
+// the same records, in the same channel/sequence order, as the copying
+// Range-based export.
+func TestSnapshotSharedOrderMatchesRange(t *testing.T) {
+	s := New()
+	for _, r := range []Record{
+		rec(2, 0, 2, "d"), rec(1, 0, 1, "a"), rec(2, 0, 1, "c"),
+		rec(1, 0, 2, "b"), rec(1, 1, 1, "e"),
+	} {
+		s.Append(r)
+	}
+	var want []Record
+	for _, key := range s.Channels() {
+		want = append(want, s.Range(key.Peer, key.Comm, 0)...)
+	}
+	got, refs := s.SnapshotShared()
+	if len(got) != len(want) {
+		t.Fatalf("shared snapshot has %d records, Range export %d", len(got), len(want))
+	}
+	for i := range want {
+		if want[i].Env != got[i].Env || string(want[i].Payload) != string(got[i].Payload) ||
+			want[i].SendTime != got[i].SendTime {
+			t.Fatalf("record %d differs: %+v vs %+v", i, want[i], got[i])
+		}
+	}
+	for _, r := range refs {
+		r.Release()
+	}
+}

@@ -51,11 +51,29 @@ type ChannelSnapshot struct {
 // SnapshotChannels captures the channel state of the process. The process
 // must not have pending (unfinalized) requests: checkpoints are taken at
 // quiescent points (iteration boundaries), which the SPBC runtime enforces.
+// The snapshot owns plain copies of the queued payloads (its lifetime is
+// independent of the buffer pool).
 func (p *Proc) SnapshotChannels() (*ChannelSnapshot, error) {
+	snap, _, err := p.snapshotChannels(false)
+	return snap, err
+}
+
+// SnapshotChannelsShared captures the channel state without copying any
+// payload: the snapshot's Queued payload slices alias the runtime's pooled
+// buffers, and the returned references keep that storage alive. This is the
+// in-barrier capture path of a checkpoint wave — O(metadata) regardless of
+// the queued volume. The caller owns one reference per returned buffer and
+// must Release them all (typically via Checkpoint.ReleaseShared) once the
+// snapshot has been encoded or discarded.
+func (p *Proc) SnapshotChannelsShared() (*ChannelSnapshot, []*bufpkg.Buffer, error) {
+	return p.snapshotChannels(true)
+}
+
+func (p *Proc) snapshotChannels(shared bool) (*ChannelSnapshot, []*bufpkg.Buffer, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	if p.pending > 0 {
-		return nil, ErrPendingRequests
+		return nil, nil, ErrPendingRequests
 	}
 	snap := &ChannelSnapshot{
 		Out:     make(map[ChanKey]uint64),
@@ -67,8 +85,7 @@ func (p *Proc) SnapshotChannels() (*ChannelSnapshot, error) {
 		snap.In[k] = InChannelState{MaxSeqSeen: st.maxSeqSeen, Delivered: st.delivered}
 	}
 	// Reconstruct global arrival order across the indexed unexpected queues
-	// from the arrival stamps; the checkpoint owns plain copies of the
-	// payloads (its lifetime is independent of the buffer pool).
+	// from the arrival stamps.
 	queued := make([]*inMessage, 0, p.unexpN)
 	for _, q := range p.unexp {
 		for i := q.head; i < len(q.items); i++ {
@@ -76,10 +93,20 @@ func (p *Proc) SnapshotChannels() (*ChannelSnapshot, error) {
 		}
 	}
 	sort.Slice(queued, func(i, j int) bool { return queued[i].arrival < queued[j].arrival })
+	var refs []*bufpkg.Buffer
+	if shared && len(queued) > 0 {
+		refs = make([]*bufpkg.Buffer, 0, len(queued))
+	}
 	for _, msg := range queued {
+		payload := msg.payload.Bytes()
+		if shared {
+			refs = append(refs, msg.payload.Retain())
+		} else {
+			payload = append([]byte(nil), payload...)
+		}
 		snap.Queued = append(snap.Queued, QueuedMessage{
 			Env:        msg.env,
-			Payload:    append([]byte(nil), msg.payload.Bytes()...),
+			Payload:    payload,
 			ArriveTime: msg.arriveTime,
 			Replayed:   msg.replayed,
 		})
@@ -94,7 +121,7 @@ func (p *Proc) SnapshotChannels() (*ChannelSnapshot, error) {
 		st.mu.Unlock()
 	}
 	p.outMu.Unlock()
-	return snap, nil
+	return snap, refs, nil
 }
 
 // RestoreChannels restores the channel state captured by SnapshotChannels.

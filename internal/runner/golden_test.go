@@ -48,14 +48,18 @@ func goldenReport() *Report {
 		LoggedBytesPerCluster: []uint64{40, 30},
 		SuppressedSends:       3,
 		Engine: core.Metrics{
-			CheckpointSaves:     4,
-			CheckpointBytes:     2048,
-			TruncatedLogRecords: 2,
-			RecoveryEvents:      1,
-			RolledBackRanks:     []int{1},
-			RestoredCheckpoints: 1,
-			ReplayedRecords:     5,
-			ReplayedBytes:       40,
+			CheckpointSaves:         4,
+			CheckpointBytes:         2048,
+			TruncatedLogRecords:     2,
+			RecoveryEvents:          1,
+			RolledBackRanks:         []int{1},
+			RestoredCheckpoints:     1,
+			ReplayedRecords:         5,
+			ReplayedBytes:           40,
+			CheckpointWaves:         2,
+			CheckpointWavesCanceled: 1,
+			CheckpointCaptureNs:     1500,
+			CheckpointCommitNs:      90000,
 		},
 		Verify: []float64{1.25, -0.5},
 	}

@@ -78,6 +78,7 @@ func TestProtocolEquivalenceStress(t *testing.T) {
 			seenIter[f.Iteration] = true
 			faults = append(faults, f)
 		}
+		t.Logf("case %d: ranks=%d steps=%d interval=%d clusters=%d kernel=%s faults=%v", i, ranks, steps, interval, clusters, kernel, faults)
 		base := Scenario{
 			Name:         "equiv",
 			App:          factory,
