@@ -1,20 +1,27 @@
-// Command spbcbench races the four fault-tolerance protocols (native,
-// coordinated checkpointing, full message logging, SPBC) across a declarative
-// benchmark matrix and writes the result as BENCH_<name>.json — the paper's
-// comparison figures in machine-readable form.
+// Command spbcbench races the five fault-tolerance protocols (native,
+// coordinated checkpointing, full message logging, static SPBC and adaptive
+// SPBC) across a declarative benchmark matrix and writes the result as
+// BENCH_<name>.json — the paper's comparison figures in machine-readable
+// form, extended with the static-vs-adaptive clustering dimension.
 //
-// Example (the default ≥24-cell matrix):
+// Example (the default ≥40-cell matrix):
 //
 //	spbcbench -name sweep -out .
 //
-// A smaller CI-sized sweep:
+// A smaller CI-sized sweep with the adaptive regression gate:
 //
-//	spbcbench -name ci -ranks 4 -steps 8 -intervals 3 -fault-plans 0,1
+//	spbcbench -name ci -ranks 4,8 -steps 8 -intervals 3 -fault-plans 0,1 -adaptive-gate
 //
-// Matrix axes are comma-separated lists; kernels use name:size[:reduceEvery]
-// (e.g. ring:16:3 or solver:24) and fault plans are fault counts per cell
-// (0 = failure-free), with fault locations drawn deterministically from
-// -seed and the cell's axes.
+// Matrix axes are comma-separated lists; kernels use name:size[:arg] — the
+// third field is the ring's reduce period or the phase kernel's phase length
+// (e.g. ring:16:3, solver:24 or phase:32:2) — and fault plans are fault
+// counts per cell (0 = failure-free), with fault locations drawn
+// deterministically from -seed and the cell's axes.
+//
+// -adaptive-gate fails the sweep when adaptive SPBC regresses against static
+// SPBC: on a phase-shifting kernel the adaptive cells must log strictly
+// fewer bytes than their static twins, and on stable kernels they must keep
+// the seed partition (zero epoch switches, identical logged volume).
 //
 // -profile perf switches to the allocation/contention profile of the
 // simulator's own hot path: real allocs/op, bytes/op and ns/op of a
@@ -58,8 +65,9 @@ func main() {
 		candidate  = flag.String("candidate", "BENCH_perf_ci.json", "candidate perf profile for -profile compare")
 		allocSlack = flag.Float64("alloc-slack", 0, "allocs/op slack for -profile compare (0 = default 1.0)")
 		nsFactor   = flag.Float64("ns-factor", 0, "ns/op ratio threshold for -profile compare (0 = default 5.0)")
-		protocols  = flag.String("protocols", "", "comma-separated protocols (default: all four)")
-		kernels    = flag.String("kernels", "ring:16:3,solver:24", "comma-separated kernels, name:size[:reduceEvery]")
+		adaptGate  = flag.Bool("adaptive-gate", false, "fail the sweep when adaptive SPBC regresses against static SPBC (requires both in -protocols)")
+		protocols  = flag.String("protocols", "", "comma-separated protocols (default: all five)")
+		kernels    = flag.String("kernels", "ring:16:3,solver:24,phase:32:2", "comma-separated kernels, name:size[:arg] (arg: ring reduce period / phase length)")
 		ranks      = flag.String("ranks", "8", "comma-separated rank counts")
 		rpn        = flag.Int("ranks-per-node", 2, "ranks hosted per node")
 		clusters   = flag.String("clusters", "2", "comma-separated SPBC cluster counts")
@@ -73,11 +81,17 @@ func main() {
 	flag.Parse()
 
 	switch *profile {
-	case "perf":
-		runPerfProfile(*name, *out, *protocols, *sizes, *allocGuard, *capGuard, *spdFloor, *quiet)
-		return
-	case "compare":
-		runCompare(*baseline, *candidate, *allocSlack, *nsFactor)
+	case "perf", "compare":
+		if *adaptGate {
+			// Refuse rather than silently skip: the caller would believe the
+			// gate ran when only the perf/compare path executed.
+			fatal(fmt.Errorf("-adaptive-gate only applies to -profile sweep, not %q", *profile))
+		}
+		if *profile == "perf" {
+			runPerfProfile(*name, *out, *protocols, *sizes, *allocGuard, *capGuard, *spdFloor, *quiet)
+		} else {
+			runCompare(*baseline, *candidate, *allocSlack, *nsFactor)
+		}
 		return
 	case "sweep":
 	default:
@@ -128,6 +142,18 @@ func main() {
 		for key, msg := range failed {
 			fmt.Fprintf(os.Stderr, "cell %s: %s\n", key, msg)
 		}
+		os.Exit(1)
+	}
+	if *adaptGate {
+		findings := bench.CompareAdaptiveSweep(res)
+		if len(findings) == 0 {
+			fmt.Println("adaptive gate: adaptive SPBC holds the line against static SPBC")
+			return
+		}
+		for _, f := range findings {
+			fmt.Fprintln(os.Stderr, "adaptive regression:", f)
+		}
+		fmt.Fprintf(os.Stderr, "adaptive gate: %d regressions\n", len(findings))
 		os.Exit(1)
 	}
 }
@@ -213,13 +239,14 @@ func parseProtocols(s string) ([]runner.Protocol, error) {
 	return out, nil
 }
 
-// parseKernels parses name:size[:reduceEvery] specs.
+// parseKernels parses name:size[:arg] specs; the third field is the ring's
+// reduce period or the phase kernel's phase length.
 func parseKernels(s string) ([]bench.KernelSpec, error) {
 	var out []bench.KernelSpec
 	for _, f := range strings.Split(s, ",") {
 		parts := strings.Split(strings.TrimSpace(f), ":")
 		if len(parts) < 2 || len(parts) > 3 {
-			return nil, fmt.Errorf("kernel %q: want name:size[:reduceEvery]", f)
+			return nil, fmt.Errorf("kernel %q: want name:size[:arg]", f)
 		}
 		k := bench.KernelSpec{Name: parts[0]}
 		var err error
@@ -227,8 +254,14 @@ func parseKernels(s string) ([]bench.KernelSpec, error) {
 			return nil, fmt.Errorf("kernel %q: bad size: %w", f, err)
 		}
 		if len(parts) == 3 {
-			if k.ReduceEvery, err = strconv.Atoi(parts[2]); err != nil {
-				return nil, fmt.Errorf("kernel %q: bad reduce period: %w", f, err)
+			arg, err := strconv.Atoi(parts[2])
+			if err != nil {
+				return nil, fmt.Errorf("kernel %q: bad kernel argument: %w", f, err)
+			}
+			if k.Name == "phase" {
+				k.PhaseLen = arg
+			} else {
+				k.ReduceEvery = arg
 			}
 		}
 		out = append(out, k)

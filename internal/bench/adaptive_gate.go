@@ -1,0 +1,91 @@
+package bench
+
+// Adaptive-vs-static regression gate over sweep results: CI runs a sweep
+// whose matrix contains both spbc and spbc-adaptive cells and fails the
+// build when adaptivity regresses — the two claims the subsystem exists for
+// are (1) on a phase-shifting kernel, adaptive SPBC logs strictly fewer
+// bytes than the same static configuration, and (2) on stable kernels the
+// hysteresis keeps the seed partition, so adaptive is byte-for-byte the
+// static run (zero extra epochs after warm-up).
+
+import (
+	"fmt"
+
+	"repro/internal/runner"
+)
+
+// CompareAdaptiveSweep returns one finding per adaptive regression in the
+// sweep. Cells pair by (kernel, ranks, clusters, interval, fault plan);
+// only fault-free pairs gate logged volume (fault cells re-log during
+// re-execution, which is recovery cost, not steady-state logging). An empty
+// result means the gate passes; a sweep without any adaptive/static pair
+// fails loudly rather than vacuously passing.
+func CompareAdaptiveSweep(r *Result) []string {
+	type pairKey struct {
+		kernel    string
+		ranks     int
+		clusters  int
+		interval  int
+		faultPlan string
+	}
+	static := make(map[pairKey]*Cell)
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Protocol == string(runner.ProtocolSPBC) && c.Error == "" {
+			static[pairKey{c.Kernel.Label(), c.Ranks, c.Clusters, c.Interval, c.FaultPlan}] = c
+		}
+	}
+	rpn := r.RanksPerNode
+	if rpn <= 0 {
+		rpn = 1
+	}
+	var out []string
+	pairs := 0
+	for i := range r.Cells {
+		c := &r.Cells[i]
+		if c.Protocol != string(runner.ProtocolSPBCAdaptive) || c.Error != "" {
+			continue
+		}
+		key := fmt.Sprintf("%s/r%d/c%d/i%d/%s", c.Kernel.Label(), c.Ranks, c.Clusters, c.Interval, c.FaultPlan)
+		if !c.VerifyMatchesNative {
+			out = append(out, fmt.Sprintf("%s: adaptive cell diverged from the native result", key))
+		}
+		s, ok := static[pairKey{c.Kernel.Label(), c.Ranks, c.Clusters, c.Interval, c.FaultPlan}]
+		if !ok {
+			continue
+		}
+		if c.FaultPlan != "none" {
+			continue
+		}
+		// Only failure-free pairs gate, so only they count toward the
+		// vacuity check: a sweep with nothing but fault cells must fail
+		// loudly, not pass with zero checks executed.
+		pairs++
+		// Repartitioning needs slack in the placement: with as many clusters
+		// as nodes every node-respecting partition is equivalent, so those
+		// cells gate like stable kernels.
+		nodes := (c.Ranks + rpn - 1) / rpn
+		if c.Kernel.Shifting() && nodes > c.Clusters {
+			if c.EpochSwitches < 1 {
+				out = append(out, fmt.Sprintf("%s: adaptive cell never repartitioned on a shifting kernel", key))
+			}
+			if c.LoggedBytes >= s.LoggedBytes {
+				out = append(out, fmt.Sprintf("%s: adaptive logged %d bytes, static %d: adaptivity must reduce logging on shifting kernels",
+					key, c.LoggedBytes, s.LoggedBytes))
+			}
+		} else {
+			if c.EpochSwitches != 0 {
+				out = append(out, fmt.Sprintf("%s: adaptive cell switched epochs %d times on a stable kernel (hysteresis regressed)",
+					key, c.EpochSwitches))
+			}
+			if c.LoggedBytes != s.LoggedBytes {
+				out = append(out, fmt.Sprintf("%s: zero-switch adaptive logged %d bytes, static %d: runs must be identical",
+					key, c.LoggedBytes, s.LoggedBytes))
+			}
+		}
+	}
+	if pairs == 0 {
+		out = append(out, "sweep has no spbc/spbc-adaptive cell pairs: the adaptive gate cannot run")
+	}
+	return out
+}

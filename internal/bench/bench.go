@@ -39,14 +39,17 @@ import (
 
 // KernelSpec names a workload kernel and its per-rank size.
 type KernelSpec struct {
-	// Name is "ring" or "solver".
+	// Name is "ring", "solver" or "phase".
 	Name string `json:"name"`
-	// Size is the per-rank block size: cells for the ring stencil, vector
-	// entries for the allreduce solver.
+	// Size is the per-rank block size: cells for the ring and phase-shift
+	// stencils, vector entries for the allreduce solver.
 	Size int `json:"size"`
 	// ReduceEvery is the ring's residual-allreduce period (0 disables it);
-	// ignored by the solver.
+	// ignored by the other kernels.
 	ReduceEvery int `json:"reduce_every,omitempty"`
+	// PhaseLen is the phase-shift kernel's regime length in iterations
+	// (defaults to 2); ignored by the other kernels.
+	PhaseLen int `json:"phase_len,omitempty"`
 }
 
 // Label renders the spec compactly for cell names and tables.
@@ -54,8 +57,23 @@ func (k KernelSpec) Label() string {
 	if k.Name == "ring" && k.ReduceEvery > 0 {
 		return fmt.Sprintf("ring%dr%d", k.Size, k.ReduceEvery)
 	}
+	if k.Name == "phase" {
+		return fmt.Sprintf("phase%dp%d", k.Size, k.phaseLen())
+	}
 	return fmt.Sprintf("%s%d", k.Name, k.Size)
 }
+
+// phaseLen returns the effective phase length of a phase-shift spec.
+func (k KernelSpec) phaseLen() int {
+	if k.PhaseLen > 0 {
+		return k.PhaseLen
+	}
+	return 2
+}
+
+// Shifting reports whether the kernel's communication pattern changes over
+// the run — the workloads adaptive clustering exists for.
+func (k KernelSpec) Shifting() bool { return k.Name == "phase" }
 
 // Factory resolves the spec to an application factory.
 func (k KernelSpec) Factory() (model.AppFactory, error) {
@@ -67,8 +85,10 @@ func (k KernelSpec) Factory() (model.AppFactory, error) {
 		return app.NewRing(k.Size, k.ReduceEvery), nil
 	case "solver":
 		return app.NewSolver(k.Size), nil
+	case "phase":
+		return app.NewPhaseShift(k.Size, k.phaseLen()), nil
 	default:
-		return nil, fmt.Errorf("bench: unknown kernel %q (have ring, solver)", k.Name)
+		return nil, fmt.Errorf("bench: unknown kernel %q (have ring, solver, phase)", k.Name)
 	}
 }
 
@@ -151,7 +171,11 @@ func (m *Matrix) normalize() error {
 		}
 	}
 	if len(m.Kernels) == 0 {
-		m.Kernels = []KernelSpec{{Name: "ring", Size: 16, ReduceEvery: 3}, {Name: "solver", Size: 24}}
+		m.Kernels = []KernelSpec{
+			{Name: "ring", Size: 16, ReduceEvery: 3},
+			{Name: "solver", Size: 24},
+			{Name: "phase", Size: 32, PhaseLen: 2},
+		}
 	}
 	for _, k := range m.Kernels {
 		if _, err := k.Factory(); err != nil {
@@ -245,6 +269,7 @@ func (m *Matrix) cells() []Cell {
 		case runner.ProtocolFullLog:
 			clusters = []int{-1} // resolved to the rank count below
 		}
+		// ProtocolSPBC and ProtocolSPBCAdaptive sweep the cluster axis.
 		for _, k := range m.Kernels {
 			for _, ranks := range m.Ranks {
 				for _, cl := range clusters {
@@ -363,7 +388,9 @@ func Run(m Matrix) (*Result, error) {
 
 	// Phase 3 — fault cells. SPBC cells reuse the partition their
 	// failure-free twin computed (the profiling pre-run is deterministic, so
-	// this only skips redundant work).
+	// this only skips redundant work); adaptive cells reuse the twin's
+	// epoch-0 seed — not its final partition, so both twins walk the same
+	// epoch trajectory.
 	var faultIdx []int
 	for i, c := range cells {
 		if len(c.Faults) > 0 {
@@ -375,12 +402,17 @@ func Run(m Matrix) (*Result, error) {
 		idx := faultIdx[i]
 		c := cells[idx]
 		sc := m.scenario(runner.Protocol(c.Protocol), c.Kernel, c.Ranks, c.Clusters, c.Interval, c.Faults)
-		if runner.Protocol(c.Protocol) == runner.ProtocolSPBC {
-			ffCell := c
-			ffCell.FaultPlan = "none"
-			ffCell.Faults = nil
-			if ff := ffRuns[ffCell.key()]; ff.err == nil && ff.rep != nil {
+		ffCell := c
+		ffCell.FaultPlan = "none"
+		ffCell.Faults = nil
+		if ff := ffRuns[ffCell.key()]; ff.err == nil && ff.rep != nil {
+			switch runner.Protocol(c.Protocol) {
+			case runner.ProtocolSPBC:
 				sc.ClusterOf = ff.rep.ClusterOf
+			case runner.ProtocolSPBCAdaptive:
+				if len(ff.rep.Epochs) > 0 {
+					sc.ClusterOf = ff.rep.Epochs[0].ClusterOf
+				}
 			}
 		}
 		rep, err := runner.Run(sc)

@@ -14,20 +14,27 @@ func TestDefaultMatrixMeetsPaperScale(t *testing.T) {
 		t.Fatalf("normalize: %v", err)
 	}
 	cells := m.cells()
-	if len(cells) < 24 {
-		t.Fatalf("default matrix has %d cells, want >= 24 (4 protocols x 2 kernels x configs)", len(cells))
+	if len(cells) < 40 {
+		t.Fatalf("default matrix has %d cells, want >= 40 (5 protocols x 3 kernels x configs)", len(cells))
 	}
 	protos := map[string]bool{}
 	kernels := map[string]bool{}
+	shifting := false
 	for _, c := range cells {
 		protos[c.Protocol] = true
 		kernels[c.Kernel.Label()] = true
+		if c.Kernel.Shifting() {
+			shifting = true
+		}
 	}
-	if len(protos) != 4 {
-		t.Fatalf("default matrix covers protocols %v, want all 4", protos)
+	if len(protos) != 5 {
+		t.Fatalf("default matrix covers protocols %v, want all 5", protos)
 	}
-	if len(kernels) < 2 {
-		t.Fatalf("default matrix covers kernels %v, want >= 2", kernels)
+	if len(kernels) < 3 {
+		t.Fatalf("default matrix covers kernels %v, want >= 3", kernels)
+	}
+	if !shifting {
+		t.Fatalf("default matrix has no phase-shifting kernel, so the adaptive dimension is unmeasured")
 	}
 }
 
@@ -132,7 +139,7 @@ func TestClampedClusterAxisDeduplicates(t *testing.T) {
 func TestRunSweepEndToEnd(t *testing.T) {
 	res, err := Run(Matrix{
 		Name:      "test",
-		Ranks:     []int{4},
+		Ranks:     []int{4, 8}, // 8 ranks give the adaptive cells room to repartition (4 nodes, 2 clusters)
 		Intervals: []int{3},
 		Steps:     8,
 		Workers:   4,
@@ -140,8 +147,8 @@ func TestRunSweepEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Run: %v", err)
 	}
-	if len(res.Cells) < 14 {
-		t.Fatalf("sweep produced %d cells, want >= 14", len(res.Cells))
+	if len(res.Cells) < 30 {
+		t.Fatalf("sweep produced %d cells, want >= 30", len(res.Cells))
 	}
 	for i := range res.Cells {
 		c := &res.Cells[i]
@@ -174,6 +181,20 @@ func TestRunSweepEndToEnd(t *testing.T) {
 			if c.LoggedFraction <= 0 || c.LoggedFraction >= 1 {
 				t.Fatalf("SPBC cell %s logged fraction %g, want in (0, 1)", c.key(), c.LoggedFraction)
 			}
+		case runner.ProtocolSPBCAdaptive:
+			if c.LoggedFraction <= 0 || c.LoggedFraction >= 1 {
+				t.Fatalf("adaptive cell %s logged fraction %g, want in (0, 1)", c.key(), c.LoggedFraction)
+			}
+			if c.Epochs < 1 {
+				t.Fatalf("adaptive cell %s reports %d epochs, want >= 1", c.key(), c.Epochs)
+			}
+			// Repartitioning needs more nodes than clusters; the 8-rank
+			// shifting cells must adapt, the 4-rank ones (2 nodes for 2
+			// clusters) have nowhere to move.
+			nodes := (c.Ranks + res.RanksPerNode - 1) / res.RanksPerNode
+			if c.Kernel.Shifting() && c.FaultPlan == "none" && nodes > c.Clusters && c.EpochSwitches == 0 {
+				t.Fatalf("adaptive cell %s never repartitioned on the shifting kernel", c.key())
+			}
 		}
 		if c.FaultPlan != "none" {
 			if c.RolledBackRanks == 0 {
@@ -199,6 +220,60 @@ func TestRunSweepEndToEnd(t *testing.T) {
 	}
 	if res.Table().String() == "" {
 		t.Fatalf("empty table rendering")
+	}
+
+	// The adaptive-vs-static regression gate must pass on a healthy sweep:
+	// adaptive beats static on the shifting kernel and matches it elsewhere.
+	if findings := CompareAdaptiveSweep(res); len(findings) > 0 {
+		t.Fatalf("adaptive gate failed on a healthy sweep: %v", findings)
+	}
+}
+
+// TestCompareAdaptiveSweepCatchesRegressions feeds the gate doctored sweeps
+// and expects a finding for each regression class.
+func TestCompareAdaptiveSweepCatchesRegressions(t *testing.T) {
+	mk := func(proto string, kernel KernelSpec, logged uint64, switches int) Cell {
+		return Cell{
+			Protocol: proto, Kernel: kernel, Ranks: 4, Clusters: 2, Interval: 3,
+			FaultPlan: "none", LoggedBytes: logged, Epochs: switches + 1,
+			EpochSwitches: switches, VerifyMatchesNative: true,
+		}
+	}
+	phase := KernelSpec{Name: "phase", Size: 32, PhaseLen: 2}
+	ring := KernelSpec{Name: "ring", Size: 16, ReduceEvery: 3}
+
+	healthy := &Result{Cells: []Cell{
+		mk(string(runner.ProtocolSPBC), phase, 1000, 0),
+		mk(string(runner.ProtocolSPBCAdaptive), phase, 400, 1),
+		mk(string(runner.ProtocolSPBC), ring, 500, 0),
+		mk(string(runner.ProtocolSPBCAdaptive), ring, 500, 0),
+	}}
+	if findings := CompareAdaptiveSweep(healthy); len(findings) != 0 {
+		t.Fatalf("healthy sweep flagged: %v", findings)
+	}
+
+	cases := []struct {
+		name   string
+		mutate func(r *Result)
+	}{
+		{"adaptive not better on shifting kernel", func(r *Result) { r.Cells[1].LoggedBytes = 1000 }},
+		{"no repartition on shifting kernel", func(r *Result) { r.Cells[1].EpochSwitches = 0 }},
+		{"spurious switch on stable kernel", func(r *Result) { r.Cells[3].EpochSwitches = 2 }},
+		{"logged mismatch on stable kernel", func(r *Result) { r.Cells[3].LoggedBytes = 900 }},
+		{"diverged adaptive cell", func(r *Result) { r.Cells[1].VerifyMatchesNative = false }},
+		{"no pairs at all", func(r *Result) { r.Cells = r.Cells[:1] }},
+		{"only fault-plan pairs is vacuous", func(r *Result) {
+			for i := range r.Cells {
+				r.Cells[i].FaultPlan = "f1"
+			}
+		}},
+	}
+	for _, tc := range cases {
+		r := &Result{Cells: append([]Cell(nil), healthy.Cells...)}
+		tc.mutate(r)
+		if findings := CompareAdaptiveSweep(r); len(findings) == 0 {
+			t.Errorf("%s: gate passed, want a finding", tc.name)
+		}
 	}
 }
 

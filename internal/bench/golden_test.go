@@ -35,7 +35,16 @@ func goldenResult() *Result {
 				NormalizedToNative: 1.4, RecoveryTimeS: 0.0001,
 				BytesSent: 4096, LoggedBytes: 1024, LoggedFraction: 0.25,
 				CheckpointSaves: 12, CheckpointBytes: 8192,
-				ReplayedRecords: 3, RolledBackRanks: 2, VerifyMatchesNative: true,
+				ReplayedRecords: 3, RolledBackRanks: 2, Epochs: 1, VerifyMatchesNative: true,
+			},
+			{
+				Protocol: "spbc-adaptive", Kernel: KernelSpec{Name: "phase", Size: 32, PhaseLen: 2},
+				Ranks: 8, Clusters: 2, Steps: 8, Interval: 2, FaultPlan: "none", Seed: 45,
+				MakespanS: 0.0012, NativeMakespanS: 0.001, FailureFreeMakespanS: 0.0012,
+				NormalizedToNative: 1.2,
+				BytesSent:          8192, LoggedBytes: 512, LoggedFraction: 0.0625,
+				CheckpointSaves: 32, CheckpointBytes: 16384,
+				Epochs: 2, EpochSwitches: 1, VerifyMatchesNative: true,
 			},
 			{
 				Protocol: "full-log", Kernel: KernelSpec{Name: "ring", Size: 16, ReduceEvery: 3},

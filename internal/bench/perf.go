@@ -76,7 +76,14 @@ func (m *PerfMatrix) normalize() error {
 		m.Name = "profile"
 	}
 	if len(m.Protocols) == 0 {
-		m.Protocols = runner.Protocols()
+		// The four runtime-distinct hot paths. ProtocolSPBCAdaptive shares
+		// spbc's send path (the epoch view is a cached slice lookup either
+		// way), so profiling it by default would only duplicate cells; it
+		// can still be requested explicitly.
+		m.Protocols = []runner.Protocol{
+			runner.ProtocolNative, runner.ProtocolCoordinated,
+			runner.ProtocolFullLog, runner.ProtocolSPBC,
+		}
 	}
 	for _, p := range m.Protocols {
 		if _, err := runner.ParseProtocol(string(p)); err != nil {
@@ -147,6 +154,8 @@ func perfPolicy(proto runner.Protocol) core.Policy {
 	switch proto {
 	case runner.ProtocolSPBC:
 		return core.NewSPBCProtocol([]int{0, 1})
+	case runner.ProtocolSPBCAdaptive:
+		return core.NewAdaptivePolicy([]int{0, 1})
 	case runner.ProtocolCoordinated:
 		return core.NewCoordinatedProtocol(2)
 	case runner.ProtocolFullLog:
@@ -159,7 +168,7 @@ func perfPolicy(proto runner.Protocol) core.Policy {
 // runPerfCell measures one (protocol, size) point.
 func runPerfCell(proto runner.Protocol, size int, guard float64) (PerfCell, error) {
 	pol := perfPolicy(proto)
-	logged := pol != nil && pol.Logs(0, 1)
+	logged := pol != nil && pol.Logs(0, 0, 1)
 
 	var benchErr error
 	before := buf.PoolStats()

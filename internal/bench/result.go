@@ -57,6 +57,11 @@ type Cell struct {
 	ReplayedRecords int `json:"replayed_records"`
 	// RolledBackRanks counts the ranks that restored state at least once.
 	RolledBackRanks int `json:"rolled_back_ranks"`
+	// Epochs / EpochSwitches count the policy epochs of the run (1/0 for
+	// static policies; adaptive cells report their wave-aligned
+	// repartitions).
+	Epochs        int `json:"epochs,omitempty"`
+	EpochSwitches int `json:"epoch_switches,omitempty"`
 	// VerifyMatchesNative reports whether the run's per-rank digests are
 	// bit-identical to the native baseline's.
 	VerifyMatchesNative bool `json:"verify_matches_native"`
@@ -78,6 +83,8 @@ func (c *Cell) fill(own, native, ff *runner.Report) {
 	c.CheckpointBytes = own.Engine.CheckpointBytes
 	c.ReplayedRecords = own.Engine.ReplayedRecords
 	c.RolledBackRanks = len(own.Engine.RolledBackRanks)
+	c.Epochs = own.Engine.Epochs
+	c.EpochSwitches = own.Engine.EpochSwitches
 	c.NativeMakespanS = native.Makespan
 	c.VerifyMatchesNative = reflect.DeepEqual(own.Verify, native.Verify)
 	c.FailureFreeMakespanS = ff.Makespan
@@ -157,7 +164,7 @@ func ReadResult(raw []byte) (*Result, error) {
 func (r *Result) Table() *stats.Table {
 	t := stats.NewTable(fmt.Sprintf("BENCH %s (steps=%d seed=%d)", r.Name, r.Steps, r.Seed),
 		"protocol", "kernel", "ranks", "clusters", "interval", "faults",
-		"norm", "logged%", "ckpt", "recovery_s", "verify")
+		"norm", "logged%", "ckpt", "epochs", "recovery_s", "verify")
 	for i := range r.Cells {
 		c := &r.Cells[i]
 		if c.Error != "" {
@@ -169,6 +176,10 @@ func (r *Result) Table() *stats.Table {
 		if !c.VerifyMatchesNative {
 			verify = "DIVERGED"
 		}
+		epochs := "-"
+		if c.Epochs > 0 {
+			epochs = fmt.Sprint(c.Epochs)
+		}
 		t.AddRow(
 			c.Protocol,
 			c.Kernel.Label(),
@@ -179,6 +190,7 @@ func (r *Result) Table() *stats.Table {
 			stats.FormatNormalized(c.NormalizedToNative),
 			fmt.Sprintf("%.1f", c.LoggedFraction*100),
 			fmt.Sprint(c.CheckpointSaves),
+			epochs,
 			fmt.Sprintf("%.4f", c.RecoveryTimeS),
 			verify,
 		)

@@ -52,12 +52,18 @@ type LogRecord struct {
 type Checkpoint struct {
 	Rank      int
 	Cluster   int
-	Iteration int     // application iteration at which the checkpoint was taken
-	Epoch     int     // checkpoint wave number within the cluster
-	Time      float64 // virtual time of the rank when the checkpoint was taken
-	AppState  []byte
-	Channels  *mpi.ChannelSnapshot
-	Logs      []LogRecord
+	Iteration int // application iteration at which the checkpoint was taken
+	// Epoch is the policy epoch the checkpoint was captured under: the
+	// version of the recovery-group partition active at the wave. Recovery
+	// rolls back and replays under this epoch's view.
+	Epoch int
+	// Wave is the checkpoint wave number within the cluster (the rank's
+	// wave counter at capture time).
+	Wave     int
+	Time     float64 // virtual time of the rank when the checkpoint was taken
+	AppState []byte
+	Channels *mpi.ChannelSnapshot
+	Logs     []LogRecord
 	// Protocol is the opaque per-rank state of the checkpointing protocol
 	// itself (for SPBC: the pattern-iteration counters of Section 5.1). It
 	// must be rolled back with the application so that re-executed sends and
@@ -102,8 +108,8 @@ func (c *Checkpoint) Validate() error {
 	if c.Channels == nil {
 		return fmt.Errorf("checkpoint: rank %d: missing channel snapshot", c.Rank)
 	}
-	if c.Iteration < 0 || c.Epoch < 0 {
-		return fmt.Errorf("checkpoint: rank %d: negative iteration or epoch", c.Rank)
+	if c.Iteration < 0 || c.Epoch < 0 || c.Wave < 0 {
+		return fmt.Errorf("checkpoint: rank %d: negative iteration, epoch or wave", c.Rank)
 	}
 	return nil
 }

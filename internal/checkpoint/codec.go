@@ -26,8 +26,9 @@ import (
 )
 
 // codecMagic identifies a binary-encoded checkpoint; the trailing byte is the
-// format version.
-var codecMagic = [4]byte{'S', 'C', 'K', 1}
+// format version (bumped to 2 when the policy-epoch/wave split added the Wave
+// field).
+var codecMagic = [4]byte{'S', 'C', 'K', 2}
 
 const (
 	// maxVarintLen is the worst-case size of one encoded integer.
@@ -187,7 +188,7 @@ func (d *decoder) envelope(what string) mpi.Envelope {
 // used to size the pooled output buffer so encoding never reallocates.
 func encodedBound(cp *Checkpoint) int {
 	const envBound = 8 * maxVarintLen
-	n := codecHeaderLen + 6*maxVarintLen + 2*8 // scalars + Time + Clock
+	n := codecHeaderLen + 7*maxVarintLen + 2*8 // scalars + Time + Clock
 	n += maxVarintLen + len(cp.AppState)
 	n += maxVarintLen + len(cp.Protocol)
 	n += 1 // Channels presence flag
@@ -238,6 +239,7 @@ func EncodeBuffer(cp *Checkpoint) (*buf.Buffer, error) {
 	e.int(cp.Cluster)
 	e.int(cp.Iteration)
 	e.int(cp.Epoch)
+	e.int(cp.Wave)
 	e.float(cp.Time)
 	e.bytes(cp.AppState)
 
@@ -325,6 +327,7 @@ func Decode(raw []byte) (*Checkpoint, error) {
 	cp.Cluster = d.int("cluster")
 	cp.Iteration = d.int("iteration")
 	cp.Epoch = d.int("epoch")
+	cp.Wave = d.int("wave")
 	cp.Time = d.float("time")
 	cp.AppState = d.bytes("app state")
 

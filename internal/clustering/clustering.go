@@ -116,7 +116,9 @@ func (p *Profile) nodeTraffic() [][]uint64 {
 // paper's evaluation: k >= Ranks yields one rank per cluster (pure message
 // logging); k equal to the number of nodes yields one node per cluster (all
 // inter-node messages logged). Otherwise nodes are grouped into k clusters of
-// nearly equal node counts.
+// nearly equal node counts. Cluster ids in the result are always dense
+// (every id in [0, max] is used), which is what core.Policy requires of a
+// group assignment.
 func Partition(p *Profile, k int, obj Objective) ([]int, error) {
 	if p == nil || p.Ranks == 0 {
 		return nil, fmt.Errorf("clustering: empty profile")
@@ -137,14 +139,45 @@ func Partition(p *Profile, k int, obj Objective) ([]int, error) {
 		for i := range out {
 			out[i] = p.NodeOf(i) % k
 		}
-		return out, nil
+		return compactIDs(out), nil
 	}
 	nodeCluster := partitionNodes(p, k, obj)
 	out := make([]int, p.Ranks)
 	for i := range out {
 		out[i] = nodeCluster[p.NodeOf(i)]
 	}
-	return out, nil
+	return compactIDs(out), nil
+}
+
+// compactIDs renumbers cluster ids densely. Used ids keep their relative
+// order (the remapping is the identity when the input is already dense), so
+// an assignment that never skipped an id is returned unchanged.
+func compactIDs(assign []int) []int {
+	max := -1
+	for _, c := range assign {
+		if c > max {
+			max = c
+		}
+	}
+	used := make([]bool, max+1)
+	for _, c := range assign {
+		used[c] = true
+	}
+	remap := make([]int, max+1)
+	next := 0
+	for id, ok := range used {
+		if ok {
+			remap[id] = next
+			next++
+		}
+	}
+	if next == max+1 {
+		return assign // already dense
+	}
+	for i, c := range assign {
+		assign[i] = remap[c]
+	}
+	return assign
 }
 
 // partitionNodes groups nodes into k clusters: greedy seeded growth followed

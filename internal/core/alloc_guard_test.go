@@ -58,6 +58,35 @@ func TestAllocGuardEagerSendSPBC(t *testing.T) {
 	}
 }
 
+// TestAllocGuardEpochView pins the cached-policy-view invariant: the engine
+// validates each epoch once into an EpochView, and every subsequent group or
+// logging lookup — the per-send Logs check and the per-wave GroupOf access —
+// is a slice read with zero allocations. A view that re-called the Policy
+// interface (which returns a fresh copy per call) would trip this instantly.
+func TestAllocGuardEpochView(t *testing.T) {
+	view, err := NewEpochView(NewSPBCProtocol([]int{0, 0, 1, 1, 2, 2, 3, 3}), 0, 8)
+	if err != nil {
+		t.Fatalf("NewEpochView: %v", err)
+	}
+	sink := false
+	sum := 0
+	perOp := testing.AllocsPerRun(100, func() {
+		for s := 0; s < 8; s++ {
+			for d := 0; d < 8; d++ {
+				sink = sink != view.Logs(s, d)
+			}
+		}
+		groupOf := view.GroupOf()
+		sum += groupOf[3] + view.Group(5) + view.GroupSize(view.Groups()-1)
+	})
+	if perOp != 0 {
+		t.Errorf("cached epoch view allocates %.1f objects per access batch, want 0: "+
+			"a policy call returned to the hot path", perOp)
+	}
+	_ = sink
+	_ = sum
+}
+
 // The pool must actually recycle in steady state: a send/recv round with
 // periodic log GC returns every payload buffer, so pool gets vastly outnumber
 // pool misses.

@@ -39,12 +39,14 @@ import (
 // publish, so rollback always finds a checkpoint. Re-execution re-captures
 // the canceled boundaries deterministically.
 
-// wave accumulates the capture-form checkpoints of one (cluster, epoch)
+// wave accumulates the capture-form checkpoints of one (cluster, wave seq)
 // checkpoint wave until every member has submitted, then moves through the
-// cluster's commit queue.
+// cluster's commit queue. Cluster ids are those of the wave's policy epoch;
+// an epoch switch flushes the committer before submitting under the new
+// numbering, so waves of different epochs never coexist in the queues.
 type wave struct {
 	cluster  int
-	epoch    int
+	seq      int // the cluster's wave counter (Checkpoint.Wave)
 	expect   int
 	members  []*checkpoint.Checkpoint
 	captured time.Time // when the last member was captured
@@ -70,6 +72,7 @@ type committer struct {
 	workers  map[int]bool    // clusters with a started worker
 	durable  map[int]int     // cluster -> published wave count
 	closed   bool
+	aborted  bool  // run aborted: blocking waits must not park forever
 	err      error // first stage/publish error
 	wg       sync.WaitGroup
 }
@@ -92,14 +95,15 @@ func newCommitter(e *Engine, storage checkpoint.Storage, stall func(cluster, epo
 
 // submit hands one rank's capture-form checkpoint to the committer. The
 // committer takes over the checkpoint's retained buffer references. Members
-// of one cluster submit an epoch completely before any member can reach the
+// of one cluster submit a wave completely before any member can reach the
 // next (the wave's exit barrier), so at most one wave per cluster
-// accumulates at a time.
-func (c *committer) submit(cluster, epoch int, cp *checkpoint.Checkpoint) {
+// accumulates at a time. expect is the member count of the cluster under the
+// wave's epoch — passed explicitly because the group sizes are per-epoch.
+func (c *committer) submit(cluster, seq, expect int, cp *checkpoint.Checkpoint) {
 	c.mu.Lock()
 	w := c.partial[cluster]
 	if w == nil {
-		w = &wave{cluster: cluster, epoch: epoch, expect: c.e.groupSize[cluster]}
+		w = &wave{cluster: cluster, seq: seq, expect: expect}
 		c.partial[cluster] = w
 		if !c.workers[cluster] {
 			c.workers[cluster] = true
@@ -156,7 +160,7 @@ func (w *wave) discard() {
 // the remote log records the wave covers.
 func (c *committer) commitWave(w *wave) {
 	if c.stall != nil {
-		c.stall(w.cluster, w.epoch)
+		c.stall(w.cluster, w.seq)
 	}
 	c.mu.Lock()
 	canceled := w.canceled
@@ -289,6 +293,58 @@ func (c *committer) hasUnpublishedLocked(cluster int) bool {
 	return c.partial[cluster] != nil || c.inflight[cluster] != nil || len(c.queues[cluster]) > 0
 }
 
+// anyUnpublishedLocked reports whether any cluster has unpublished waves.
+// Caller holds c.mu.
+func (c *committer) anyUnpublishedLocked() bool {
+	if len(c.partial) > 0 || len(c.inflight) > 0 {
+		return true
+	}
+	for _, q := range c.queues {
+		if len(q) > 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// flush blocks until every captured wave — of every cluster — is durably
+// published (or the committer failed, or the run aborted). Epoch switches
+// use it twice: once before the first wave of a new epoch is submitted, so
+// waves keyed by the old epoch's cluster ids never share the queues with the
+// new numbering and stable storage stays monotone per rank; and once after
+// the wave that opens the epoch, which makes that wave the epoch's durable
+// recovery line before any rank advances past it. A member may flush while
+// its own wave is still partial: the remaining members are between the same
+// barriers and submit before they flush, so the wave always completes and
+// drains — unless one of them errors out before submitting, in which case
+// Engine.abortRun's abort() releases the waiters.
+func (c *committer) flush() error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	for c.err == nil && !c.aborted && c.anyUnpublishedLocked() {
+		c.cond.Wait()
+	}
+	if c.err != nil {
+		return c.err
+	}
+	if c.aborted {
+		return fmt.Errorf("core: run aborted")
+	}
+	return nil
+}
+
+// abort releases every rank parked on the committer condvar (flush or
+// cancelClusters): a rank that errored before submitting its wave member
+// would otherwise leave the wave partial and its cluster-mates blocked
+// forever. Background workers are unaffected — complete waves still drain,
+// and drain() releases partial ones.
+func (c *committer) abort() {
+	c.mu.Lock()
+	c.aborted = true
+	c.cond.Broadcast()
+	c.mu.Unlock()
+}
+
 // cancelClusters discards every unpublished wave of the given clusters, so
 // recovery rolls back to the last durable wave. For a cluster with no
 // durable wave yet (a fault racing the very first commit), it waits for the
@@ -302,7 +358,7 @@ func (c *committer) cancelClusters(clusters map[int]bool) int {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	for cl := range clusters {
-		for c.durable[cl] == 0 && c.hasUnpublishedLocked(cl) && c.err == nil {
+		for c.durable[cl] == 0 && c.hasUnpublishedLocked(cl) && c.err == nil && !c.aborted {
 			c.cond.Wait()
 		}
 	}

@@ -32,13 +32,18 @@ type Fault struct {
 // Config parameterizes an Engine run.
 type Config struct {
 	// Policy selects the fault-tolerance protocol: who checkpoints together,
-	// what gets logged, who rolls back. Exactly one of Policy and ClusterOf
-	// must be set.
+	// what gets logged, who rolls back. Exactly one of Policy, ClusterOf and
+	// Adaptive must be set.
 	Policy Policy
 	// ClusterOf is a shortcut for Policy: a non-nil cluster assignment
 	// (typically produced by clustering.Partition from a communication
 	// profile) selects NewSPBCProtocol(ClusterOf).
 	ClusterOf []int
+	// Adaptive selects adaptive epoch-based clustering: an AdaptivePolicy
+	// seeded with Adaptive.Seed whose partition is re-evaluated from the live
+	// communication profile at every checkpoint-wave boundary. Requires a
+	// positive Interval (epochs open only at wave boundaries).
+	Adaptive *AdaptiveConfig
 	// Interval is the checkpoint period in iterations: every recovery group
 	// takes a coordinated checkpoint at each iteration boundary that is a
 	// multiple of Interval (including iteration 0). Zero disables
@@ -54,31 +59,50 @@ type Config struct {
 	// Faults is the failure plan. Iterations must lie in [0, Steps).
 	Faults []Fault
 	// CommitStall, if set, is called by the background committer before it
-	// stages a wave. It is test/chaos instrumentation: a blocking hook keeps
-	// the wave in the not-yet-durable state, so tests can pin a fault into
-	// the middle of a draining wave. Hooks must eventually return, and must
-	// not block a cluster's very first wave across a fault of that cluster
-	// (recovery waits for the first durable wave).
-	CommitStall func(cluster, epoch int)
+	// stages a wave (the second argument is the cluster's wave counter). It
+	// is test/chaos instrumentation: a blocking hook keeps the wave in the
+	// not-yet-durable state, so tests can pin a fault into the middle of a
+	// draining wave. Hooks must eventually return, and must not block a
+	// cluster's very first wave across a fault of that cluster (recovery
+	// waits for the first durable wave).
+	CommitStall func(cluster, wave int)
 }
 
-// policy resolves the configured policy, applying the ClusterOf shortcut.
+// policy resolves the configured policy, applying the ClusterOf and Adaptive
+// shortcuts.
 func (c *Config) policy() (Policy, error) {
+	set := 0
+	if c.Policy != nil {
+		set++
+	}
+	if c.ClusterOf != nil {
+		set++
+	}
+	if c.Adaptive != nil {
+		set++
+	}
+	if set != 1 {
+		return nil, fmt.Errorf("core: set exactly one of Policy, ClusterOf and Adaptive")
+	}
 	switch {
-	case c.Policy != nil && c.ClusterOf != nil:
-		return nil, fmt.Errorf("core: set exactly one of Policy and ClusterOf")
 	case c.Policy != nil:
 		return c.Policy, nil
 	case c.ClusterOf != nil:
 		return NewSPBCProtocol(c.ClusterOf), nil
 	default:
-		return nil, fmt.Errorf("core: config needs a Policy or a ClusterOf assignment")
+		if err := c.Adaptive.validate(); err != nil {
+			return nil, err
+		}
+		if c.Interval <= 0 {
+			return nil, fmt.Errorf("core: adaptive clustering needs a positive checkpoint interval (epochs open at wave boundaries)")
+		}
+		return NewAdaptivePolicy(c.Adaptive.Seed), nil
 	}
 }
 
 // resolve validates the configuration against a world size and returns the
-// resolved policy with its group assignment.
-func (c *Config) resolve(size int) (Policy, []int, error) {
+// resolved policy with its validated epoch-0 view.
+func (c *Config) resolve(size int) (Policy, *EpochView, error) {
 	if c.Steps <= 0 {
 		return nil, nil, fmt.Errorf("core: steps must be positive, got %d", c.Steps)
 	}
@@ -86,7 +110,7 @@ func (c *Config) resolve(size int) (Policy, []int, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	groupOf, err := validatePolicy(pol, size)
+	view, err := NewEpochView(pol, 0, size)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -112,7 +136,7 @@ func (c *Config) resolve(size int) (Policy, []int, error) {
 			return nil, nil, fmt.Errorf("core: fault iteration %d out of range [0,%d)", f.Iteration, c.Steps)
 		}
 	}
-	return pol, groupOf, nil
+	return pol, view, nil
 }
 
 // Metrics accumulates the engine-level counters of one run. They complement
@@ -139,6 +163,11 @@ type Metrics struct {
 	// durable drain latency across waves. Both are wall-clock, not virtual.
 	CheckpointCaptureNs int64 `json:"checkpoint_capture_ns"`
 	CheckpointCommitNs  int64 `json:"checkpoint_commit_ns"`
+	// Epochs is the number of policy epochs the run ended with (1 for a
+	// static policy); EpochSwitches counts the wave-aligned repartitions an
+	// adaptive run adopted (Epochs - 1).
+	Epochs        int `json:"epochs"`
+	EpochSwitches int `json:"epoch_switches"`
 }
 
 // counters is the lock-free accumulator behind Metrics: checkpoint waves
@@ -163,20 +192,25 @@ type counters struct {
 // storage and the per-rank log stores into a full run: it drives one
 // model.App instance per rank behind a model.Process facade and owns
 // checkpointing, failure injection and recovery. The mechanism is shared
-// across policies; everything protocol-specific is delegated to the Policy.
-// Create it with NewEngine and drive it with Run.
+// across policies; everything protocol-specific is delegated to the Policy,
+// consumed through per-epoch cached EpochViews. Create it with NewEngine and
+// drive it with Run.
 type Engine struct {
 	world     *mpi.World
 	cfg       Config
 	pol       Policy
-	groupOf   []int
-	groups    int
-	groupSize []int // members per recovery group
 	protos    []*SPBC
 	stores    []*logstore.Store
 	bar       *rendezvous
 	faultsAt  map[int][]Fault
 	committer *committer
+	adapt     *adaptive // nil for static policies
+
+	// viewMu guards the current epoch view. It is written only while every
+	// rank is parked at the wave boundary that opens the epoch (the adaptive
+	// decision point), and read by the recovery path and the report builders.
+	viewMu sync.Mutex
+	view   *EpochView
 
 	counters counters
 	verify   []float64 // per-rank slot, written only by the owning rank
@@ -190,23 +224,15 @@ type Engine struct {
 // (no communication yet): the engine attaches a runtime protocol instance to
 // every rank.
 func NewEngine(w *mpi.World, cfg Config) (*Engine, error) {
-	pol, groupOf, err := cfg.resolve(w.Size())
+	pol, view, err := cfg.resolve(w.Size())
 	if err != nil {
 		return nil, err
-	}
-	groups := 0
-	for _, g := range groupOf {
-		if g+1 > groups {
-			groups = g + 1
-		}
 	}
 	e := &Engine{
 		world:     w,
 		cfg:       cfg,
 		pol:       pol,
-		groupOf:   groupOf,
-		groups:    groups,
-		groupSize: make([]int, groups),
+		view:      view,
 		protos:    make([]*SPBC, w.Size()),
 		stores:    make([]*logstore.Store, w.Size()),
 		bar:       newRendezvous(w.Size()),
@@ -215,18 +241,21 @@ func NewEngine(w *mpi.World, cfg Config) (*Engine, error) {
 		rolled:    make(map[int]bool),
 		verify:    make([]float64, w.Size()),
 	}
-	for _, g := range groupOf {
-		e.groupSize[g]++
-	}
 	for r := 0; r < w.Size(); r++ {
 		e.stores[r] = logstore.New()
-		e.protos[r] = NewSPBC(r, pol, w.Cost(), e.stores[r])
+		e.protos[r] = newSPBCWithView(r, view, w.Cost(), e.stores[r])
 	}
 	for _, f := range cfg.Faults {
 		e.faultsAt[f.Iteration] = append(e.faultsAt[f.Iteration], f)
 	}
 	if cfg.Storage != nil {
 		e.committer = newCommitter(e, cfg.Storage, cfg.CommitStall)
+	}
+	if cfg.Adaptive != nil {
+		e.adapt = newAdaptive(e, *cfg.Adaptive, pol.(*AdaptivePolicy), view)
+		for r := 0; r < w.Size(); r++ {
+			e.protos[r].setProfile(e.adapt.prof)
+		}
 	}
 	return e, nil
 }
@@ -237,11 +266,41 @@ func (e *Engine) World() *mpi.World { return e.world }
 // Policy returns the fault-tolerance policy the engine runs.
 func (e *Engine) Policy() Policy { return e.pol }
 
-// ClusterOf returns the recovery-group assignment.
-func (e *Engine) ClusterOf() []int { return append([]int(nil), e.groupOf...) }
+// currentView returns the view of the latest opened epoch.
+func (e *Engine) currentView() *EpochView {
+	e.viewMu.Lock()
+	defer e.viewMu.Unlock()
+	return e.view
+}
 
-// Clusters returns the number of recovery groups.
-func (e *Engine) Clusters() int { return e.groups }
+// setView installs the view of a newly opened epoch. Called by the adaptive
+// controller while every rank is parked at the opening wave boundary.
+func (e *Engine) setView(v *EpochView) {
+	e.viewMu.Lock()
+	e.view = v
+	e.viewMu.Unlock()
+}
+
+// ClusterOf returns the recovery-group assignment of the current epoch.
+func (e *Engine) ClusterOf() []int {
+	return append([]int(nil), e.currentView().GroupOf()...)
+}
+
+// Clusters returns the number of recovery groups of the current epoch.
+func (e *Engine) Clusters() int { return e.currentView().Groups() }
+
+// Epochs returns the number of policy epochs opened so far (1 for static
+// policies).
+func (e *Engine) Epochs() int { return e.currentView().Epoch() + 1 }
+
+// EpochHistory returns the per-epoch report of an adaptive run (nil for
+// static policies). Call it after Run returns.
+func (e *Engine) EpochHistory() []EpochInfo {
+	if e.adapt == nil {
+		return nil
+	}
+	return e.adapt.historyCopy()
+}
 
 // Store returns the sender-based log store of a rank.
 func (e *Engine) Store(rank int) *logstore.Store { return e.stores[rank] }
@@ -263,7 +322,9 @@ func (e *Engine) Metrics() Metrics {
 		CheckpointWavesCanceled: int(c.wavesCanceled.Load()),
 		CheckpointCaptureNs:     c.captureNs.Load(),
 		CheckpointCommitNs:      c.commitNs.Load(),
+		Epochs:                  e.Epochs(),
 	}
+	m.EpochSwitches = m.Epochs - 1
 	e.mu.Lock()
 	for r := range e.rolled {
 		m.RolledBackRanks = append(m.RolledBackRanks, r)
@@ -278,13 +339,28 @@ func (e *Engine) Metrics() Metrics {
 func (e *Engine) VerifyValues() []float64 { return append([]float64(nil), e.verify...) }
 
 // LoggedBytesByCluster sums the cumulative sender-side log volume per
-// recovery group.
+// recovery group of the current epoch.
 func (e *Engine) LoggedBytesByCluster() []uint64 {
-	out := make([]uint64, e.groups)
+	v := e.currentView()
+	out := make([]uint64, v.Groups())
 	for r, s := range e.stores {
-		out[e.groupOf[r]] += s.CumulativeBytes()
+		out[v.Group(r)] += s.CumulativeBytes()
 	}
 	return out
+}
+
+// abortRun releases every rank parked on engine-internal synchronization —
+// the recovery rendezvous, the adaptive decision gate and the committer's
+// blocking waits (flush, first-durable-wave) — so a failing rank does not
+// leave the others blocked forever.
+func (e *Engine) abortRun() {
+	e.bar.abort()
+	if e.adapt != nil {
+		e.adapt.abort()
+	}
+	if e.committer != nil {
+		e.committer.abort()
+	}
 }
 
 // Run executes the application on every rank of the world, with
@@ -296,12 +372,12 @@ func (e *Engine) Run(factory model.AppFactory) error {
 	err := e.world.Run(func(p *mpi.Proc) error {
 		defer func() {
 			if r := recover(); r != nil {
-				e.bar.abort() // free ranks parked at a fault rendezvous
+				e.abortRun() // free ranks parked at a fault rendezvous
 				panic(r)
 			}
 		}()
 		if err := e.runRank(p, factory()); err != nil {
-			e.bar.abort()
+			e.abortRun()
 			return err
 		}
 		return nil
@@ -311,26 +387,40 @@ func (e *Engine) Run(factory model.AppFactory) error {
 			err = derr
 		}
 	}
+	if e.adapt != nil {
+		e.adapt.finalize()
+	}
 	return err
+}
+
+// rankCtx is the per-rank execution state that varies with the policy epoch:
+// the active view, the rank's cluster and intra-cluster communicator under
+// it, and the cluster's wave counter.
+type rankCtx struct {
+	view    *EpochView
+	cluster int
+	comm    *mpi.Comm
+	wave    int
 }
 
 // runRank is the per-rank driver: init, the iteration loop with checkpoint
 // and fault handling, and the final verification.
 func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 	rank := p.Rank()
-	cluster := e.groupOf[rank]
 	p.SetProtocol(e.protos[rank])
 	proc := &process{NativeProcess: model.NativeProcess{P: p}, proto: e.protos[rank]}
 	if err := app.Init(proc); err != nil {
 		return fmt.Errorf("core: rank %d: init: %w", rank, err)
 	}
-	clusterComm, err := p.CommSplit(e.world.CommWorld(), cluster, rank)
+	rc := &rankCtx{view: e.protos[rank].View()}
+	rc.cluster = rc.view.Group(rank)
+	clusterComm, err := p.CommSplit(e.world.CommWorld(), rc.cluster, rank)
 	if err != nil {
 		return fmt.Errorf("core: rank %d: cluster communicator: %w", rank, err)
 	}
+	rc.comm = clusterComm
 
 	handled := make(map[int]bool) // fault iterations already processed
-	epoch := 0
 	rejoinAt := -1
 	reenter := false // next checkpoint re-enters a restored wave (no entry barrier)
 	for iter := 0; iter < e.cfg.Steps; {
@@ -340,7 +430,7 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 			rejoinAt = -1
 		}
 		if e.cfg.Interval > 0 && iter%e.cfg.Interval == 0 {
-			if err := e.checkpointRank(p, app, clusterComm, cluster, iter, &epoch, reenter); err != nil {
+			if err := e.checkpointRank(p, app, rc, iter, reenter); err != nil {
 				return err
 			}
 			reenter = false
@@ -390,13 +480,49 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 // durable. The exit barrier keeps members from racing ahead and sending
 // intra-cluster messages into a member that has not captured yet (which would
 // put an orphan message across the cut).
-func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, clusterComm *mpi.Comm, cluster, iter int, epoch *int, reenter bool) error {
+//
+// Under adaptive clustering the boundary is also the only point where a new
+// policy epoch may open. All ranks first meet at the adaptive decision gate
+// (out-of-band, no virtual time) and learn the epoch active from this
+// boundary on. A rank whose epoch is older than the decision switches: it
+// drains the committer (old-epoch waves become durable and their remote logs
+// are GC'd before the cluster numbering changes), splits the new cluster
+// communicator, and installs the new view; the wave it then captures is the
+// first of the new epoch — the epoch's recovery line — and is forced durable
+// before the exit barrier releases anyone, so recovery after this point
+// always restores a wave of the current epoch.
+func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, rc *rankCtx, iter int, reenter bool) error {
 	rank := p.Rank()
+	switched := false
+	if e.adapt != nil {
+		next, err := e.adapt.await(rank, iter)
+		if err != nil {
+			return fmt.Errorf("core: rank %d: adaptive decision: %w", rank, err)
+		}
+		if next.Epoch() > rc.view.Epoch() {
+			// Old-epoch waves must be fully durable before any wave is keyed
+			// by the new epoch's cluster ids: per-cluster commit FIFOs and
+			// the per-rank latest-checkpoint invariant both assume one
+			// numbering at a time.
+			if err := e.committer.flush(); err != nil {
+				return fmt.Errorf("core: rank %d: drain before epoch %d: %w", rank, next.Epoch(), err)
+			}
+			newComm, err := p.CommSplit(e.world.CommWorld(), next.Group(rank), rank)
+			if err != nil {
+				return fmt.Errorf("core: rank %d: epoch %d cluster communicator: %w", rank, next.Epoch(), err)
+			}
+			rc.view = next
+			rc.cluster = next.Group(rank)
+			rc.comm = newComm
+			e.protos[rank].setView(next)
+			switched = true
+		}
+	}
 	// A post-rollback re-entry resumes from the restored wave's mid-point
 	// (the capture sits between the barriers), so the entry barrier already
 	// happened before the restored state was captured and must not run again.
 	if !reenter {
-		if err := p.Barrier(clusterComm); err != nil {
+		if err := p.Barrier(rc.comm); err != nil {
 			return fmt.Errorf("core: rank %d: checkpoint barrier: %w", rank, err)
 		}
 	}
@@ -419,9 +545,10 @@ func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, clusterComm *mpi.Com
 	logs, logRefs := e.stores[rank].SnapshotShared()
 	cp := &checkpoint.Checkpoint{
 		Rank:      rank,
-		Cluster:   cluster,
+		Cluster:   rc.cluster,
 		Iteration: iter,
-		Epoch:     *epoch,
+		Epoch:     rc.view.Epoch(),
+		Wave:      rc.wave,
 		Time:      p.Now(),
 		AppState:  state,
 		Channels:  snap,
@@ -431,10 +558,19 @@ func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, clusterComm *mpi.Com
 	cp.HoldShared(snapRefs)
 	cp.HoldShared(logRefs)
 	e.counters.captureNs.Add(time.Since(start).Nanoseconds())
-	e.committer.submit(cluster, *epoch, cp)
-	*epoch++
+	e.committer.submit(rc.cluster, rc.wave, rc.view.GroupSize(rc.cluster), cp)
+	rc.wave++
 
-	if err := p.Barrier(clusterComm); err != nil {
+	if switched {
+		// The wave that opens an epoch is the epoch's recovery line: it must
+		// be durable before any rank advances, so a fault behind it can
+		// never force a rollback across the epoch boundary into the old
+		// partition.
+		if err := e.committer.flush(); err != nil {
+			return fmt.Errorf("core: rank %d: commit epoch %d recovery line: %w", rank, rc.view.Epoch(), err)
+		}
+	}
+	if err := p.Barrier(rc.comm); err != nil {
 		return fmt.Errorf("core: rank %d: checkpoint barrier: %w", rank, err)
 	}
 	return nil
@@ -443,8 +579,13 @@ func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, clusterComm *mpi.Com
 // gcLogsWave truncates, on every remote sender, the log records that a
 // durably committed checkpoint wave no longer needs: a message delivered
 // before a member's checkpoint is covered by it and will never be replayed.
-// Called by the committer after the wave published; concurrent recovery
-// replay is safe because replay reads strictly above the wave's coverage.
+// Truncation covers every channel — including channels that are
+// intra-cluster under the wave's epoch, which carry no new records but may
+// still hold records logged under an older epoch (the log-drain half of an
+// epoch switch). Called by the committer after the wave published; concurrent
+// recovery replay is safe because replay reads strictly above the wave's
+// coverage, and waves of other clusters truncate disjoint (per-destination)
+// record sets.
 func (e *Engine) gcLogsWave(w *wave) {
 	dropped := 0
 	for _, cp := range w.members {
@@ -452,9 +593,6 @@ func (e *Engine) gcLogsWave(w *wave) {
 			continue
 		}
 		for key, st := range cp.Channels.In {
-			if e.groupOf[key.Peer] == w.cluster {
-				continue
-			}
 			dropped += e.stores[key.Peer].Truncate(cp.Rank, key.Comm, st.MaxSeqSeen)
 		}
 	}
@@ -464,11 +602,14 @@ func (e *Engine) gcLogsWave(w *wave) {
 // handleFaults performs the globally coordinated part of recovery for the
 // faults scheduled at this iteration boundary. Every rank participates in the
 // rendezvous (the failure-detection pause); only the ranks of the failed
-// clusters roll back. It returns the iteration to resume from and whether the
-// calling rank rolled back.
+// clusters roll back. Recovery always runs under the current epoch's view:
+// the wave that opened the epoch was forced durable before any rank advanced
+// past it, so the restored wave can never predate the epoch. It returns the
+// iteration to resume from and whether the calling rank rolled back.
 func (e *Engine) handleFaults(p *mpi.Proc, app model.App, iter int) (resume int, rolledBack bool, err error) {
 	rank := p.Rank()
-	set := e.rolledBackSet(iter)
+	view := e.currentView()
+	set := e.rolledBackSet(view, iter)
 	failed := make(map[int]bool)
 	for _, f := range e.faultsAt[iter] {
 		failed[f.Rank] = true
@@ -490,7 +631,7 @@ func (e *Engine) handleFaults(p *mpi.Proc, app model.App, iter int) (resume int,
 	if rank == leaderOf(set) {
 		groups := make(map[int]bool)
 		for r := range set {
-			groups[e.groupOf[r]] = true
+			groups[view.Group(r)] = true
 		}
 		n := e.committer.cancelClusters(groups)
 		e.counters.wavesCanceled.Add(int64(n))
@@ -529,6 +670,12 @@ func (e *Engine) handleFaults(p *mpi.Proc, app model.App, iter int) (resume int,
 			return 0, false, fmt.Errorf("core: rank %d: no checkpoint to roll back to", rank)
 		}
 		cp = loaded
+		if cp.Epoch != view.Epoch() {
+			// The epoch's opening wave is durable before anyone advances, so
+			// a restored checkpoint from another epoch means the recovery
+			// line was violated.
+			return 0, false, fmt.Errorf("core: rank %d: restored checkpoint of epoch %d under epoch %d", rank, cp.Epoch, view.Epoch())
+		}
 		if err := app.Restore(cp.AppState); err != nil {
 			return 0, false, fmt.Errorf("core: rank %d: restore app: %w", rank, err)
 		}
@@ -619,12 +766,13 @@ func (e *Engine) injectReplays(iter int, set map[int]bool) error {
 }
 
 // rolledBackSet returns the union of the recovery groups failed at the
-// iteration.
-func (e *Engine) rolledBackSet(iter int) map[int]bool {
+// iteration, under the given epoch view.
+func (e *Engine) rolledBackSet(view *EpochView, iter int) map[int]bool {
 	set := make(map[int]bool)
+	groupOf := view.GroupOf()
 	for _, f := range e.faultsAt[iter] {
-		fg := e.groupOf[f.Rank]
-		for r, g := range e.groupOf {
+		fg := groupOf[f.Rank]
+		for r, g := range groupOf {
 			if g == fg {
 				set[r] = true
 			}

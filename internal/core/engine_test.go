@@ -92,7 +92,10 @@ func runEngine(t *testing.T, factory model.AppFactory, cfg Config, rec *trace.Re
 	}
 	size := len(cfg.ClusterOf)
 	if cfg.Policy != nil {
-		size = len(cfg.Policy.GroupOf())
+		size = len(cfg.Policy.GroupOf(0))
+	}
+	if cfg.Adaptive != nil {
+		size = len(cfg.Adaptive.Seed)
 	}
 	w, err := mpi.NewWorld(size, testCost(), opts...)
 	if err != nil {

@@ -1,16 +1,23 @@
 package core
 
-import "fmt"
+import (
+	"fmt"
+	"sync"
+)
 
 // Policy is the strategy interface that captures everything protocol-specific
-// about a fault-tolerant execution:
+// about a fault-tolerant execution. It is *epoch-versioned*: an epoch is one
+// version of the policy's decisions, and the engine switches epochs only at
+// checkpoint-wave boundaries (the wave that opens an epoch is its recovery
+// line). Static policies ignore the epoch argument; AdaptivePolicy grows new
+// epochs from the live communication profile while the run executes.
 //
-//   - who checkpoints together: GroupOf partitions the world into recovery
-//     groups; the members of a group take their checkpoints in one
+//   - who checkpoints together: GroupOf(epoch) partitions the world into
+//     recovery groups; the members of a group take their checkpoints in one
 //     coordinated wave and roll back together when any member fails;
-//   - what gets logged: Logs selects the messages that must be copied into
-//     the sender's log store so they can be replayed after a failure of the
-//     destination's group without rolling back the sender.
+//   - what gets logged: Logs(epoch, src, dst) selects the messages that must
+//     be copied into the sender's log store so they can be replayed after a
+//     failure of the destination's group without rolling back the sender.
 //
 // The Engine supplies the shared mechanism — per-group checkpoint waves,
 // sender-based logging through the mpi.Protocol hook, remote-log garbage
@@ -18,21 +25,110 @@ import "fmt"
 // decision to this interface, so pure coordinated checkpointing, full
 // message logging and the paper's hybrid run as peers of one engine and are
 // directly comparable, exactly as the paper's evaluation compares them.
+//
+// Policies are consumed through EpochView: the engine validates each epoch
+// once and caches the group assignment and the logging relation, so the hot
+// send path never calls back into the interface (and never allocates).
 type Policy interface {
 	// Name labels the protocol in reports.
 	Name() string
-	// GroupOf maps every world rank to its recovery group. Group ids must be
-	// dense, starting at zero.
-	GroupOf() []int
+	// GroupOf maps every world rank to its recovery group under the given
+	// epoch. Group ids must be dense, starting at zero. Callers treat the
+	// returned slice as their own copy.
+	GroupOf(epoch int) []int
 	// Logs reports whether application messages from world rank src to world
-	// rank dst must be sender-logged for replay.
-	Logs(src, dst int) bool
+	// rank dst must be sender-logged for replay under the given epoch. A
+	// policy must log at least every inter-group message: recovery replays
+	// them from the senders' logs.
+	Logs(epoch, src, dst int) bool
+}
+
+// EpochView is the engine's validated, immutable view of one policy epoch:
+// the group assignment and the logging relation, computed once and cached so
+// that per-send policy decisions are a slice lookup away (no interface call,
+// no allocation). Views are shared freely across goroutines.
+type EpochView struct {
+	epoch     int
+	groupOf   []int
+	groups    int
+	groupSize []int
+	logs      []bool // src*size + dst
+}
+
+// Epoch returns the epoch id of the view.
+func (v *EpochView) Epoch() int { return v.epoch }
+
+// GroupOf returns the cached group assignment. The slice is shared and must
+// not be mutated — this is the allocation-free accessor the engine uses on
+// every wave instead of re-calling Policy.GroupOf.
+func (v *EpochView) GroupOf() []int { return v.groupOf }
+
+// Groups returns the number of recovery groups of the epoch.
+func (v *EpochView) Groups() int { return v.groups }
+
+// GroupSize returns the number of ranks in a group.
+func (v *EpochView) GroupSize(g int) int { return v.groupSize[g] }
+
+// Group returns the recovery group of a rank.
+func (v *EpochView) Group(rank int) int { return v.groupOf[rank] }
+
+// Logs reports whether src→dst messages are sender-logged under this epoch.
+func (v *EpochView) Logs(src, dst int) bool { return v.logs[src*len(v.groupOf)+dst] }
+
+// NewEpochView validates one epoch of a policy against a world size and
+// caches its decisions: one dense, non-negative group id per rank, and a
+// logging relation that covers at least every inter-group channel (recovery
+// replays inter-group messages from the senders' logs, so a policy that
+// fails to log one would lose messages on rollback).
+func NewEpochView(pol Policy, epoch, size int) (*EpochView, error) {
+	if pol == nil {
+		return nil, fmt.Errorf("core: nil policy")
+	}
+	groupOf := pol.GroupOf(epoch)
+	if len(groupOf) != size {
+		return nil, fmt.Errorf("core: policy %s epoch %d assigns %d ranks, world has %d", pol.Name(), epoch, len(groupOf), size)
+	}
+	groups := 0
+	for r, g := range groupOf {
+		if g < 0 || g >= size {
+			return nil, fmt.Errorf("core: policy %s epoch %d assigns rank %d to invalid group %d", pol.Name(), epoch, r, g)
+		}
+		if g+1 > groups {
+			groups = g + 1
+		}
+	}
+	v := &EpochView{
+		epoch:     epoch,
+		groupOf:   append([]int(nil), groupOf...),
+		groups:    groups,
+		groupSize: make([]int, groups),
+		logs:      make([]bool, size*size),
+	}
+	for _, g := range groupOf {
+		v.groupSize[g]++
+	}
+	for g, n := range v.groupSize {
+		if n == 0 {
+			return nil, fmt.Errorf("core: policy %s epoch %d leaves group %d empty (ids must be dense)", pol.Name(), epoch, g)
+		}
+	}
+	for s := 0; s < size; s++ {
+		for d := 0; d < size; d++ {
+			logs := pol.Logs(epoch, s, d)
+			if !logs && s != d && groupOf[s] != groupOf[d] {
+				return nil, fmt.Errorf("core: policy %s epoch %d does not log inter-group channel %d->%d", pol.Name(), epoch, s, d)
+			}
+			v.logs[s*size+d] = logs
+		}
+	}
+	return v, nil
 }
 
 // SPBCProtocol is the paper's hybrid protocol: recovery groups are the
 // communication-driven clusters, and only inter-cluster messages are logged.
 // A failure rolls back exactly one cluster; messages from other clusters are
-// re-delivered from the senders' logs.
+// re-delivered from the senders' logs. The assignment is static: every epoch
+// returns the same partition.
 type SPBCProtocol struct {
 	clusterOf []int
 }
@@ -46,11 +142,11 @@ func NewSPBCProtocol(clusterOf []int) *SPBCProtocol {
 // Name labels the protocol.
 func (s *SPBCProtocol) Name() string { return "spbc" }
 
-// GroupOf returns the cluster assignment.
-func (s *SPBCProtocol) GroupOf() []int { return append([]int(nil), s.clusterOf...) }
+// GroupOf returns the cluster assignment (identical in every epoch).
+func (s *SPBCProtocol) GroupOf(epoch int) []int { return append([]int(nil), s.clusterOf...) }
 
 // Logs selects inter-cluster messages.
-func (s *SPBCProtocol) Logs(src, dst int) bool { return s.clusterOf[src] != s.clusterOf[dst] }
+func (s *SPBCProtocol) Logs(epoch, src, dst int) bool { return s.clusterOf[src] != s.clusterOf[dst] }
 
 // CoordinatedProtocol is pure coordinated checkpointing, the first baseline
 // of the paper's comparison: the whole world is one recovery group, every
@@ -68,11 +164,11 @@ func NewCoordinatedProtocol(ranks int) *CoordinatedProtocol {
 // Name labels the protocol.
 func (c *CoordinatedProtocol) Name() string { return "coordinated" }
 
-// GroupOf places every rank in the single global group.
-func (c *CoordinatedProtocol) GroupOf() []int { return make([]int, c.ranks) }
+// GroupOf places every rank in the single global group, in every epoch.
+func (c *CoordinatedProtocol) GroupOf(epoch int) []int { return make([]int, c.ranks) }
 
 // Logs logs nothing: surviving ranks roll back instead of replaying.
-func (c *CoordinatedProtocol) Logs(src, dst int) bool { return false }
+func (c *CoordinatedProtocol) Logs(epoch, src, dst int) bool { return false }
 
 // FullLogProtocol is full sender-based message logging, the second baseline:
 // every rank is its own recovery group, so checkpoints are per-process (the
@@ -91,8 +187,8 @@ func NewFullLogProtocol(ranks int) *FullLogProtocol {
 // Name labels the protocol.
 func (f *FullLogProtocol) Name() string { return "full-log" }
 
-// GroupOf places every rank in its own group.
-func (f *FullLogProtocol) GroupOf() []int {
+// GroupOf places every rank in its own group, in every epoch.
+func (f *FullLogProtocol) GroupOf(epoch int) []int {
 	out := make([]int, f.ranks)
 	for r := range out {
 		out[r] = r
@@ -101,41 +197,68 @@ func (f *FullLogProtocol) GroupOf() []int {
 }
 
 // Logs logs every message (self-channels never occur in the runtime).
-func (f *FullLogProtocol) Logs(src, dst int) bool { return src != dst }
+func (f *FullLogProtocol) Logs(epoch, src, dst int) bool { return src != dst }
 
-// validatePolicy checks a policy's group assignment against a world size:
-// one dense, non-negative group id per rank.
-func validatePolicy(pol Policy, size int) ([]int, error) {
-	if pol == nil {
-		return nil, fmt.Errorf("core: nil policy")
+// AdaptivePolicy is the epoch-versioned policy behind adaptive clustering:
+// epoch 0 is the seed partition, and the engine's repartitioner pushes a new
+// partition — a new epoch — whenever the live communication profile says the
+// projected logged-volume saving beats the migration cost. Old epochs remain
+// addressable: a checkpoint persists the epoch it was captured under, and
+// recovery replays under that epoch's view.
+type AdaptivePolicy struct {
+	mu    sync.RWMutex
+	parts [][]int // epoch -> cluster assignment
+}
+
+// NewAdaptivePolicy builds the adaptive policy with the given seed partition
+// as epoch 0.
+func NewAdaptivePolicy(seed []int) *AdaptivePolicy {
+	return &AdaptivePolicy{parts: [][]int{append([]int(nil), seed...)}}
+}
+
+// Name labels the protocol.
+func (a *AdaptivePolicy) Name() string { return "spbc-adaptive" }
+
+// Epochs returns the number of epochs defined so far.
+func (a *AdaptivePolicy) Epochs() int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	return len(a.parts)
+}
+
+// GroupOf returns the cluster assignment of an epoch. Out-of-range epochs
+// return nil (NewEpochView rejects them).
+func (a *AdaptivePolicy) GroupOf(epoch int) []int {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if epoch < 0 || epoch >= len(a.parts) {
+		return nil
 	}
-	groupOf := pol.GroupOf()
-	if len(groupOf) != size {
-		return nil, fmt.Errorf("core: policy %s assigns %d ranks, world has %d", pol.Name(), len(groupOf), size)
+	return append([]int(nil), a.parts[epoch]...)
+}
+
+// Logs selects the inter-cluster messages of the epoch's partition.
+func (a *AdaptivePolicy) Logs(epoch, src, dst int) bool {
+	a.mu.RLock()
+	defer a.mu.RUnlock()
+	if epoch < 0 || epoch >= len(a.parts) {
+		return false
 	}
-	groups := 0
-	for r, g := range groupOf {
-		if g < 0 || g >= size {
-			return nil, fmt.Errorf("core: policy %s assigns rank %d to invalid group %d", pol.Name(), r, g)
-		}
-		if g+1 > groups {
-			groups = g + 1
-		}
-	}
-	seen := make([]bool, groups)
-	for _, g := range groupOf {
-		seen[g] = true
-	}
-	for g, ok := range seen {
-		if !ok {
-			return nil, fmt.Errorf("core: policy %s leaves group %d empty (ids must be dense)", pol.Name(), g)
-		}
-	}
-	return groupOf, nil
+	p := a.parts[epoch]
+	return p[src] != p[dst]
+}
+
+// Push appends a new partition and returns its epoch id.
+func (a *AdaptivePolicy) Push(clusterOf []int) int {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	a.parts = append(a.parts, append([]int(nil), clusterOf...))
+	return len(a.parts) - 1
 }
 
 var (
 	_ Policy = (*SPBCProtocol)(nil)
 	_ Policy = (*CoordinatedProtocol)(nil)
 	_ Policy = (*FullLogProtocol)(nil)
+	_ Policy = (*AdaptivePolicy)(nil)
 )

@@ -13,52 +13,110 @@ func TestPolicyShapes(t *testing.T) {
 	if spbc.Name() != "spbc" {
 		t.Fatalf("spbc name = %q", spbc.Name())
 	}
-	if got := spbc.GroupOf(); !reflect.DeepEqual(got, []int{0, 0, 1, 1}) {
-		t.Fatalf("spbc groups = %v", got)
-	}
-	if spbc.Logs(0, 1) || !spbc.Logs(1, 2) {
-		t.Fatalf("spbc must log exactly the inter-cluster messages")
+	// Static policies answer identically in every epoch.
+	for _, epoch := range []int{0, 3} {
+		if got := spbc.GroupOf(epoch); !reflect.DeepEqual(got, []int{0, 0, 1, 1}) {
+			t.Fatalf("spbc groups (epoch %d) = %v", epoch, got)
+		}
+		if spbc.Logs(epoch, 0, 1) || !spbc.Logs(epoch, 1, 2) {
+			t.Fatalf("spbc must log exactly the inter-cluster messages")
+		}
 	}
 
 	coord := NewCoordinatedProtocol(4)
-	if got := coord.GroupOf(); !reflect.DeepEqual(got, []int{0, 0, 0, 0}) {
+	if got := coord.GroupOf(0); !reflect.DeepEqual(got, []int{0, 0, 0, 0}) {
 		t.Fatalf("coordinated groups = %v", got)
 	}
 	for s := 0; s < 4; s++ {
 		for d := 0; d < 4; d++ {
-			if coord.Logs(s, d) {
+			if coord.Logs(0, s, d) {
 				t.Fatalf("coordinated checkpointing must log nothing, logs %d->%d", s, d)
 			}
 		}
 	}
 
 	full := NewFullLogProtocol(4)
-	if got := full.GroupOf(); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
+	if got := full.GroupOf(0); !reflect.DeepEqual(got, []int{0, 1, 2, 3}) {
 		t.Fatalf("full-log groups = %v", got)
 	}
-	if !full.Logs(0, 3) || !full.Logs(2, 1) {
+	if !full.Logs(0, 0, 3) || !full.Logs(0, 2, 1) {
 		t.Fatalf("full logging must log every message")
 	}
 }
 
-func TestValidatePolicy(t *testing.T) {
-	if _, err := validatePolicy(nil, 2); err == nil {
+func TestAdaptivePolicyEpochs(t *testing.T) {
+	pol := NewAdaptivePolicy([]int{0, 0, 1, 1})
+	if pol.Name() != "spbc-adaptive" {
+		t.Fatalf("name = %q", pol.Name())
+	}
+	if pol.Epochs() != 1 {
+		t.Fatalf("fresh adaptive policy has %d epochs, want 1", pol.Epochs())
+	}
+	e1 := pol.Push([]int{0, 1, 0, 1})
+	if e1 != 1 || pol.Epochs() != 2 {
+		t.Fatalf("push returned epoch %d (epochs %d), want 1 (2)", e1, pol.Epochs())
+	}
+	// Old epochs remain addressable with their original partitions.
+	if got := pol.GroupOf(0); !reflect.DeepEqual(got, []int{0, 0, 1, 1}) {
+		t.Fatalf("epoch 0 groups = %v", got)
+	}
+	if got := pol.GroupOf(1); !reflect.DeepEqual(got, []int{0, 1, 0, 1}) {
+		t.Fatalf("epoch 1 groups = %v", got)
+	}
+	if pol.Logs(0, 0, 1) || !pol.Logs(1, 0, 1) {
+		t.Fatalf("per-epoch logging must follow the epoch's partition")
+	}
+	if pol.GroupOf(7) != nil {
+		t.Fatalf("out-of-range epoch must return nil")
+	}
+}
+
+func TestNewEpochView(t *testing.T) {
+	if _, err := NewEpochView(nil, 0, 2); err == nil {
 		t.Fatalf("nil policy accepted")
 	}
-	if _, err := validatePolicy(NewSPBCProtocol([]int{0}), 2); err == nil {
+	if _, err := NewEpochView(NewSPBCProtocol([]int{0}), 0, 2); err == nil {
 		t.Fatalf("short assignment accepted")
 	}
-	if _, err := validatePolicy(NewSPBCProtocol([]int{0, -1}), 2); err == nil {
+	if _, err := NewEpochView(NewSPBCProtocol([]int{0, -1}), 0, 2); err == nil {
 		t.Fatalf("negative group accepted")
 	}
-	if _, err := validatePolicy(NewSPBCProtocol([]int{0, 7}), 2); err == nil {
+	if _, err := NewEpochView(NewSPBCProtocol([]int{0, 7}), 0, 2); err == nil {
 		t.Fatalf("out-of-range group accepted")
 	}
-	if _, err := validatePolicy(NewSPBCProtocol([]int{0, 2, 2}), 3); err == nil {
+	if _, err := NewEpochView(NewSPBCProtocol([]int{0, 2, 2}), 0, 3); err == nil {
 		t.Fatalf("sparse group ids accepted")
 	}
-	if _, err := validatePolicy(NewFullLogProtocol(3), 3); err != nil {
+	if _, err := NewEpochView(NewFullLogProtocol(3), 0, 3); err != nil {
 		t.Fatalf("full-log policy rejected: %v", err)
+	}
+	// The cached view answers without calling back into the policy.
+	v, err := NewEpochView(NewSPBCProtocol([]int{0, 0, 1, 1}), 0, 4)
+	if err != nil {
+		t.Fatalf("NewEpochView: %v", err)
+	}
+	if v.Epoch() != 0 || v.Groups() != 2 || v.Group(2) != 1 || v.GroupSize(0) != 2 {
+		t.Fatalf("view shape wrong: %+v", v)
+	}
+	if v.Logs(0, 1) || !v.Logs(0, 2) {
+		t.Fatalf("view logging relation wrong")
+	}
+	if !reflect.DeepEqual(v.GroupOf(), []int{0, 0, 1, 1}) {
+		t.Fatalf("view groups = %v", v.GroupOf())
+	}
+}
+
+// underLoggingPolicy violates the replay invariant: inter-group messages are
+// not logged.
+type underLoggingPolicy struct{}
+
+func (underLoggingPolicy) Name() string              { return "under-logging" }
+func (underLoggingPolicy) GroupOf(epoch int) []int   { return []int{0, 1} }
+func (underLoggingPolicy) Logs(epoch, s, d int) bool { return false }
+
+func TestNewEpochViewRejectsUnderLogging(t *testing.T) {
+	if _, err := NewEpochView(underLoggingPolicy{}, 0, 2); err == nil {
+		t.Fatalf("policy that skips inter-group logging accepted: recovery could not replay")
 	}
 }
 

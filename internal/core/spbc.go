@@ -25,11 +25,23 @@ import (
 // All methods are called from the owning rank's goroutine (the mpi.Protocol
 // contract), so the pattern and cutoff state needs no locking; the log store
 // has its own synchronization because replay daemons read it concurrently.
+//
+// The runtime holds the engine's cached EpochView of the active epoch rather
+// than the Policy interface: per-send logging decisions are a slice lookup,
+// never an interface call, and an epoch switch installs the next view from
+// the rank's own goroutine at the wave boundary that opens the epoch.
 type SPBC struct {
 	rank int
-	pol  Policy
+	view *EpochView
 	cost simnet.CostModel
 	log  *logstore.Store
+
+	// profile, when non-nil, receives the application's point-to-point
+	// traffic (world communicator, application tag range) for adaptive
+	// repartitioning. The filter matters: protocol traffic — checkpoint
+	// barriers, the allgather of a mid-run CommSplit — would otherwise feed
+	// back into the very decisions that generate it.
+	profile *liveProfile
 
 	// Pattern API state (Section 5.1): the active identifier and the next
 	// iteration number of every declared pattern.
@@ -45,12 +57,25 @@ type SPBC struct {
 	cutoffs map[mpi.ChanKey]uint64
 }
 
-// NewSPBC creates the runtime state for one rank. pol decides which messages
-// are sender-logged; log receives their payloads.
+// NewSPBC creates the runtime state for one rank under the policy's epoch-0
+// view. pol decides which messages are sender-logged; log receives their
+// payloads. It panics on a policy that fails validation — benchmarks and
+// tests construct runtimes directly from known-good policies; the engine
+// builds views itself and uses newSPBCWithView.
 func NewSPBC(rank int, pol Policy, cost simnet.CostModel, log *logstore.Store) *SPBC {
+	view, err := NewEpochView(pol, 0, len(pol.GroupOf(0)))
+	if err != nil {
+		panic(err)
+	}
+	return newSPBCWithView(rank, view, cost, log)
+}
+
+// newSPBCWithView creates the runtime state for one rank from a validated
+// epoch view.
+func newSPBCWithView(rank int, view *EpochView, cost simnet.CostModel, log *logstore.Store) *SPBC {
 	return &SPBC{
 		rank:       rank,
-		pol:        pol,
+		view:       view,
 		cost:       cost,
 		log:        log,
 		iterations: make(map[uint32]uint32),
@@ -60,8 +85,17 @@ func NewSPBC(rank int, pol Policy, cost simnet.CostModel, log *logstore.Store) *
 // Log returns the sender-based log store of the rank.
 func (s *SPBC) Log() *logstore.Store { return s.log }
 
-// Policy returns the policy the runtime logs for.
-func (s *SPBC) Policy() Policy { return s.pol }
+// View returns the epoch view the runtime currently logs under.
+func (s *SPBC) View() *EpochView { return s.view }
+
+// setView installs the view of a newly opened epoch. Called from the owning
+// rank's goroutine at the wave boundary that opens the epoch, like every
+// other mutation of the runtime state.
+func (s *SPBC) setView(v *EpochView) { s.view = v }
+
+// setProfile attaches the live communication profile of adaptive clustering.
+// Called once at engine construction, before the rank runs.
+func (s *SPBC) setProfile(p *liveProfile) { s.profile = p }
 
 // DeclarePattern allocates a new communication-pattern identifier. SPMD
 // applications declare patterns in the same order on every rank, so the
@@ -107,7 +141,14 @@ func (s *SPBC) ExtraMatch(req, msg mpi.MatchID) bool { return req == msg }
 // copying it again: the virtual-time cost model still charges the paper's
 // memory-copy cost, but the simulator itself no longer pays a second copy.
 func (s *SPBC) OnSend(p *mpi.Proc, env mpi.Envelope, payload *buf.Buffer) (transmit bool, cost float64) {
-	if s.pol.Logs(env.Source, env.Dest) {
+	// The live profile counts each application message once: recovery
+	// re-execution (cutoffs installed) re-sends traffic that was already
+	// counted before the rollback, so it is skipped — the fault run's epoch
+	// trajectory stays identical to its failure-free twin's.
+	if s.profile != nil && s.cutoffs == nil && env.CommID == 0 && env.Tag <= mpi.MaxAppTag {
+		s.profile.add(s.rank, env.Dest, uint64(payload.Len()))
+	}
+	if s.view.Logs(env.Source, env.Dest) {
 		s.log.AppendShared(env, payload, p.Now())
 		cost = s.cost.LogCost(payload.Len())
 	}

@@ -47,6 +47,10 @@ func goldenReport() *Report {
 		ClusterSizes:          []int{1, 1},
 		LoggedBytesPerCluster: []uint64{40, 30},
 		SuppressedSends:       3,
+		Epochs: []core.EpochInfo{
+			{Epoch: 0, FromIteration: 0, ClusterOf: []int{0, 0}, LoggedBytes: 10, SentBytes: 100, LoggedFraction: 0.1},
+			{Epoch: 1, FromIteration: 2, ClusterOf: []int{0, 1}, LoggedBytes: 60, SentBytes: 90, LoggedFraction: 60.0 / 90.0},
+		},
 		Engine: core.Metrics{
 			CheckpointSaves:         4,
 			CheckpointBytes:         2048,
@@ -60,6 +64,8 @@ func goldenReport() *Report {
 			CheckpointWavesCanceled: 1,
 			CheckpointCaptureNs:     1500,
 			CheckpointCommitNs:      90000,
+			Epochs:                  2,
+			EpochSwitches:           1,
 		},
 		Verify: []float64{1.25, -0.5},
 	}

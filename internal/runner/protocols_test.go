@@ -20,9 +20,9 @@ func appTraffic(e trace.Event) bool {
 	return e.Channel.Comm == 0 && e.Tag <= mpi.MaxAppTag
 }
 
-// protectedProtocols are the three protocols that run under the engine.
+// protectedProtocols are the four protocols that run under the engine.
 func protectedProtocols() []Protocol {
-	return []Protocol{ProtocolCoordinated, ProtocolFullLog, ProtocolSPBC}
+	return []Protocol{ProtocolCoordinated, ProtocolFullLog, ProtocolSPBC, ProtocolSPBCAdaptive}
 }
 
 // reexecutedRanks derives, from a trace, the set of ranks that rolled back:

@@ -49,6 +49,11 @@ type Report struct {
 	// SuppressedSends counts application sends skipped during recovery
 	// re-execution (Algorithm 1 line 7).
 	SuppressedSends uint64 `json:"suppressed_sends"`
+	// Epochs is the per-epoch report of an adaptive run (ProtocolSPBCAdaptive
+	// only): when each epoch opened, its partition, and the logged fraction
+	// while it was active. ClusterOf above is the final epoch's partition;
+	// Epochs[0].ClusterOf is the seed.
+	Epochs []core.EpochInfo `json:"epochs,omitempty"`
 	// Engine holds the checkpoint/recovery counters (SPBC only).
 	Engine core.Metrics `json:"engine"`
 	// Verify holds the per-rank application digests.

@@ -3,7 +3,7 @@
 // checkpoint interval, fault plan, workload), runner.Run executes it and
 // returns a structured, JSON-serializable Report.
 //
-// A Scenario can run under four protocols with the same application kernel,
+// A Scenario can run under five protocols with the same application kernel,
 // exactly as the paper's evaluation runs the same binaries under unmodified
 // and modified MPICH — the two baselines are the extremes SPBC hybridizes:
 //
@@ -17,11 +17,15 @@
 //     checkpointing, single-rank rollback;
 //   - ProtocolSPBC: the paper's hybrid (core.SPBCProtocol) — profile-driven
 //     clustering, coordinated per-cluster checkpoints, sender-based
-//     inter-cluster logging, and cluster-local recovery.
+//     inter-cluster logging, and cluster-local recovery;
+//   - ProtocolSPBCAdaptive: the hybrid with adaptive epoch-based clustering
+//     (core.AdaptivePolicy) — the partition is re-evaluated from the live
+//     communication profile at every checkpoint-wave boundary and migrates
+//     when the projected logged-byte saving clears a hysteresis threshold.
 //
-// Under ProtocolSPBC, the cluster assignment is computed from a short
-// profiling pre-run of the same kernel (the paper obtains its partitions
-// from execution profiles, Section 6.1).
+// Under the SPBC variants, the (initial) cluster assignment is computed from
+// a short profiling pre-run of the same kernel (the paper obtains its
+// partitions from execution profiles, Section 6.1).
 package runner
 
 import (
@@ -49,11 +53,16 @@ const (
 	ProtocolFullLog Protocol = "full-log"
 	// ProtocolSPBC is the hybrid checkpointing/message-logging protocol.
 	ProtocolSPBC Protocol = "spbc"
+	// ProtocolSPBCAdaptive is SPBC with adaptive epoch-based clustering: the
+	// partition is re-evaluated from the live communication profile at every
+	// checkpoint-wave boundary and repartitions when the projected
+	// logged-byte saving clears the hysteresis thresholds.
+	ProtocolSPBCAdaptive Protocol = "spbc-adaptive"
 )
 
 // Protocols lists every supported protocol, baseline first.
 func Protocols() []Protocol {
-	return []Protocol{ProtocolNative, ProtocolCoordinated, ProtocolFullLog, ProtocolSPBC}
+	return []Protocol{ProtocolNative, ProtocolCoordinated, ProtocolFullLog, ProtocolSPBC, ProtocolSPBCAdaptive}
 }
 
 // ParseProtocol resolves a protocol name, as used by command-line tools.
@@ -85,8 +94,13 @@ type Scenario struct {
 	// ClusterOf, if set, is a precomputed SPBC cluster assignment (one entry
 	// per rank); it skips the profiling pre-run. Harnesses that run the same
 	// configuration repeatedly (e.g. the bench sweep's failure-free and
-	// faulty twins) use it to reuse one partition. ProtocolSPBC only.
+	// faulty twins) use it to reuse one partition. Under ProtocolSPBC it is
+	// the run's fixed partition; under ProtocolSPBCAdaptive it is the epoch-0
+	// seed.
 	ClusterOf []int
+	// Adaptive tunes adaptive clustering (ProtocolSPBCAdaptive). Nil selects
+	// the defaults when the protocol is adaptive.
+	Adaptive *AdaptiveOptions
 	// Steps is the number of application iterations.
 	Steps int
 	// CheckpointInterval is the coordinated-checkpoint period in iterations.
@@ -112,6 +126,15 @@ type Scenario struct {
 	Recorder *trace.Recorder
 }
 
+// AdaptiveOptions tunes adaptive epoch-based clustering.
+type AdaptiveOptions struct {
+	// Hysteresis is the repartitioning threshold: a candidate partition is
+	// adopted only when its projected logged-byte saving over the last
+	// profile window clears it. The zero value selects clustering defaults
+	// (10% of the window's logged volume and at least 1 KiB).
+	Hysteresis clustering.Hysteresis
+}
+
 // Option mutates a Scenario before it runs, mirroring mpi.Option.
 type Option func(*Scenario)
 
@@ -134,6 +157,17 @@ func WithFaults(faults ...core.Fault) Option {
 
 // WithObjective sets the clustering objective.
 func WithObjective(o clustering.Objective) Option { return func(s *Scenario) { s.Objective = o } }
+
+// WithAdaptiveClustering selects ProtocolSPBCAdaptive with the given tuning:
+// the cluster assignment starts from the profiling pre-run's partition (or
+// Scenario.ClusterOf when preset) and repartitions at wave boundaries
+// whenever the live profile clears the hysteresis thresholds.
+func WithAdaptiveClustering(o AdaptiveOptions) Option {
+	return func(s *Scenario) {
+		s.Protocol = ProtocolSPBCAdaptive
+		s.Adaptive = &o
+	}
+}
 
 // WithStorage sets the checkpoint storage back-end.
 func WithStorage(st checkpoint.Storage) Option { return func(s *Scenario) { s.Storage = st } }
@@ -171,14 +205,19 @@ func (s *Scenario) normalize() error {
 		s.Clusters = s.Ranks
 	}
 	if s.ClusterOf != nil {
-		if s.Protocol != ProtocolSPBC {
-			return fmt.Errorf("runner: a cluster assignment only applies to %s, not %s", ProtocolSPBC, s.Protocol)
+		if s.Protocol != ProtocolSPBC && s.Protocol != ProtocolSPBCAdaptive {
+			return fmt.Errorf("runner: a cluster assignment only applies to %s or %s, not %s", ProtocolSPBC, ProtocolSPBCAdaptive, s.Protocol)
 		}
 		if len(s.ClusterOf) != s.Ranks {
 			return fmt.Errorf("runner: cluster assignment has %d entries for %d ranks", len(s.ClusterOf), s.Ranks)
 		}
 	}
-	if s.CheckpointInterval == 0 && len(s.Faults) > 0 {
+	if s.Adaptive != nil && s.Protocol != ProtocolSPBCAdaptive {
+		return fmt.Errorf("runner: adaptive options only apply to %s, not %s", ProtocolSPBCAdaptive, s.Protocol)
+	}
+	// Adaptive clustering needs checkpoint waves even without faults: epochs
+	// open only at wave boundaries.
+	if s.CheckpointInterval == 0 && (len(s.Faults) > 0 || s.Protocol == ProtocolSPBCAdaptive) {
 		s.CheckpointInterval = s.Steps / 4
 		if s.CheckpointInterval < 1 {
 			s.CheckpointInterval = 1
@@ -259,33 +298,53 @@ func runNative(sc *Scenario) (*Report, error) {
 	return buildReport(sc, w, nil, verify), nil
 }
 
-// policyFor builds the core.Policy of a protected scenario. Only the SPBC
-// policy needs the profiling pre-run; the two baselines are degenerate group
-// structures fixed by the world size.
-func policyFor(sc *Scenario) (core.Policy, error) {
+// engineConfig builds the core.Config of a protected scenario. Only the SPBC
+// variants need the profiling pre-run; the two baselines are degenerate
+// group structures fixed by the world size. Under ProtocolSPBCAdaptive the
+// profiled partition becomes the epoch-0 seed of the adaptive policy.
+func engineConfig(sc *Scenario) (core.Config, error) {
+	cfg := core.Config{
+		Interval: sc.CheckpointInterval,
+		Steps:    sc.Steps,
+		Storage:  sc.Storage,
+		Faults:   sc.Faults,
+	}
 	switch sc.Protocol {
 	case ProtocolCoordinated:
-		return core.NewCoordinatedProtocol(sc.Ranks), nil
+		cfg.Policy = core.NewCoordinatedProtocol(sc.Ranks)
 	case ProtocolFullLog:
-		return core.NewFullLogProtocol(sc.Ranks), nil
-	case ProtocolSPBC:
+		cfg.Policy = core.NewFullLogProtocol(sc.Ranks)
+	case ProtocolSPBC, ProtocolSPBCAdaptive:
 		clusterOf := sc.ClusterOf
 		if clusterOf == nil {
 			var err error
 			if clusterOf, err = profileAndPartition(sc); err != nil {
-				return nil, err
+				return core.Config{}, err
 			}
 		}
-		return core.NewSPBCProtocol(clusterOf), nil
+		if sc.Protocol == ProtocolSPBC {
+			cfg.Policy = core.NewSPBCProtocol(clusterOf)
+			break
+		}
+		adapt := &core.AdaptiveConfig{
+			Seed:         clusterOf,
+			RanksPerNode: sc.RanksPerNode,
+			Objective:    sc.Objective,
+		}
+		if sc.Adaptive != nil {
+			adapt.Hysteresis = sc.Adaptive.Hysteresis
+		}
+		cfg.Adaptive = adapt
 	default:
-		return nil, fmt.Errorf("runner: protocol %q has no engine policy", sc.Protocol)
+		return core.Config{}, fmt.Errorf("runner: protocol %q has no engine policy", sc.Protocol)
 	}
+	return cfg, nil
 }
 
 // runProtected executes the scenario under the engine with the policy the
 // scenario's protocol selects.
 func runProtected(sc *Scenario) (*Report, error) {
-	pol, err := policyFor(sc)
+	cfg, err := engineConfig(sc)
 	if err != nil {
 		return nil, err
 	}
@@ -297,13 +356,7 @@ func runProtected(sc *Scenario) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := core.NewEngine(w, core.Config{
-		Policy:   pol,
-		Interval: sc.CheckpointInterval,
-		Steps:    sc.Steps,
-		Storage:  sc.Storage,
-		Faults:   sc.Faults,
-	})
+	eng, err := core.NewEngine(w, cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -394,6 +447,7 @@ func buildReport(sc *Scenario, w *mpi.World, eng *core.Engine, verify []float64)
 		rep.ClusterSizes = clustering.ClusterSizes(rep.ClusterOf, eng.Clusters())
 		rep.LoggedBytesPerCluster = eng.LoggedBytesByCluster()
 		rep.Engine = eng.Metrics()
+		rep.Epochs = eng.EpochHistory()
 	}
 	return rep
 }

@@ -1,48 +1,58 @@
 package simnet
 
-import "sync"
+import (
+	"math"
+	"sync/atomic"
+)
 
-// Clock is a per-rank logical clock measured in virtual seconds. It is safe
-// for concurrent use: the owning rank advances it, while protocol daemons and
-// statistics collectors may read it.
+// Clock is a per-rank logical clock measured in virtual seconds. It sits on
+// every send/receive hot path, so it is lock-free: the time is stored as the
+// IEEE-754 bit pattern of a float64 in one atomic word. The owning rank is
+// the only writer (the mpi.Proc contract), while protocol daemons and
+// statistics collectors read it concurrently; the CAS loops below therefore
+// never contend in practice and exist only to keep the type safe under
+// arbitrary concurrent use.
 type Clock struct {
-	mu  sync.Mutex
-	now float64
+	bits atomic.Uint64
 }
 
 // Now returns the current virtual time.
 func (c *Clock) Now() float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	return c.now
+	return math.Float64frombits(c.bits.Load())
 }
 
 // Advance moves the clock forward by d seconds (negative d is ignored) and
 // returns the new time.
 func (c *Clock) Advance(d float64) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if d > 0 {
-		c.now += d
+	for {
+		old := c.bits.Load()
+		t := math.Float64frombits(old)
+		if d <= 0 {
+			return t
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(t+d)) {
+			return t + d
+		}
 	}
-	return c.now
 }
 
 // AdvanceTo moves the clock forward to t if t is later than the current time
 // and returns the new time.
 func (c *Clock) AdvanceTo(t float64) float64 {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	if t > c.now {
-		c.now = t
+	for {
+		old := c.bits.Load()
+		now := math.Float64frombits(old)
+		if t <= now {
+			return now
+		}
+		if c.bits.CompareAndSwap(old, math.Float64bits(t)) {
+			return t
+		}
 	}
-	return c.now
 }
 
 // Set forces the clock to t. It is used when a rank rolls back to a
 // checkpoint: virtual time is restored along with the process state.
 func (c *Clock) Set(t float64) {
-	c.mu.Lock()
-	defer c.mu.Unlock()
-	c.now = t
+	c.bits.Store(math.Float64bits(t))
 }
