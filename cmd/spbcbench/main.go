@@ -39,6 +39,15 @@
 // thresholded on ns/op), exiting non-zero on regressions:
 //
 //	spbcbench -profile compare -baseline BENCH_perf_baseline.json -candidate BENCH_perf_ci.json
+//
+// -profile chaos runs the fault-injection suite: every scenario of the chaos
+// catalog plus -chaos-seeds generated scenarios (seeded -seed, -seed+1, ...)
+// is checked against its failure-free twin — bit-identical replay, rollback
+// scope bounds, no reads of undurable checkpoints — and the verdicts are
+// written as CHAOS_<name>.json, exiting non-zero when any scenario violates
+// an invariant. A failed generated row reproduces from its seed alone:
+//
+//	spbcbench -profile chaos -name ci -chaos-seeds 16 -out .
 package main
 
 import (
@@ -56,7 +65,8 @@ func main() {
 	var (
 		name       = flag.String("name", "sweep", "sweep name; output file is BENCH_<name>.json (BENCH_perf_<name>.json with -profile perf)")
 		out        = flag.String("out", ".", "output directory")
-		profile    = flag.String("profile", "sweep", "what to measure: 'sweep' (virtual-time protocol matrix), 'perf' (real allocs/op and ns/op of the runtime hot path) or 'compare' (regression gate of -candidate against -baseline)")
+		profile    = flag.String("profile", "sweep", "what to measure: 'sweep' (virtual-time protocol matrix), 'perf' (real allocs/op and ns/op of the runtime hot path), 'compare' (regression gate of -candidate against -baseline) or 'chaos' (fault-injection suite with invariant checking)")
+		chaosSeeds = flag.Int("chaos-seeds", 16, "number of generated scenarios for -profile chaos (seeds -seed .. -seed+n-1)")
 		sizes      = flag.String("sizes", "64,1024,16384", "comma-separated payload sizes for -profile perf")
 		allocGuard = flag.Float64("alloc-guard", 0, "allocs/op ceiling for -profile perf cells: 0 = protocol defaults, negative disables")
 		capGuard   = flag.Float64("capture-guard", 0, "capture allocs/op ceiling for the checkpoint profile: 0 = default, negative disables")
@@ -81,16 +91,19 @@ func main() {
 	flag.Parse()
 
 	switch *profile {
-	case "perf", "compare":
+	case "perf", "compare", "chaos":
 		if *adaptGate {
 			// Refuse rather than silently skip: the caller would believe the
 			// gate ran when only the perf/compare path executed.
 			fatal(fmt.Errorf("-adaptive-gate only applies to -profile sweep, not %q", *profile))
 		}
-		if *profile == "perf" {
+		switch *profile {
+		case "perf":
 			runPerfProfile(*name, *out, *protocols, *sizes, *allocGuard, *capGuard, *spdFloor, *quiet)
-		} else {
+		case "compare":
 			runCompare(*baseline, *candidate, *allocSlack, *nsFactor)
+		case "chaos":
+			runChaosProfile(*name, *out, *seed, *chaosSeeds, *quiet)
 		}
 		return
 	case "sweep":
@@ -199,6 +212,42 @@ func runPerfProfile(name, out, protocols, sizes string, allocGuard, captureGuard
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "guard violation:", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// runChaosProfile checks the chaos scenario catalog plus n generated
+// scenarios and exits non-zero when any row violates an invariant.
+func runChaosProfile(name, out string, seed int64, n int, quiet bool) {
+	if n < 0 {
+		fatal(fmt.Errorf("-chaos-seeds must be non-negative, got %d", n))
+	}
+	seeds := make([]int64, n)
+	for i := range seeds {
+		seeds[i] = seed + int64(i)
+	}
+	res, err := bench.RunChaos(name, seeds)
+	if err != nil {
+		fatal(err)
+	}
+	path, err := res.WriteFile(out)
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		fmt.Println(res.Table())
+	}
+	fmt.Printf("wrote %s (%d suite + %d generated scenarios, %d failed)\n",
+		path, len(res.Suite), len(res.Generated), res.Failures)
+	if res.Failures > 0 {
+		for label, violations := range res.Failed() {
+			for _, v := range violations {
+				fmt.Fprintf(os.Stderr, "scenario %s: %s\n", label, v)
+			}
+			if len(violations) == 0 {
+				fmt.Fprintf(os.Stderr, "scenario %s: failed\n", label)
+			}
 		}
 		os.Exit(1)
 	}

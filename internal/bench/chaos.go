@@ -1,0 +1,166 @@
+package bench
+
+// The chaos profile runs the scenario catalog and a batch of seed-generated
+// random scenarios through the chaos invariant checker and writes the
+// verdicts as CHAOS_<name>.json — the machine-readable fault-injection
+// counterpart of the BENCH_*.json sweeps. Every scenario is checked against
+// its failure-free twin (bit-identical replay, rollback-scope bounds, no
+// undurable reads), so a single failed row means a protocol bug, not a flaky
+// run: the whole report is deterministic, and any generated row can be
+// reproduced from its seed alone.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"repro/internal/chaos"
+	"repro/internal/stats"
+)
+
+// ChaosSeedResult is the verdict on one generated scenario, tagged with the
+// seed that reproduces it (`chaos.Generate(seed, chaos.DefaultProfile())`).
+type ChaosSeedResult struct {
+	Seed int64 `json:"seed"`
+	chaos.Result
+}
+
+// ChaosResult is the machine-readable output of one chaos run, the content
+// of CHAOS_<name>.json.
+type ChaosResult struct {
+	Name string `json:"name"`
+	// Suite holds the catalog scenarios' verdicts in catalog order.
+	Suite []chaos.Result `json:"suite"`
+	// Generated holds the seed-generated scenarios' verdicts in seed order.
+	Generated []ChaosSeedResult `json:"generated,omitempty"`
+	// Failures counts the rows that violated an invariant.
+	Failures int `json:"failures"`
+}
+
+// RunChaos checks the full scenario catalog plus one generated scenario per
+// seed. It only errors on harness misuse (an invalid name); scenario
+// verdicts, including failed ones, land in the result.
+func RunChaos(name string, seeds []int64) (*ChaosResult, error) {
+	if name == "" || strings.ContainsAny(name, "/\\") {
+		return nil, fmt.Errorf("bench: invalid chaos run name %q", name)
+	}
+	res := &ChaosResult{Name: name}
+	for _, sc := range chaos.Catalog() {
+		res.Suite = append(res.Suite, *chaos.Check(sc))
+	}
+	for _, seed := range seeds {
+		sc := chaos.Generate(seed, chaos.DefaultProfile())
+		res.Generated = append(res.Generated, ChaosSeedResult{Seed: seed, Result: *chaos.Check(sc)})
+	}
+	for i := range res.Suite {
+		if !res.Suite[i].Passed {
+			res.Failures++
+		}
+	}
+	for i := range res.Generated {
+		if !res.Generated[i].Passed {
+			res.Failures++
+		}
+	}
+	return res, nil
+}
+
+// Failed returns the violation lists of the failed rows, keyed by scenario
+// label (generated rows are keyed as seed:<n>/<scenario>).
+func (r *ChaosResult) Failed() map[string][]string {
+	out := make(map[string][]string)
+	for i := range r.Suite {
+		if c := &r.Suite[i]; !c.Passed {
+			out[c.Scenario] = c.Violations
+		}
+	}
+	for i := range r.Generated {
+		if c := &r.Generated[i]; !c.Passed {
+			out[fmt.Sprintf("seed:%d/%s", c.Seed, c.Scenario)] = c.Violations
+		}
+	}
+	return out
+}
+
+// JSON serializes the result (indented, stable field order).
+func (r *ChaosResult) JSON() ([]byte, error) {
+	raw, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, fmt.Errorf("bench: marshal chaos result: %w", err)
+	}
+	return raw, nil
+}
+
+// WriteJSON writes the JSON result to w.
+func (r *ChaosResult) WriteJSON(w io.Writer) error {
+	raw, err := r.JSON()
+	if err != nil {
+		return err
+	}
+	raw = append(raw, '\n')
+	_, err = w.Write(raw)
+	return err
+}
+
+// WriteFile writes CHAOS_<name>.json into dir and returns the path.
+func (r *ChaosResult) WriteFile(dir string) (string, error) {
+	if r.Name == "" || strings.ContainsAny(r.Name, "/\\") {
+		return "", fmt.Errorf("bench: invalid chaos run name %q", r.Name)
+	}
+	raw, err := r.JSON()
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, "CHAOS_"+r.Name+".json")
+	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// ReadChaosResult parses a result written by WriteJSON/WriteFile.
+func ReadChaosResult(raw []byte) (*ChaosResult, error) {
+	var r ChaosResult
+	if err := json.Unmarshal(raw, &r); err != nil {
+		return nil, fmt.Errorf("bench: unmarshal chaos result: %w", err)
+	}
+	return &r, nil
+}
+
+// Table renders the chaos run as an aligned plain-text table, one row per
+// scenario.
+func (r *ChaosResult) Table() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("CHAOS %s (%d suite, %d generated)", r.Name, len(r.Suite), len(r.Generated)),
+		"scenario", "protocol", "verdict", "crashed", "rolled", "recov", "replay", "canceled", "inject")
+	row := func(label string, c *chaos.Result) {
+		verdict := "ok"
+		switch {
+		case !c.Passed:
+			verdict = "FAILED: " + strings.Join(c.Violations, "; ")
+		case c.ExpectError:
+			verdict = "ok (expected error)"
+		}
+		t.AddRow(
+			label,
+			c.Protocol,
+			verdict,
+			fmt.Sprint(len(c.CrashedRanks)),
+			fmt.Sprint(len(c.RolledBackRanks)),
+			fmt.Sprint(c.RecoveryEvents),
+			fmt.Sprint(c.ReplayedRecords),
+			fmt.Sprint(c.CanceledWaves),
+			fmt.Sprint(c.StorageInjections),
+		)
+	}
+	for i := range r.Suite {
+		row(r.Suite[i].Scenario, &r.Suite[i])
+	}
+	for i := range r.Generated {
+		c := &r.Generated[i]
+		row(fmt.Sprintf("seed:%d", c.Seed), &c.Result)
+	}
+	return t
+}

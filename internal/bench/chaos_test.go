@@ -1,0 +1,126 @@
+package bench
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"repro/internal/chaos"
+)
+
+// goldenChaosResult is a hand-fixed chaos report pinning the CHAOS_*.json
+// schema, independent of simulator behaviour.
+func goldenChaosResult() *ChaosResult {
+	return &ChaosResult{
+		Name: "golden",
+		Suite: []chaos.Result{
+			{
+				Scenario: "node-crash", Protocol: "spbc", Passed: true,
+				CrashedRanks: []int{4, 5}, RolledBackRanks: []int{4, 5, 6, 7},
+				RecoveryEvents: 1, ReplayedRecords: 12, CanceledWaves: 1,
+				Makespan: 0.0015,
+			},
+			{
+				Scenario: "storage-corrupt-detected", Protocol: "spbc", Passed: true,
+				ExpectError: true, RunError: "checkpoint: decode image: bad magic",
+				CrashedRanks: []int{2}, StorageInjections: 1, Makespan: 0.0004,
+			},
+			{
+				Scenario: "epoch-switch-crash", Protocol: "spbc-adaptive", Passed: false,
+				Violations:   []string{"rollback crossed the epoch boundary"},
+				CrashedRanks: []int{5}, RolledBackRanks: []int{4, 5, 6, 7},
+				RecoveryEvents: 1, Epochs: 2, Makespan: 0.0021,
+			},
+		},
+		Generated: []ChaosSeedResult{
+			{
+				Seed: 7,
+				Result: chaos.Result{
+					Scenario: "generated-7", Protocol: "full-log", Passed: true,
+					CrashedRanks: []int{1}, RolledBackRanks: []int{1},
+					RecoveryEvents: 1, ReplayedRecords: 9, CanceledWaves: 1,
+					StorageInjections: 2, Makespan: 0.0011,
+				},
+			},
+		},
+		Failures: 1,
+	}
+}
+
+// TestChaosGoldenJSON pins the CHAOS_*.json schema; CI archives these files
+// and downstream tooling parses them. Regenerate intentionally with
+// `go test ./internal/bench -run TestChaosGoldenJSON -update` and audit the
+// diff of testdata/chaos_golden.json.
+func TestChaosGoldenJSON(t *testing.T) {
+	res := goldenChaosResult()
+	raw, err := res.JSON()
+	if err != nil {
+		t.Fatalf("JSON: %v", err)
+	}
+	raw = append(raw, '\n')
+	path := filepath.Join("testdata", "chaos_golden.json")
+	if *update {
+		if err := os.WriteFile(path, raw, 0o644); err != nil {
+			t.Fatalf("update golden: %v", err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update to create): %v", err)
+	}
+	if string(raw) != string(want) {
+		t.Fatalf("chaos JSON schema drifted from %s:\ngot:\n%s\nwant:\n%s", path, raw, want)
+	}
+	parsed, err := ReadChaosResult(want)
+	if err != nil {
+		t.Fatalf("ReadChaosResult on golden: %v", err)
+	}
+	if !reflect.DeepEqual(parsed, res) {
+		t.Fatalf("golden round trip changed the result:\nin  %+v\nout %+v", res, parsed)
+	}
+	if failed := parsed.Failed(); len(failed) != 1 {
+		t.Fatalf("golden has %d failed rows, want 1: %v", len(failed), failed)
+	}
+}
+
+// TestRunChaos runs the real catalog plus two generated seeds end to end:
+// every row must pass, and the report must account for every scenario.
+func TestRunChaos(t *testing.T) {
+	res, err := RunChaos("ci", []int64{1, 2})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if len(res.Suite) != len(chaos.Catalog()) {
+		t.Fatalf("suite rows = %d, want %d", len(res.Suite), len(chaos.Catalog()))
+	}
+	if len(res.Generated) != 2 {
+		t.Fatalf("generated rows = %d, want 2", len(res.Generated))
+	}
+	if res.Failures != 0 {
+		t.Fatalf("chaos failures: %v", res.Failed())
+	}
+	dir := t.TempDir()
+	path, err := res.WriteFile(dir)
+	if err != nil {
+		t.Fatalf("WriteFile: %v", err)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read report: %v", err)
+	}
+	parsed, err := ReadChaosResult(raw)
+	if err != nil {
+		t.Fatalf("ReadChaosResult: %v", err)
+	}
+	if !reflect.DeepEqual(parsed, res) {
+		t.Fatal("report round trip changed the result")
+	}
+}
+
+// TestRunChaosRejectsBadName keeps path fragments out of report names.
+func TestRunChaosRejectsBadName(t *testing.T) {
+	if _, err := RunChaos("../escape", nil); err == nil {
+		t.Fatal("RunChaos must reject path separators in the run name")
+	}
+}

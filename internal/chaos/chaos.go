@@ -1,0 +1,146 @@
+// Package chaos turns fault injection from a static plan into composable,
+// scripted failure scenarios. A Scenario couples a protected runner
+// configuration with a list of chaos events built from the DSL in dsl.go:
+// correlated crashes (NodeCrash, ClusterCrash), cascading failures (Cascade),
+// faults pinned to engine lifecycle phases (During Recovery, EpochSwitch or
+// CommitDrain) and storage sabotage (StorageFault). Events compile to the
+// engine's fault-point registry and the checkpoint layer's fault-injectable
+// storage — the schedule is driven by lifecycle hooks, not only virtual time.
+//
+// Check (check.go) is the invariant checker: it executes a scenario next to
+// its failure-free twin and asserts bit-identical replay, per-protocol
+// rollback-scope bounds, and that recovery never reads a checkpoint wave that
+// was not durably committed. Generate (generate.go) samples seeded random
+// scenarios from a profile for stress sweeps; the same seed always yields the
+// same schedule, so a failing schedule is reproducible from its seed alone.
+package chaos
+
+import (
+	"fmt"
+
+	"repro/internal/app"
+	"repro/internal/model"
+	"repro/internal/runner"
+)
+
+// Workload selects the application kernel of a scenario as plain data, so
+// generated scenarios stay comparable (and a schedule is fully described by
+// its Scenario value).
+type Workload struct {
+	// Kind is "ring", "solver" or "phase-shift"; empty selects ring.
+	Kind string
+	// Size is the per-rank state size; 0 selects the kind's default.
+	Size int
+	// Param is the kind-specific parameter (ring reduce period, phase-shift
+	// phase length); 0 selects the default.
+	Param int
+}
+
+func (w Workload) factory() (model.AppFactory, error) {
+	kind := w.Kind
+	if kind == "" {
+		kind = "ring"
+	}
+	size, param := w.Size, w.Param
+	switch kind {
+	case "ring":
+		if size == 0 {
+			size = 16
+		}
+		if param == 0 {
+			param = 3
+		}
+		return app.NewRing(size, param), nil
+	case "solver":
+		if size == 0 {
+			size = 16
+		}
+		return app.NewSolver(size), nil
+	case "phase-shift":
+		if size == 0 {
+			size = 32
+		}
+		if param == 0 {
+			param = 2
+		}
+		return app.NewPhaseShift(size, param), nil
+	default:
+		return nil, fmt.Errorf("chaos: unknown workload kind %q", kind)
+	}
+}
+
+// Scenario is one named failure script: a protected run plus the chaos
+// events injected into it. The zero values default to a 4-rank, 8-step SPBC
+// run with a 2-iteration checkpoint interval and the ring workload.
+type Scenario struct {
+	// Name labels the scenario in reports.
+	Name string
+	// Protocol is the protected runtime; defaults to runner.ProtocolSPBC.
+	// ProtocolNative is rejected: the baseline has no chaos surface.
+	Protocol runner.Protocol
+	// Ranks is the world size (default 4).
+	Ranks int
+	// RanksPerNode is the physical placement (default 1); NodeCrash uses it
+	// to expand one rank into its whole node.
+	RanksPerNode int
+	// ClusterOf is the SPBC partition (adaptive: the epoch-0 seed). Defaults
+	// to a contiguous two-way split for the SPBC protocols.
+	ClusterOf []int
+	// Steps is the iteration count (default 8).
+	Steps int
+	// Interval is the checkpoint interval (default 2).
+	Interval int
+	// Workload is the application kernel.
+	Workload Workload
+	// Events is the failure script.
+	Events []Event
+	// ExpectError marks scenarios whose run is *supposed* to fail (e.g.
+	// detected checkpoint corruption): Check then asserts the run errors
+	// instead of comparing it against the failure-free twin.
+	ExpectError bool
+}
+
+// normalize applies scenario defaults in place and validates the fixed
+// fields. Event-level validation happens at compile time.
+func (s *Scenario) normalize() error {
+	if s.Name == "" {
+		return fmt.Errorf("chaos: scenario needs a name")
+	}
+	if s.Protocol == "" {
+		s.Protocol = runner.ProtocolSPBC
+	}
+	if s.Protocol == runner.ProtocolNative {
+		return fmt.Errorf("chaos: scenario %s: the native baseline has no chaos surface", s.Name)
+	}
+	if s.Ranks == 0 {
+		s.Ranks = 4
+	}
+	if s.Ranks < 2 {
+		return fmt.Errorf("chaos: scenario %s: needs at least 2 ranks, got %d", s.Name, s.Ranks)
+	}
+	if s.RanksPerNode <= 0 {
+		s.RanksPerNode = 1
+	}
+	if s.Steps == 0 {
+		s.Steps = 8
+	}
+	if s.Interval == 0 {
+		s.Interval = 2
+	}
+	isSPBC := s.Protocol == runner.ProtocolSPBC || s.Protocol == runner.ProtocolSPBCAdaptive
+	if s.ClusterOf == nil && isSPBC {
+		s.ClusterOf = make([]int, s.Ranks)
+		for r := range s.ClusterOf {
+			if r >= s.Ranks/2 {
+				s.ClusterOf[r] = 1
+			}
+		}
+	}
+	if s.ClusterOf != nil && len(s.ClusterOf) != s.Ranks {
+		return fmt.Errorf("chaos: scenario %s: cluster assignment has %d entries for %d ranks", s.Name, len(s.ClusterOf), s.Ranks)
+	}
+	if len(s.Events) == 0 {
+		return fmt.Errorf("chaos: scenario %s: no chaos events", s.Name)
+	}
+	return nil
+}

@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// checkScenario runs one catalog scenario through the invariant checker and
+// fails the test on any violation. The per-scenario test files (one file per
+// scenario, Testworld-style) build on it.
+func checkScenario(t *testing.T, name string) *Result {
+	t.Helper()
+	sc, ok := ByName(name)
+	if !ok {
+		t.Fatalf("scenario %q not in catalog", name)
+	}
+	res := Check(sc)
+	if !res.Passed {
+		t.Fatalf("scenario %s violated invariants: %v (run error: %q)", name, res.Violations, res.RunError)
+	}
+	return res
+}
+
+func TestCatalogNamesUnique(t *testing.T) {
+	seen := make(map[string]bool)
+	for _, sc := range Catalog() {
+		if sc.Name == "" {
+			t.Fatal("catalog scenario without a name")
+		}
+		if seen[sc.Name] {
+			t.Fatalf("duplicate scenario name %q", sc.Name)
+		}
+		seen[sc.Name] = true
+	}
+	if len(seen) < 8 {
+		t.Fatalf("catalog has %d scenarios, want >= 8", len(seen))
+	}
+}
+
+func TestCheckRejectsNativeProtocol(t *testing.T) {
+	res := Check(Scenario{
+		Name:     "native-chaos",
+		Protocol: runner.ProtocolNative,
+		Events:   []Event{NodeCrash(0, 1)},
+	})
+	if res.Passed {
+		t.Fatal("native protocol must be rejected: it has no chaos surface")
+	}
+}
+
+// TestDoubleFaultAcrossProtocols is the double-fault matrix: a second
+// failure lands during rollback/replay under every recovering protocol (the
+// native baseline is covered by the rejection test above — it cannot recover
+// at all).
+func TestDoubleFaultAcrossProtocols(t *testing.T) {
+	for _, proto := range []runner.Protocol{
+		runner.ProtocolCoordinated,
+		runner.ProtocolFullLog,
+		runner.ProtocolSPBC,
+		runner.ProtocolSPBCAdaptive,
+	} {
+		proto := proto
+		t.Run(string(proto), func(t *testing.T) {
+			res := Check(Scenario{
+				Name:     "double-fault-" + string(proto),
+				Protocol: proto,
+				Events: []Event{
+					NodeCrash(2, 5),
+					During(Recovery, core.Fault{Rank: 1, Iteration: 5}),
+				},
+			})
+			if !res.Passed {
+				t.Fatalf("double fault under %s violated invariants: %v (run error: %q)", proto, res.Violations, res.RunError)
+			}
+			if res.RecoveryEvents != 2 {
+				t.Fatalf("recovery events = %d, want 2", res.RecoveryEvents)
+			}
+			if want := []int{1, 2}; !reflect.DeepEqual(res.CrashedRanks, want) {
+				t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+			}
+		})
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	p := DefaultProfile()
+	for seed := int64(0); seed < 8; seed++ {
+		a, b := Generate(seed, p), Generate(seed, p)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ:\n%#v\n%#v", seed, a, b)
+		}
+	}
+	if reflect.DeepEqual(Generate(1, p), Generate(2, p)) {
+		t.Fatal("distinct seeds produced identical schedules")
+	}
+}
+
+func TestGeneratedSeedsPassInvariants(t *testing.T) {
+	p := DefaultProfile()
+	for seed := int64(0); seed < 4; seed++ {
+		res := Check(Generate(seed, p))
+		if !res.Passed {
+			t.Fatalf("generated seed %d violated invariants: %v (run error: %q)", seed, res.Violations, res.RunError)
+		}
+	}
+}

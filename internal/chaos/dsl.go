@@ -1,0 +1,276 @@
+package chaos
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// Event is one element of a failure script. Events are plain data (the
+// builders below) so scenarios — generated ones in particular — compare and
+// serialize; closures appear only when a scenario compiles for one run.
+type Event interface {
+	apply(sc *Scenario, c *compilation) error
+}
+
+// Phase names the engine lifecycle windows During can pin a fault to.
+type Phase string
+
+const (
+	// Recovery lands the fault inside the rollback/replay window of the
+	// scenario's first recovery, via the recovery-start arming hook.
+	Recovery Phase = "recovery"
+	// EpochSwitch lands the fault on the boundary at which the adaptive
+	// controller opens a new epoch.
+	EpochSwitch Phase = "epoch-switch"
+	// CommitDrain holds the checkpoint waves of the fault's cluster
+	// undurable (commit drain stalled) until the fault's recovery begins, so
+	// rollback is forced onto an older durable wave.
+	CommitDrain Phase = "commit-drain"
+)
+
+// NodeCrash fails every rank of the node hosting the given rank (the
+// scenario's RanksPerNode; a single rank under the default placement) at an
+// iteration boundary.
+func NodeCrash(rank, iteration int) Event { return nodeCrash{Rank: rank, Iteration: iteration} }
+
+// ClusterCrash fails every rank of one checkpoint cluster at an iteration
+// boundary: the whole recovery group is gone at once.
+func ClusterCrash(cluster, iteration int) Event {
+	return clusterCrash{Cluster: cluster, Iteration: iteration}
+}
+
+// Cascade schedules an initial crash and chains the follow-up faults into
+// its recovery: each follow-up is armed while the initial failure is being
+// handled, so it lands during the rollback/replay window. Follow-up
+// iterations must not exceed the initial iteration.
+func Cascade(initial core.Fault, then ...core.Fault) Event {
+	return cascade{Initial: initial, Then: then}
+}
+
+// During pins a fault to a lifecycle phase instead of a fixed virtual time.
+// For Recovery the fault is armed at the scenario's first recovery (its
+// iteration must be inside that recovery's window); for EpochSwitch the
+// fault's iteration is ignored — it is scheduled onto the boundary that
+// opened the new epoch; for CommitDrain the fault is a plan fault whose
+// cluster's commit drain is held until the recovery begins.
+func During(p Phase, f core.Fault) Event { return during{Phase: p, Fault: f} }
+
+// StorageFault injects a checkpoint-storage fault rule (fail, stall or
+// corrupt on stage/commit/load) into the scenario's storage stack.
+func StorageFault(rule checkpoint.FaultRule) Event { return storageFault{Rule: rule} }
+
+type nodeCrash struct{ Rank, Iteration int }
+type clusterCrash struct{ Cluster, Iteration int }
+type cascade struct {
+	Initial core.Fault
+	Then    []core.Fault
+}
+type during struct {
+	Phase Phase
+	Fault core.Fault
+}
+type storageFault struct{ Rule checkpoint.FaultRule }
+
+// mustFire tracks a hook that the scenario requires to fire at least once
+// (e.g. the epoch-switch window): a scenario whose trigger never happened
+// did not test what it claims to.
+type mustFire struct {
+	desc  string
+	fired *atomic.Bool
+}
+
+// compilation is the per-run lowering of a scenario: the static fault plan,
+// the lifecycle hook registry, the storage fault rules, and the bookkeeping
+// the invariant checker reads back after the run.
+type compilation struct {
+	faults []core.Fault
+	rules  []checkpoint.FaultRule
+	reg    *core.FaultRegistry
+	// crashed is every rank the script fails, static or hook-scheduled.
+	crashed map[int]bool
+	// armOnce guards the shared first-recovery arming window used by Cascade
+	// and During(Recovery).
+	armOnce sync.Once
+	armed   []core.Fault
+	must    []mustFire
+
+	mu       sync.Mutex
+	hookErrs []string
+}
+
+func (c *compilation) hookErr(err error) {
+	c.mu.Lock()
+	c.hookErrs = append(c.hookErrs, err.Error())
+	c.mu.Unlock()
+}
+
+// violations returns the post-run failures recorded by the compiled hooks.
+func (c *compilation) violations() []string {
+	c.mu.Lock()
+	out := append([]string(nil), c.hookErrs...)
+	c.mu.Unlock()
+	for _, m := range c.must {
+		if !m.fired.Load() {
+			out = append(out, fmt.Sprintf("chaos: %s never fired", m.desc))
+		}
+	}
+	return out
+}
+
+// armAtFirstRecovery registers the shared recovery-start hook (once across
+// all events) that chains c.armed into the first recovery.
+func (c *compilation) armAtFirstRecovery() {
+	if c.armed != nil {
+		return
+	}
+	c.armed = []core.Fault{}
+	c.reg.Register(core.PointRecoveryStart, func(e *core.Engine, _ core.PointInfo) {
+		c.armOnce.Do(func() {
+			for _, f := range c.armed {
+				if err := e.ArmFault(f); err != nil {
+					c.hookErr(err)
+				}
+			}
+		})
+	})
+}
+
+func (c *compilation) addFault(sc *Scenario, f core.Fault) error {
+	if f.Rank < 0 || f.Rank >= sc.Ranks {
+		return fmt.Errorf("chaos: scenario %s: fault rank %d out of range [0,%d)", sc.Name, f.Rank, sc.Ranks)
+	}
+	if f.Iteration < 0 || f.Iteration >= sc.Steps {
+		return fmt.Errorf("chaos: scenario %s: fault iteration %d out of range [0,%d)", sc.Name, f.Iteration, sc.Steps)
+	}
+	c.faults = append(c.faults, f)
+	c.crashed[f.Rank] = true
+	return nil
+}
+
+func (n nodeCrash) apply(sc *Scenario, c *compilation) error {
+	rpn := sc.RanksPerNode
+	node := n.Rank / rpn
+	for r := node * rpn; r < (node+1)*rpn && r < sc.Ranks; r++ {
+		if err := c.addFault(sc, core.Fault{Rank: r, Iteration: n.Iteration}); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (cc clusterCrash) apply(sc *Scenario, c *compilation) error {
+	if sc.ClusterOf == nil {
+		return fmt.Errorf("chaos: scenario %s: ClusterCrash needs a cluster assignment", sc.Name)
+	}
+	hit := false
+	for r, cl := range sc.ClusterOf {
+		if cl != cc.Cluster {
+			continue
+		}
+		hit = true
+		if err := c.addFault(sc, core.Fault{Rank: r, Iteration: cc.Iteration}); err != nil {
+			return err
+		}
+	}
+	if !hit {
+		return fmt.Errorf("chaos: scenario %s: ClusterCrash(%d): no such cluster", sc.Name, cc.Cluster)
+	}
+	return nil
+}
+
+func (ca cascade) apply(sc *Scenario, c *compilation) error {
+	if err := c.addFault(sc, ca.Initial); err != nil {
+		return err
+	}
+	c.armAtFirstRecovery()
+	for _, f := range ca.Then {
+		if f.Iteration > ca.Initial.Iteration {
+			return fmt.Errorf("chaos: scenario %s: cascade follow-up at iteration %d is past the initial failure at %d (the arming window closes there)", sc.Name, f.Iteration, ca.Initial.Iteration)
+		}
+		c.crashed[f.Rank] = true
+		c.armed = append(c.armed, f)
+	}
+	return nil
+}
+
+func (d during) apply(sc *Scenario, c *compilation) error {
+	switch d.Phase {
+	case Recovery:
+		if len(c.faults) == 0 {
+			return fmt.Errorf("chaos: scenario %s: During(Recovery) needs a preceding crash event to recover from", sc.Name)
+		}
+		c.armAtFirstRecovery()
+		c.crashed[d.Fault.Rank] = true
+		c.armed = append(c.armed, d.Fault)
+		return nil
+
+	case EpochSwitch:
+		if sc.Protocol != runner.ProtocolSPBCAdaptive {
+			return fmt.Errorf("chaos: scenario %s: During(EpochSwitch) needs %s, not %s", sc.Name, runner.ProtocolSPBCAdaptive, sc.Protocol)
+		}
+		fired := &atomic.Bool{}
+		c.must = append(c.must, mustFire{desc: "During(EpochSwitch): the adaptive controller's epoch switch", fired: fired})
+		c.crashed[d.Fault.Rank] = true
+		rank := d.Fault.Rank
+		c.reg.Register(core.PointEpochSwitch, func(e *core.Engine, info core.PointInfo) {
+			if fired.Swap(true) {
+				return
+			}
+			// Every rank is parked at the decision gate, so the fault pins
+			// onto the very boundary that opened the epoch: rollback must
+			// restore the epoch's opening wave.
+			if err := e.ScheduleFault(core.Fault{Rank: rank, Iteration: info.Iteration}); err != nil {
+				c.hookErr(err)
+			}
+		})
+		return nil
+
+	case CommitDrain:
+		if d.Fault.Iteration <= sc.Interval {
+			return fmt.Errorf("chaos: scenario %s: During(CommitDrain) fault at iteration %d needs a wave beyond the first to be draining (iteration > interval %d)", sc.Name, d.Fault.Iteration, sc.Interval)
+		}
+		if err := c.addFault(sc, d.Fault); err != nil {
+			return err
+		}
+		cluster := -1 // every group, when the partition is not fixed up front
+		if sc.ClusterOf != nil {
+			cluster = sc.ClusterOf[d.Fault.Rank]
+		}
+		release := make(chan struct{})
+		var once sync.Once
+		c.reg.Register(core.PointMidCommitDrain, func(_ *core.Engine, info core.PointInfo) {
+			// Never the first wave: recovery waits for a first durable wave.
+			if info.Wave >= 1 && (cluster < 0 || info.Cluster == cluster) {
+				<-release
+			}
+		})
+		c.reg.Register(core.PointRecoveryStart, func(_ *core.Engine, _ core.PointInfo) {
+			once.Do(func() { close(release) })
+		})
+		return nil
+
+	default:
+		return fmt.Errorf("chaos: scenario %s: unknown phase %q", sc.Name, d.Phase)
+	}
+}
+
+func (s storageFault) apply(_ *Scenario, c *compilation) error {
+	c.rules = append(c.rules, s.Rule)
+	return nil
+}
+
+// compile lowers a normalized scenario into its per-run instrumentation.
+func compile(sc *Scenario) (*compilation, error) {
+	c := &compilation{reg: core.NewFaultRegistry(), crashed: make(map[int]bool)}
+	for _, ev := range sc.Events {
+		if err := ev.apply(sc, c); err != nil {
+			return nil, err
+		}
+	}
+	return c, nil
+}

@@ -1,0 +1,144 @@
+package chaos
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// Profile parameterizes the random schedule generator: the run shape and the
+// mix of fault classes to sample.
+type Profile struct {
+	// Ranks, Steps, Interval shape the run (defaults 4 / 8 / 2).
+	Ranks    int
+	Steps    int
+	Interval int
+	// Protocols to sample from (default coordinated, full-log, spbc).
+	Protocols []runner.Protocol
+	// Crashes is the number of independent crash events (default 1).
+	Crashes int
+	// CascadeProb chains a follow-up failure into the first recovery.
+	CascadeProb float64
+	// CommitDrainProb turns the first crash into a fault racing the commit
+	// drain (the crashed cluster's waves held undurable until recovery).
+	CommitDrainProb float64
+	// StorageStallProb adds a stall rule on checkpoint stages.
+	StorageStallProb float64
+}
+
+// DefaultProfile is the conservative stress mix the CI seeds run.
+func DefaultProfile() Profile {
+	return Profile{
+		Ranks:            4,
+		Steps:            8,
+		Interval:         2,
+		Protocols:        []runner.Protocol{runner.ProtocolCoordinated, runner.ProtocolFullLog, runner.ProtocolSPBC},
+		Crashes:          1,
+		CascadeProb:      0.5,
+		CommitDrainProb:  0.3,
+		StorageStallProb: 0.3,
+	}
+}
+
+func (p *Profile) normalize() {
+	if p.Ranks == 0 {
+		p.Ranks = 4
+	}
+	if p.Steps == 0 {
+		p.Steps = 8
+	}
+	if p.Interval == 0 {
+		p.Interval = 2
+	}
+	if len(p.Protocols) == 0 {
+		p.Protocols = []runner.Protocol{runner.ProtocolCoordinated, runner.ProtocolFullLog, runner.ProtocolSPBC}
+	}
+	if p.Crashes == 0 {
+		p.Crashes = 1
+	}
+}
+
+// Generate samples one scenario from the profile. It is deterministic: the
+// same (seed, profile) always yields the same schedule, and the scenario is
+// plain data, so a failing schedule reproduces exactly from its seed.
+func Generate(seed int64, p Profile) Scenario {
+	p.normalize()
+	rng := rand.New(rand.NewSource(seed))
+	sc := Scenario{
+		Name:     fmt.Sprintf("gen-%d", seed),
+		Protocol: p.Protocols[rng.Intn(len(p.Protocols))],
+		Ranks:    p.Ranks,
+		Steps:    p.Steps,
+		Interval: p.Interval,
+	}
+
+	// Crash events, each at a distinct (rank, iteration) pair. The first may
+	// be upgraded to a commit-drain racer; iteration ranges keep every crash
+	// after the first durable wave and inside the run.
+	used := make(map[[2]int]bool)
+	pick := func(minIter int) core.Fault {
+		for {
+			f := core.Fault{
+				Rank:      rng.Intn(p.Ranks),
+				Iteration: minIter + rng.Intn(p.Steps-minIter),
+			}
+			if !used[[2]int{f.Rank, f.Iteration}] {
+				used[[2]int{f.Rank, f.Iteration}] = true
+				return f
+			}
+		}
+	}
+
+	var crashes []core.Fault
+	if rng.Float64() < p.CommitDrainProb {
+		f := pick(p.Interval + 1)
+		crashes = append(crashes, f)
+		sc.Events = append(sc.Events, During(CommitDrain, f))
+	} else {
+		f := pick(1)
+		crashes = append(crashes, f)
+		sc.Events = append(sc.Events, NodeCrash(f.Rank, f.Iteration))
+	}
+	for i := 1; i < p.Crashes; i++ {
+		f := pick(1)
+		crashes = append(crashes, f)
+		sc.Events = append(sc.Events, NodeCrash(f.Rank, f.Iteration))
+	}
+
+	// A cascade chains into the first recovery. The chained fault lands at
+	// the arming boundary itself (the earliest crash iteration): that is the
+	// one iteration where any rank is a legal target — below it the engine
+	// rejects targets outside the recovering group, whose logs are still
+	// being re-filled.
+	if rng.Float64() < p.CascadeProb {
+		minIter := crashes[0].Iteration
+		for _, f := range crashes[1:] {
+			if f.Iteration < minIter {
+				minIter = f.Iteration
+			}
+		}
+		for {
+			f := core.Fault{Rank: rng.Intn(p.Ranks), Iteration: minIter}
+			if !used[[2]int{f.Rank, f.Iteration}] {
+				used[[2]int{f.Rank, f.Iteration}] = true
+				sc.Events = append(sc.Events, During(Recovery, f))
+				break
+			}
+		}
+	}
+
+	if rng.Float64() < p.StorageStallProb {
+		sc.Events = append(sc.Events, StorageFault(checkpoint.FaultRule{
+			Op:    checkpoint.OpStage,
+			Mode:  checkpoint.ModeStall,
+			Rank:  -1,
+			Count: 2,
+			Delay: 200 * time.Microsecond,
+		}))
+	}
+	return sc
+}

@@ -1,0 +1,22 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A cascading failure: the second crash is armed during the first one's
+// recovery and takes down the other cluster while the first is still
+// replaying. Both clusters end up rolled back, in two recovery events.
+func TestScenarioCascade(t *testing.T) {
+	res := checkScenario(t, "cascade")
+	if want := []int{0, 2}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if res.RecoveryEvents != 2 {
+		t.Fatalf("recovery events = %d, want 2 (initial + cascaded)", res.RecoveryEvents)
+	}
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want both clusters %v", res.RolledBackRanks, want)
+	}
+}

@@ -1,0 +1,22 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A whole-cluster crash leaves no surviving member of the recovery group:
+// every replay record must come from the other cluster's sender logs, and
+// every failed rank restores its own logs from its checkpoint.
+func TestScenarioClusterCrash(t *testing.T) {
+	res := checkScenario(t, "cluster-crash")
+	if want := []int{4, 5, 6, 7}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v (all of cluster 1)", res.CrashedRanks, want)
+	}
+	if !reflect.DeepEqual(res.RolledBackRanks, res.CrashedRanks) {
+		t.Fatalf("rolled-back ranks = %v, want exactly the crashed cluster %v", res.RolledBackRanks, res.CrashedRanks)
+	}
+	if res.ReplayedRecords == 0 {
+		t.Fatal("a fully-crashed cluster recovers only via the surviving cluster's logs")
+	}
+}

@@ -1,0 +1,23 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The fault lands while the failed cluster's later checkpoint waves are
+// still draining in the background: recovery must cancel the undurable
+// waves and fall back to the last durable one — possible only because
+// remote-log GC runs strictly after a wave commits.
+func TestScenarioCommitDrainCrash(t *testing.T) {
+	res := checkScenario(t, "commit-drain-crash")
+	if res.CanceledWaves == 0 {
+		t.Fatal("the stalled drain guarantees undurable waves at fault time; none were canceled")
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v", res.RolledBackRanks, want)
+	}
+	if res.ReplayedRecords == 0 {
+		t.Fatal("rollback past the canceled waves must replay logged messages")
+	}
+}

@@ -1,0 +1,21 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The coordinated baseline under a cascade: every failure, including the
+// chained one, takes the whole world back to the last global wave.
+func TestScenarioCoordinatedCascade(t *testing.T) {
+	res := checkScenario(t, "coordinated-cascade")
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want the whole world %v", res.RolledBackRanks, want)
+	}
+	if res.RecoveryEvents != 2 {
+		t.Fatalf("recovery events = %d, want 2", res.RecoveryEvents)
+	}
+	if res.ReplayedRecords != 0 {
+		t.Fatalf("coordinated checkpointing logs nothing, but %d records were replayed", res.ReplayedRecords)
+	}
+}

@@ -1,0 +1,23 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A double fault inside one recovery group: while ranks 2 and 3 re-execute
+// their replay window under send suppression, the co-rollback peer fails
+// again. The nested recovery must merge its suppression cutoffs with the
+// outer one's and still converge bit-identically.
+func TestScenarioDoubleFaultDuringRecovery(t *testing.T) {
+	res := checkScenario(t, "double-fault-during-recovery")
+	if want := []int{2, 3}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v (the double fault stays cluster-local)", res.RolledBackRanks, want)
+	}
+	if res.RecoveryEvents != 2 {
+		t.Fatalf("recovery events = %d, want 2 (the crash and the nested one)", res.RecoveryEvents)
+	}
+}

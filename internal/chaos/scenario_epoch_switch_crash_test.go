@@ -1,0 +1,23 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The phase-shift kernel makes the adaptive controller repartition, and the
+// fault pins onto the very boundary that opened the new epoch: rollback must
+// restore the epoch's opening wave (forced durable by the epoch machinery),
+// never a wave of the old partition.
+func TestScenarioEpochSwitchCrash(t *testing.T) {
+	res := checkScenario(t, "epoch-switch-crash")
+	if res.Epochs < 2 {
+		t.Fatalf("epochs = %d, want >= 2 (the scenario requires a repartition)", res.Epochs)
+	}
+	if want := []int{5}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if res.RecoveryEvents != 1 {
+		t.Fatalf("recovery events = %d, want 1", res.RecoveryEvents)
+	}
+}

@@ -1,0 +1,22 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The full-log baseline under a cascade: even with a second failure landing
+// mid-recovery, only the crashed ranks themselves ever roll back — everyone
+// else's state survives both failures untouched.
+func TestScenarioFullLogCascade(t *testing.T) {
+	res := checkScenario(t, "full-log-cascade")
+	if want := []int{1, 3}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if !reflect.DeepEqual(res.RolledBackRanks, res.CrashedRanks) {
+		t.Fatalf("rolled-back ranks = %v, want exactly the crashed ranks %v", res.RolledBackRanks, res.CrashedRanks)
+	}
+	if res.ReplayedRecords == 0 {
+		t.Fatal("full-log recovery replays every message to the crashed ranks")
+	}
+}

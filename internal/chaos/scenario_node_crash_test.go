@@ -1,0 +1,24 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A node crash fails both ranks of one node; the rollback stays inside the
+// node's cluster and the other cluster keeps running.
+func TestScenarioNodeCrash(t *testing.T) {
+	res := checkScenario(t, "node-crash")
+	if want := []int{4, 5}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v (both ranks of node 2)", res.CrashedRanks, want)
+	}
+	if want := []int{4, 5, 6, 7}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v (cluster 1 only)", res.RolledBackRanks, want)
+	}
+	if res.RecoveryEvents != 1 {
+		t.Fatalf("recovery events = %d, want 1 (one correlated crash)", res.RecoveryEvents)
+	}
+	if res.ReplayedRecords == 0 {
+		t.Fatal("cluster-local rollback must replay logged inter-cluster messages")
+	}
+}

@@ -1,0 +1,22 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The same rank fails at two different boundaries. The second recovery must
+// restore from the waves re-captured after the first recovery, and both
+// replays must stay bit-identical to the failure-free execution.
+func TestScenarioRepeatOffender(t *testing.T) {
+	res := checkScenario(t, "repeat-offender")
+	if want := []int{2}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if res.RecoveryEvents != 2 {
+		t.Fatalf("recovery events = %d, want 2 (one per boundary)", res.RecoveryEvents)
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v", res.RolledBackRanks, want)
+	}
+}

@@ -1,0 +1,26 @@
+package chaos
+
+import (
+	"strings"
+	"testing"
+)
+
+// Silent corruption of the only durable wave: the image stages and commits
+// cleanly (the damage is behind a valid codec magic) and surfaces only when
+// recovery decodes it. The run must fail with the decode error — restoring
+// garbage state would be the real disaster.
+func TestScenarioStorageCorruptDetected(t *testing.T) {
+	res := checkScenario(t, "storage-corrupt-detected")
+	if !res.ExpectError {
+		t.Fatal("scenario must be marked ExpectError")
+	}
+	if res.RunError == "" {
+		t.Fatal("the corrupted load must fail the run")
+	}
+	if !strings.Contains(res.RunError, "decode") {
+		t.Fatalf("run error %q does not surface the decode failure", res.RunError)
+	}
+	if res.StorageInjections == 0 {
+		t.Fatal("the corruption rule never matched a stage")
+	}
+}

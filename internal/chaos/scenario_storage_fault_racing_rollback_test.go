@@ -1,0 +1,17 @@
+package chaos
+
+import "testing"
+
+// A storage fault races the rollback: the stage of a wave that recovery has
+// already canceled fails. The cancellation must win — a stage error on a
+// discarded wave cannot fail the run, because recovery decided to roll back
+// past that wave regardless.
+func TestScenarioStorageFaultRacingRollback(t *testing.T) {
+	res := checkScenario(t, "storage-fault-racing-rollback")
+	if res.StorageInjections == 0 {
+		t.Fatal("the stage fault was never injected: the race did not happen")
+	}
+	if res.CanceledWaves == 0 {
+		t.Fatal("the faulted wave must have been canceled by recovery")
+	}
+}

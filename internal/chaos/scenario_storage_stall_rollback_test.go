@@ -1,0 +1,19 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Slow stable storage: every early stage stalls, so the crash races commits
+// that are genuinely in flight. Whatever the interleaving, recovery must
+// wait for a durable wave and converge.
+func TestScenarioStorageStallRollback(t *testing.T) {
+	res := checkScenario(t, "storage-stall-rollback")
+	if res.StorageInjections == 0 {
+		t.Fatal("the stall rule never matched a stage")
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v", res.RolledBackRanks, want)
+	}
+}

@@ -1,0 +1,21 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Both clusters crash at one boundary: the entire world rolls back in a
+// single correlated recovery — SPBC's coordinated-checkpoint worst case.
+func TestScenarioWorldCrash(t *testing.T) {
+	res := checkScenario(t, "world-crash")
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want the whole world %v", res.RolledBackRanks, want)
+	}
+	if res.RecoveryEvents != 1 {
+		t.Fatalf("recovery events = %d, want 1 (one correlated world failure)", res.RecoveryEvents)
+	}
+	if res.ReplayedRecords != 0 {
+		t.Fatalf("replayed %d records: with no surviving cluster there is nobody to replay from", res.ReplayedRecords)
+	}
+}

@@ -1,0 +1,136 @@
+package chaos
+
+import (
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/runner"
+)
+
+// Catalog is the named scenario suite: the failure regimes the paper's
+// protocol claims to survive, one scenario per file in the tests. Each entry
+// is self-contained — Check(scenario) runs and verifies it.
+func Catalog() []Scenario {
+	return []Scenario{
+		{
+			// A node crash takes both ranks of one node — a correlated
+			// failure inside one cluster.
+			Name:         "node-crash",
+			Ranks:        8,
+			RanksPerNode: 2,
+			ClusterOf:    []int{0, 0, 0, 0, 1, 1, 1, 1},
+			Events:       []Event{NodeCrash(4, 5)},
+		},
+		{
+			// The whole checkpoint cluster is gone at once: recovery has no
+			// surviving member, every replay record comes from the other
+			// cluster's sender logs.
+			Name:      "cluster-crash",
+			Ranks:     8,
+			ClusterOf: []int{0, 0, 0, 0, 1, 1, 1, 1},
+			Events:    []Event{ClusterCrash(1, 5)},
+		},
+		{
+			// Both clusters crash at the same boundary — a whole-cluster
+			// failure of the entire world, the coordinated-checkpoint worst
+			// case run under SPBC.
+			Name:   "world-crash",
+			Events: []Event{ClusterCrash(0, 3), ClusterCrash(1, 3)},
+		},
+		{
+			// A cascading failure: the second crash is armed during the
+			// first one's recovery and lands in the other cluster at the
+			// first failure's boundary, the instant its replay drains.
+			Name:   "cascade",
+			Events: []Event{Cascade(core.Fault{Rank: 2, Iteration: 5}, core.Fault{Rank: 0, Iteration: 5})},
+		},
+		{
+			// A double fault inside one recovery group: the co-rollback peer
+			// fails again mid-replay, under send suppression.
+			Name: "double-fault-during-recovery",
+			Events: []Event{
+				NodeCrash(2, 5),
+				During(Recovery, core.Fault{Rank: 3, Iteration: 5}),
+			},
+		},
+		{
+			// The adaptive controller repartitions and the fault pins onto
+			// the boundary that opened the new epoch: rollback must restore
+			// the epoch's opening wave, never one from the old partition.
+			Name:         "epoch-switch-crash",
+			Protocol:     runner.ProtocolSPBCAdaptive,
+			Ranks:        8,
+			RanksPerNode: 2,
+			ClusterOf:    []int{0, 0, 0, 0, 1, 1, 1, 1},
+			Workload:     Workload{Kind: "phase-shift"},
+			Events:       []Event{During(EpochSwitch, core.Fault{Rank: 5})},
+		},
+		{
+			// The fault lands while the failed cluster's checkpoint waves
+			// are still draining: recovery must cancel them and fall back to
+			// the last durable wave.
+			Name:   "commit-drain-crash",
+			Events: []Event{During(CommitDrain, core.Fault{Rank: 2, Iteration: 5})},
+		},
+		{
+			// A storage fault races the rollback: the stage of a wave that
+			// recovery is canceling fails. The cancellation must win — a
+			// fault on a discarded wave cannot fail the run.
+			Name: "storage-fault-racing-rollback",
+			Events: []Event{
+				During(CommitDrain, core.Fault{Rank: 2, Iteration: 5}),
+				StorageFault(checkpoint.FaultRule{Op: checkpoint.OpStage, Mode: checkpoint.ModeFail, Rank: 2, After: 1, Count: 1}),
+			},
+		},
+		{
+			// Slow stable storage: every stage stalls, widening the window
+			// in which faults race in-flight commits.
+			Name: "storage-stall-rollback",
+			Events: []Event{
+				NodeCrash(2, 5),
+				StorageFault(checkpoint.FaultRule{Op: checkpoint.OpStage, Mode: checkpoint.ModeStall, Rank: -1, Delay: 500 * time.Microsecond}),
+			},
+		},
+		{
+			// Silent corruption of the only durable wave, detected at load
+			// time: recovery must surface the decode error, not resurrect
+			// garbage state.
+			Name:        "storage-corrupt-detected",
+			ExpectError: true,
+			Events: []Event{
+				NodeCrash(2, 1),
+				StorageFault(checkpoint.FaultRule{Op: checkpoint.OpStage, Mode: checkpoint.ModeCorrupt, Rank: 2, Count: 1}),
+			},
+		},
+		{
+			// The same rank fails at two different boundaries: the second
+			// recovery must start from the re-captured waves of the first.
+			Name:   "repeat-offender",
+			Events: []Event{NodeCrash(2, 3), NodeCrash(2, 6)},
+		},
+		{
+			// The global-rollback baseline under a correlated double crash.
+			Name:     "coordinated-cascade",
+			Protocol: runner.ProtocolCoordinated,
+			Events:   []Event{Cascade(core.Fault{Rank: 1, Iteration: 5}, core.Fault{Rank: 3, Iteration: 4})},
+		},
+		{
+			// The single-rank-rollback baseline: a cascade must still roll
+			// back only the crashed ranks, nobody else.
+			Name:     "full-log-cascade",
+			Protocol: runner.ProtocolFullLog,
+			Events:   []Event{Cascade(core.Fault{Rank: 1, Iteration: 5}, core.Fault{Rank: 3, Iteration: 5})},
+		},
+	}
+}
+
+// ByName finds a catalog scenario.
+func ByName(name string) (Scenario, bool) {
+	for _, sc := range Catalog() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

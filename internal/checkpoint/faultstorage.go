@@ -1,0 +1,206 @@
+package checkpoint
+
+import (
+	"fmt"
+	"sync"
+	"time"
+
+	"repro/internal/buf"
+)
+
+// FaultOp names a storage operation a fault rule can target.
+type FaultOp string
+
+const (
+	// OpStage targets StageImage (and the one-phase Save fallback): the slow
+	// write of an image to stable storage.
+	OpStage FaultOp = "stage"
+	// OpCommit targets the commit closure returned by StageImage: the atomic
+	// publish of a staged image.
+	OpCommit FaultOp = "commit"
+	// OpLoad targets Load: the recovery-time read of a rank's checkpoint.
+	OpLoad FaultOp = "load"
+)
+
+// FaultMode is what an injected fault does to the targeted operation.
+type FaultMode string
+
+const (
+	// ModeFail makes the operation return an injected error.
+	ModeFail FaultMode = "fail"
+	// ModeStall blocks the operation — until the rule's Block channel is
+	// closed if one is set, else for the rule's Delay — then lets it proceed.
+	ModeStall FaultMode = "stall"
+	// ModeCorrupt flips bytes of the staged image behind its codec magic, so
+	// the corruption is only *detected* later, when recovery decodes the
+	// image. On commit and load (no image bytes in hand) it degrades to an
+	// injected corruption error.
+	ModeCorrupt FaultMode = "corrupt"
+)
+
+// FaultRule selects storage operations to sabotage. A rule matches an
+// operation when the op kind matches, the rank matches (Rank < 0 is a
+// wildcard), and the operation's per-rule occurrence index falls in
+// [After, After+Count) — Count <= 0 means every occurrence from After on.
+type FaultRule struct {
+	Op   FaultOp
+	Mode FaultMode
+	Rank int
+	// After skips the first After matching operations before injecting.
+	After int
+	// Count bounds how many times the rule injects; <= 0 is unlimited.
+	Count int
+	// Block, when set, is what ModeStall waits on (until close). It
+	// overrides Delay, and lets a chaos scenario hold an image undurable
+	// until a lifecycle hook releases it.
+	Block <-chan struct{}
+	// Delay is the stall duration when Block is nil.
+	Delay time.Duration
+}
+
+type ruleState struct {
+	FaultRule
+	seen int // matching operations observed
+	hits int // injections performed
+}
+
+// FaultStorage decorates a WaveStorage with rule-driven fault injection on
+// Stage/Commit/Load: fail, stall, or corrupt. It is the storage half of the
+// chaos subsystem — the counterpart of the engine's fault-point registry —
+// and is safe for concurrent use like the storages it wraps.
+type FaultStorage struct {
+	inner WaveStorage
+	mu    sync.Mutex
+	rules []*ruleState
+}
+
+// NewFaultStorage wraps a WaveStorage with the given fault rules.
+func NewFaultStorage(inner WaveStorage, rules ...FaultRule) *FaultStorage {
+	f := &FaultStorage{inner: inner}
+	for _, r := range rules {
+		f.rules = append(f.rules, &ruleState{FaultRule: r})
+	}
+	return f
+}
+
+// Injections returns how many faults each rule injected, in rule order.
+func (f *FaultStorage) Injections() []int {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	out := make([]int, len(f.rules))
+	for i, r := range f.rules {
+		out[i] = r.hits
+	}
+	return out
+}
+
+// TotalInjections returns the total number of injected faults.
+func (f *FaultStorage) TotalInjections() int {
+	n := 0
+	for _, h := range f.Injections() {
+		n += h
+	}
+	return n
+}
+
+// match finds the first rule that claims this operation and records the
+// injection. Occurrence counting is per rule, so independent rules do not
+// steal each other's matches.
+func (f *FaultStorage) match(op FaultOp, rank int) *ruleState {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	for _, r := range f.rules {
+		if r.Op != op || (r.Rank >= 0 && r.Rank != rank) {
+			continue
+		}
+		idx := r.seen
+		r.seen++
+		if idx < r.After || (r.Count > 0 && idx >= r.After+r.Count) {
+			continue
+		}
+		r.hits++
+		return r
+	}
+	return nil
+}
+
+func (r *ruleState) stall() {
+	if r.Block != nil {
+		<-r.Block
+		return
+	}
+	time.Sleep(r.Delay)
+}
+
+// corruptImage flips bytes past the codec header, leaving the magic valid:
+// the image stages and publishes cleanly and the damage surfaces only when
+// recovery decodes it — the detected-corruption regime.
+func corruptImage(image *buf.Buffer) {
+	data := image.Bytes()
+	for i := codecHeaderLen; i < len(data); i++ {
+		data[i] ^= 0xff
+	}
+}
+
+// StageImage implements WaveStorage with stage-targeted injection.
+func (f *FaultStorage) StageImage(rank int, image *buf.Buffer) (func() error, func(), error) {
+	if r := f.match(OpStage, rank); r != nil {
+		switch r.Mode {
+		case ModeFail:
+			return nil, nil, fmt.Errorf("checkpoint: injected stage fault (rank %d)", rank)
+		case ModeStall:
+			r.stall()
+		case ModeCorrupt:
+			corruptImage(image)
+		}
+	}
+	commit, abort, err := f.inner.StageImage(rank, image)
+	if err != nil {
+		return nil, nil, err
+	}
+	wrapped := func() error {
+		if r := f.match(OpCommit, rank); r != nil {
+			switch r.Mode {
+			case ModeFail, ModeCorrupt:
+				return fmt.Errorf("checkpoint: injected commit fault (rank %d)", rank)
+			case ModeStall:
+				r.stall()
+			}
+		}
+		return commit()
+	}
+	return wrapped, abort, nil
+}
+
+// Save implements the one-phase Storage path with the same stage rules.
+func (f *FaultStorage) Save(cp *Checkpoint) error {
+	if r := f.match(OpStage, cp.Rank); r != nil {
+		switch r.Mode {
+		case ModeFail, ModeCorrupt:
+			return fmt.Errorf("checkpoint: injected stage fault (rank %d)", cp.Rank)
+		case ModeStall:
+			r.stall()
+		}
+	}
+	return f.inner.Save(cp)
+}
+
+// Load implements Storage with load-targeted injection.
+func (f *FaultStorage) Load(rank int) (*Checkpoint, bool, error) {
+	if r := f.match(OpLoad, rank); r != nil {
+		switch r.Mode {
+		case ModeFail:
+			return nil, false, fmt.Errorf("checkpoint: injected load fault (rank %d)", rank)
+		case ModeCorrupt:
+			return nil, false, fmt.Errorf("checkpoint: injected corruption detected on load (rank %d)", rank)
+		case ModeStall:
+			r.stall()
+		}
+	}
+	return f.inner.Load(rank)
+}
+
+// Ranks delegates to the wrapped storage.
+func (f *FaultStorage) Ranks() ([]int, error) { return f.inner.Ranks() }
+
+var _ WaveStorage = (*FaultStorage)(nil)

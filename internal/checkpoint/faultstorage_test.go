@@ -1,0 +1,148 @@
+package checkpoint
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestDecodeMeta(t *testing.T) {
+	cp := sampleCheckpoint(3)
+	cp.Wave = 4
+	raw, err := Encode(cp)
+	if err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	m, err := DecodeMeta(raw)
+	if err != nil {
+		t.Fatalf("DecodeMeta: %v", err)
+	}
+	want := ImageMeta{Rank: 3, Cluster: 0, Iteration: 10, Epoch: 2, Wave: 4, Time: 1.5}
+	if m != want {
+		t.Fatalf("meta = %+v, want %+v", m, want)
+	}
+	if _, err := DecodeMeta(raw[:3]); err == nil {
+		t.Fatal("truncated header accepted")
+	}
+	if _, err := DecodeMeta([]byte("XXXXgarbage")); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if _, err := DecodeMeta(raw[:codecHeaderLen+1]); err == nil {
+		t.Fatal("truncated meta prefix accepted")
+	}
+}
+
+func TestFaultStorageFailAndCount(t *testing.T) {
+	fs := NewFaultStorage(NewMemoryStorage(),
+		FaultRule{Op: OpStage, Mode: ModeFail, Rank: 1, After: 1, Count: 1})
+
+	// First stage of rank 1 passes (After skips it), the second fails, the
+	// third passes again (Count exhausted). Other ranks never match.
+	for i, wantErr := range []bool{false, true, false} {
+		err := fs.Save(sampleCheckpoint(1))
+		if (err != nil) != wantErr {
+			t.Fatalf("save %d of rank 1: err=%v, want error=%v", i, err, wantErr)
+		}
+	}
+	if err := fs.Save(sampleCheckpoint(0)); err != nil {
+		t.Fatalf("save of rank 0 must not match a rank-1 rule: %v", err)
+	}
+	if got := fs.Injections(); len(got) != 1 || got[0] != 1 {
+		t.Fatalf("injections = %v, want [1]", got)
+	}
+	if fs.TotalInjections() != 1 {
+		t.Fatalf("total injections = %d, want 1", fs.TotalInjections())
+	}
+}
+
+func TestFaultStorageCommitFault(t *testing.T) {
+	fs := NewFaultStorage(NewMemoryStorage(),
+		FaultRule{Op: OpCommit, Mode: ModeFail, Rank: -1, Count: 1})
+	image, err := EncodeBuffer(sampleCheckpoint(2))
+	if err != nil {
+		t.Fatalf("EncodeBuffer: %v", err)
+	}
+	commit, abort, err := fs.StageImage(2, image)
+	if err != nil {
+		t.Fatalf("StageImage: %v", err)
+	}
+	if err := commit(); err == nil {
+		t.Fatal("first commit must fail")
+	} else if !strings.Contains(err.Error(), "injected commit fault") {
+		t.Fatalf("unexpected error: %v", err)
+	}
+	abort()
+
+	image2, err := EncodeBuffer(sampleCheckpoint(2))
+	if err != nil {
+		t.Fatalf("EncodeBuffer: %v", err)
+	}
+	commit2, _, err := fs.StageImage(2, image2)
+	if err != nil {
+		t.Fatalf("StageImage: %v", err)
+	}
+	if err := commit2(); err != nil {
+		t.Fatalf("second commit (rule exhausted): %v", err)
+	}
+	if _, ok, err := fs.Load(2); err != nil || !ok {
+		t.Fatalf("load after committed wave: ok=%v err=%v", ok, err)
+	}
+}
+
+func TestFaultStorageCorruptDetectedOnLoad(t *testing.T) {
+	fs := NewFaultStorage(NewMemoryStorage(),
+		FaultRule{Op: OpStage, Mode: ModeCorrupt, Rank: 0, Count: 1})
+	image, err := EncodeBuffer(sampleCheckpoint(0))
+	if err != nil {
+		t.Fatalf("EncodeBuffer: %v", err)
+	}
+	commit, _, err := fs.StageImage(0, image)
+	if err != nil {
+		t.Fatalf("StageImage: corruption must not fail the stage: %v", err)
+	}
+	if err := commit(); err != nil {
+		t.Fatalf("commit: corruption must not fail the publish: %v", err)
+	}
+	// The damage surfaces only when the image is decoded.
+	if _, _, err := fs.Load(0); err == nil {
+		t.Fatal("load of a corrupted image must fail to decode")
+	}
+	if fs.TotalInjections() != 1 {
+		t.Fatalf("total injections = %d, want 1", fs.TotalInjections())
+	}
+}
+
+func TestFaultStorageStallBlocksUntilRelease(t *testing.T) {
+	release := make(chan struct{})
+	fs := NewFaultStorage(NewMemoryStorage(),
+		FaultRule{Op: OpStage, Mode: ModeStall, Rank: -1, Count: 1, Block: release})
+	done := make(chan error, 1)
+	go func() { done <- fs.Save(sampleCheckpoint(1)) }()
+	select {
+	case <-done:
+		t.Fatal("stalled save returned before release")
+	case <-time.After(5 * time.Millisecond):
+	}
+	close(release)
+	if err := <-done; err != nil {
+		t.Fatalf("save after release: %v", err)
+	}
+}
+
+func TestFaultStorageLoadFault(t *testing.T) {
+	inner := NewMemoryStorage()
+	if err := inner.Save(sampleCheckpoint(1)); err != nil {
+		t.Fatalf("seed save: %v", err)
+	}
+	fs := NewFaultStorage(inner, FaultRule{Op: OpLoad, Mode: ModeFail, Rank: 1, Count: 1})
+	if _, _, err := fs.Load(1); err == nil {
+		t.Fatal("first load must fail")
+	}
+	if _, ok, err := fs.Load(1); err != nil || !ok {
+		t.Fatalf("second load: ok=%v err=%v", ok, err)
+	}
+	ranks, err := fs.Ranks()
+	if err != nil || len(ranks) != 1 || ranks[0] != 1 {
+		t.Fatalf("Ranks = %v, %v", ranks, err)
+	}
+}

@@ -1,0 +1,39 @@
+package checkpoint
+
+import (
+	"bytes"
+	"fmt"
+)
+
+// ImageMeta is the fixed metadata prefix of an encoded checkpoint image:
+// everything chaos instrumentation needs to identify a staged image (which
+// rank, which wave, which epoch) without materializing the full checkpoint.
+type ImageMeta struct {
+	Rank      int
+	Cluster   int
+	Iteration int
+	Epoch     int
+	Wave      int
+	Time      float64
+}
+
+// DecodeMeta decodes only the metadata prefix of a binary checkpoint image.
+// It is cheap (no payload copies) and safe on corrupt input: a truncated or
+// foreign image yields an error, never a panic.
+func DecodeMeta(raw []byte) (ImageMeta, error) {
+	var m ImageMeta
+	if len(raw) < codecHeaderLen || !bytes.Equal(raw[:4], codecMagic[:]) {
+		return m, fmt.Errorf("checkpoint: decode meta: bad magic or version")
+	}
+	d := decoder{in: raw[codecHeaderLen:]}
+	m.Rank = d.int("rank")
+	m.Cluster = d.int("cluster")
+	m.Iteration = d.int("iteration")
+	m.Epoch = d.int("epoch")
+	m.Wave = d.int("wave")
+	m.Time = d.float("time")
+	if d.err != nil {
+		return ImageMeta{}, d.err
+	}
+	return m, nil
+}

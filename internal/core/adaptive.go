@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"repro/internal/clustering"
+	"repro/internal/mpi"
 )
 
 // Adaptive epoch-based clustering.
@@ -218,7 +219,7 @@ func (a *adaptive) errLocked() error {
 	if a.err != nil {
 		return a.err
 	}
-	return fmt.Errorf("core: run aborted")
+	return fmt.Errorf("core: run aborted: %w", mpi.ErrWorldStopped)
 }
 
 // decideLocked computes the epoch decision for one boundary. It runs in the
@@ -262,6 +263,12 @@ func (a *adaptive) decideLocked(iter int) (*EpochView, error) {
 	})
 	a.openLogged, a.openSent = logged, sent
 	a.e.setView(v)
+	// Every rank is parked at the decision gate here, so a hook that calls
+	// Engine.ScheduleFault pins its fault before any rank can pass the
+	// boundary — the epoch-switch scheduling window is race-free.
+	a.e.firePoint(PointEpochSwitch, PointInfo{
+		Rank: -1, Cluster: -1, Iteration: iter, Wave: -1, Epoch: epoch,
+	})
 	return v, nil
 }
 

@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/checkpoint"
+	"repro/internal/mpi"
 )
 
 // The committer is the second half of the two-phase checkpoint pipeline.
@@ -61,8 +62,7 @@ type wave struct {
 type committer struct {
 	e       *Engine
 	storage checkpoint.Storage
-	ws      checkpoint.WaveStorage   // nil when storage lacks the two-phase fast path
-	stall   func(cluster, epoch int) // Config.CommitStall test/chaos hook
+	ws      checkpoint.WaveStorage // nil when storage lacks the two-phase fast path
 
 	mu       sync.Mutex
 	cond     *sync.Cond
@@ -77,11 +77,10 @@ type committer struct {
 	wg       sync.WaitGroup
 }
 
-func newCommitter(e *Engine, storage checkpoint.Storage, stall func(cluster, epoch int)) *committer {
+func newCommitter(e *Engine, storage checkpoint.Storage) *committer {
 	c := &committer{
 		e:        e,
 		storage:  storage,
-		stall:    stall,
 		partial:  make(map[int]*wave),
 		queues:   make(map[int][]*wave),
 		inflight: make(map[int]*wave),
@@ -159,19 +158,20 @@ func (w *wave) discard() {
 // commitWave encodes, stages and publishes one wave, then garbage-collects
 // the remote log records the wave covers.
 func (c *committer) commitWave(w *wave) {
-	if c.stall != nil {
-		c.stall(w.cluster, w.seq)
-	}
-	c.mu.Lock()
-	canceled := w.canceled
-	c.mu.Unlock()
-	if canceled {
-		w.discard()
-		return
-	}
+	// The mid-commit-drain fault point: a blocking hook here keeps the wave
+	// in the not-yet-durable state, so chaos scenarios can pin a fault into
+	// the middle of a draining wave. The wave is complete, so members[0]
+	// carries its iteration and epoch.
+	c.e.firePoint(PointMidCommitDrain, PointInfo{
+		Rank: -1, Cluster: w.cluster, Iteration: w.members[0].Iteration, Wave: w.seq, Epoch: w.members[0].Epoch,
+	})
 
 	// Stage the members in parallel: encode each rank's binary image and make
-	// it durable without publishing (temp file / retained image).
+	// it durable without publishing (temp file / retained image). A wave that
+	// recovery has already canceled still flows through here — cancellation is
+	// decided once, at the publish lock below, so a stage racing a rollback
+	// (including a stage that *fails* on a wave recovery is discarding) always
+	// resolves the same way: abort the staged images, swallow the error.
 	commits := make([]func() error, len(w.members))
 	aborts := make([]func(), len(w.members))
 	errs := make([]error, len(w.members))
@@ -216,7 +216,20 @@ func (c *committer) commitWave(w *wave) {
 	// wave or none of it, and a cancellation that lost the race to this
 	// critical section finds the wave already durable.
 	c.mu.Lock()
-	if w.canceled || stageErr != nil {
+	if w.canceled {
+		// A canceled wave is discarded whether or not it also failed to
+		// stage: recovery already decided to roll back past it, so a storage
+		// fault racing the cancellation must not fail the run.
+		c.mu.Unlock()
+		for _, abort := range aborts {
+			if abort != nil {
+				abort()
+			}
+		}
+		w.discard()
+		return
+	}
+	if stageErr != nil {
 		c.setErrLocked(stageErr)
 		c.mu.Unlock()
 		for _, abort := range aborts {
@@ -328,7 +341,7 @@ func (c *committer) flush() error {
 		return c.err
 	}
 	if c.aborted {
-		return fmt.Errorf("core: run aborted")
+		return fmt.Errorf("core: run aborted: %w", mpi.ErrWorldStopped)
 	}
 	return nil
 }

@@ -56,16 +56,14 @@ type Config struct {
 	// staged in parallel and whole waves publish atomically; plain Storages
 	// fall back to Save at publish time.
 	Storage checkpoint.Storage
-	// Faults is the failure plan. Iterations must lie in [0, Steps).
+	// Faults is the failure plan. Iterations must lie in [0, Steps), and a
+	// rank may fail at most once per iteration boundary.
 	Faults []Fault
-	// CommitStall, if set, is called by the background committer before it
-	// stages a wave (the second argument is the cluster's wave counter). It
-	// is test/chaos instrumentation: a blocking hook keeps the wave in the
-	// not-yet-durable state, so tests can pin a fault into the middle of a
-	// draining wave. Hooks must eventually return, and must not block a
-	// cluster's very first wave across a fault of that cluster (recovery
-	// waits for the first durable wave).
-	CommitStall func(cluster, wave int)
+	// Faultpoints, if set, receives the engine's lifecycle fault points
+	// (capture, commit drain, recovery, epoch switches): the chaos
+	// instrumentation surface. See FaultPoint for the catalog and the
+	// blocking rules hooks must respect.
+	Faultpoints *FaultRegistry
 }
 
 // policy resolves the configured policy, applying the ClusterOf and Adaptive
@@ -128,6 +126,7 @@ func (c *Config) resolve(size int) (Policy, *EpochView, error) {
 	if c.Interval > 0 && c.Storage == nil {
 		return nil, nil, fmt.Errorf("core: checkpointing requires storage")
 	}
+	seen := make(map[Fault]bool, len(c.Faults))
 	for _, f := range c.Faults {
 		if f.Rank < 0 || f.Rank >= size {
 			return nil, nil, fmt.Errorf("core: fault rank %d out of range [0,%d)", f.Rank, size)
@@ -135,6 +134,10 @@ func (c *Config) resolve(size int) (Policy, *EpochView, error) {
 		if f.Iteration < 0 || f.Iteration >= c.Steps {
 			return nil, nil, fmt.Errorf("core: fault iteration %d out of range [0,%d)", f.Iteration, c.Steps)
 		}
+		if seen[f] {
+			return nil, nil, fmt.Errorf("core: fault plan schedules rank %d twice at iteration %d: a rank can fail at most once per iteration boundary (merge the duplicate or move it to a later iteration)", f.Rank, f.Iteration)
+		}
+		seen[f] = true
 	}
 	return pol, view, nil
 }
@@ -202,9 +205,16 @@ type Engine struct {
 	protos    []*SPBC
 	stores    []*logstore.Store
 	bar       *rendezvous
-	faultsAt  map[int][]Fault
 	committer *committer
 	adapt     *adaptive // nil for static policies
+
+	// eventMu guards the fault-event schedule and the ArmFault window (see
+	// faults.go). events only grows; processed entries are immutable.
+	eventMu   sync.Mutex
+	events    []*faultEvent
+	arming    *faultEvent  // event whose recovery-start hook is running
+	armingSet map[int]bool // rolled-back set of the arming event
+	armed     int          // chained events inserted by the current hook
 
 	// viewMu guards the current epoch view. It is written only while every
 	// rank is parked at the wave boundary that opens the epoch (the adaptive
@@ -215,9 +225,8 @@ type Engine struct {
 	counters counters
 	verify   []float64 // per-rank slot, written only by the owning rank
 
-	mu        sync.Mutex
-	failTimes map[int]float64 // fault iteration -> max virtual time at rollback
-	rolled    map[int]bool
+	mu     sync.Mutex // guards rolled and the events' failTime fields
+	rolled map[int]bool
 }
 
 // NewEngine builds an engine over an existing world. The world must be fresh
@@ -229,27 +238,23 @@ func NewEngine(w *mpi.World, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		world:     w,
-		cfg:       cfg,
-		pol:       pol,
-		view:      view,
-		protos:    make([]*SPBC, w.Size()),
-		stores:    make([]*logstore.Store, w.Size()),
-		bar:       newRendezvous(w.Size()),
-		faultsAt:  make(map[int][]Fault),
-		failTimes: make(map[int]float64),
-		rolled:    make(map[int]bool),
-		verify:    make([]float64, w.Size()),
+		world:  w,
+		cfg:    cfg,
+		pol:    pol,
+		view:   view,
+		protos: make([]*SPBC, w.Size()),
+		stores: make([]*logstore.Store, w.Size()),
+		bar:    newRendezvous(w.Size()),
+		events: buildEvents(cfg.Faults),
+		rolled: make(map[int]bool),
+		verify: make([]float64, w.Size()),
 	}
 	for r := 0; r < w.Size(); r++ {
 		e.stores[r] = logstore.New()
 		e.protos[r] = newSPBCWithView(r, view, w.Cost(), e.stores[r])
 	}
-	for _, f := range cfg.Faults {
-		e.faultsAt[f.Iteration] = append(e.faultsAt[f.Iteration], f)
-	}
 	if cfg.Storage != nil {
-		e.committer = newCommitter(e, cfg.Storage, cfg.CommitStall)
+		e.committer = newCommitter(e, cfg.Storage)
 	}
 	if cfg.Adaptive != nil {
 		e.adapt = newAdaptive(e, *cfg.Adaptive, pol.(*AdaptivePolicy), view)
@@ -420,7 +425,7 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 	}
 	rc.comm = clusterComm
 
-	handled := make(map[int]bool) // fault iterations already processed
+	cursor := 0 // schedule events this rank has processed (see faults.go)
 	rejoinAt := -1
 	reenter := false // next checkpoint re-enters a restored wave (no entry barrier)
 	for iter := 0; iter < e.cfg.Steps; {
@@ -428,6 +433,9 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 			// Re-execution has reached the failure point: recovery is over.
 			e.protos[rank].endRecovery()
 			rejoinAt = -1
+			e.firePoint(PointRecoveryEnd, PointInfo{
+				Rank: rank, Cluster: rc.cluster, Iteration: iter, Wave: -1, Epoch: rc.view.Epoch(),
+			})
 		}
 		if e.cfg.Interval > 0 && iter%e.cfg.Interval == 0 {
 			if err := e.checkpointRank(p, app, rc, iter, reenter); err != nil {
@@ -435,14 +443,29 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 			}
 			reenter = false
 		}
-		if len(e.faultsAt[iter]) > 0 && !handled[iter] {
-			handled[iter] = true
-			resume, rolledBack, err := e.handleFaults(p, app, iter)
+		// Drain every schedule event due at this boundary before stepping:
+		// an event's recovery may chain further events (ArmFault), and a
+		// bystander rank must flow straight from one rendezvous into the
+		// next — stepping in between could block it mid-iteration on a peer
+		// already parked at the chained event.
+		rolledBack := false
+		for {
+			ev := e.nextDueEvent(cursor, rank, iter)
+			if ev == nil {
+				break
+			}
+			cursor++
+			resume, rb, err := e.handleFaultEvent(p, app, ev, iter)
 			if err != nil {
 				return err
 			}
-			if rolledBack {
-				rejoinAt = iter
+			if rb {
+				// A rank rolled back while already recovering keeps the
+				// outermost rejoin point: its suppression cutoffs (merged by
+				// beginRecovery) reach up to the original failure.
+				if iter > rejoinAt {
+					rejoinAt = iter
+				}
 				iter = resume
 				// The restored checkpoint was captured between the wave's
 				// entry and exit barriers, so re-execution resumes from that
@@ -454,8 +477,12 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 				// the original execution's numbering, breaking the
 				// bit-identical replay the protocol depends on.
 				reenter = true
-				continue
+				rolledBack = true
+				break
 			}
+		}
+		if rolledBack {
+			continue
 		}
 		if err := app.Step(iter); err != nil {
 			return fmt.Errorf("core: rank %d: step %d: %w", rank, iter, err)
@@ -529,6 +556,9 @@ func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, rc *rankCtx, iter in
 	if err := e.committer.firstErr(); err != nil {
 		return fmt.Errorf("core: rank %d: checkpoint commit: %w", rank, err)
 	}
+	e.firePoint(PointPreCapture, PointInfo{
+		Rank: rank, Cluster: rc.cluster, Iteration: iter, Wave: rc.wave, Epoch: rc.view.Epoch(),
+	})
 	start := time.Now()
 	state, err := app.Snapshot()
 	if err != nil {
@@ -559,6 +589,9 @@ func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, rc *rankCtx, iter in
 	cp.HoldShared(logRefs)
 	e.counters.captureNs.Add(time.Since(start).Nanoseconds())
 	e.committer.submit(rc.cluster, rc.wave, rc.view.GroupSize(rc.cluster), cp)
+	e.firePoint(PointPostCapture, PointInfo{
+		Rank: rank, Cluster: rc.cluster, Iteration: iter, Wave: rc.wave, Epoch: rc.view.Epoch(),
+	})
 	rc.wave++
 
 	if switched {
@@ -597,199 +630,6 @@ func (e *Engine) gcLogsWave(w *wave) {
 		}
 	}
 	e.counters.truncated.Add(int64(dropped))
-}
-
-// handleFaults performs the globally coordinated part of recovery for the
-// faults scheduled at this iteration boundary. Every rank participates in the
-// rendezvous (the failure-detection pause); only the ranks of the failed
-// clusters roll back. Recovery always runs under the current epoch's view:
-// the wave that opened the epoch was forced durable before any rank advanced
-// past it, so the restored wave can never predate the epoch. It returns the
-// iteration to resume from and whether the calling rank rolled back.
-func (e *Engine) handleFaults(p *mpi.Proc, app model.App, iter int) (resume int, rolledBack bool, err error) {
-	rank := p.Rank()
-	view := e.currentView()
-	set := e.rolledBackSet(view, iter)
-	failed := make(map[int]bool)
-	for _, f := range e.faultsAt[iter] {
-		failed[f.Rank] = true
-	}
-
-	// Rendezvous 1: the whole world is quiescent — every rank is at an
-	// iteration boundary with no pending requests and no in-flight sends.
-	if err := e.bar.await(); err != nil {
-		return 0, false, err
-	}
-
-	// The recovery leader discards every checkpoint wave of the failed
-	// groups that is still draining in the background: a checkpoint is not
-	// usable for rollback until it is durably published, so recovery
-	// proceeds from the last durable wave — whose replay records are still
-	// in the senders' logs, because remote-log GC runs only after a wave
-	// commits. This happens before rendezvous 2, so every subsequent Load
-	// observes a stable storage state.
-	if rank == leaderOf(set) {
-		groups := make(map[int]bool)
-		for r := range set {
-			groups[view.Group(r)] = true
-		}
-		n := e.committer.cancelClusters(groups)
-		e.counters.wavesCanceled.Add(int64(n))
-	}
-
-	var cuts map[mpi.ChanKey]uint64
-	if set[rank] {
-		// Capture, per outgoing channel that leaves the rolled-back set, the
-		// last sequence number assigned before the failure: re-executed sends
-		// at or below it were already received and must be suppressed.
-		cuts = make(map[mpi.ChanKey]uint64)
-		for _, key := range p.OutChannels() {
-			if !set[key.Peer] {
-				cuts[key] = p.OutSeq(key.Peer, key.Comm)
-			}
-		}
-		e.mu.Lock()
-		if t := p.Now(); t > e.failTimes[iter] {
-			e.failTimes[iter] = t
-		}
-		e.mu.Unlock()
-	}
-
-	// Rendezvous 2: cutoffs and failure times captured everywhere.
-	if err := e.bar.await(); err != nil {
-		return 0, false, err
-	}
-
-	var cp *checkpoint.Checkpoint
-	if set[rank] {
-		loaded, ok, lerr := e.cfg.Storage.Load(rank)
-		if lerr != nil {
-			return 0, false, fmt.Errorf("core: rank %d: load checkpoint: %w", rank, lerr)
-		}
-		if !ok {
-			return 0, false, fmt.Errorf("core: rank %d: no checkpoint to roll back to", rank)
-		}
-		cp = loaded
-		if cp.Epoch != view.Epoch() {
-			// The epoch's opening wave is durable before anyone advances, so
-			// a restored checkpoint from another epoch means the recovery
-			// line was violated.
-			return 0, false, fmt.Errorf("core: rank %d: restored checkpoint of epoch %d under epoch %d", rank, cp.Epoch, view.Epoch())
-		}
-		if err := app.Restore(cp.AppState); err != nil {
-			return 0, false, fmt.Errorf("core: rank %d: restore app: %w", rank, err)
-		}
-		p.RestoreChannels(cp.Channels, nil)
-		if err := e.protos[rank].RestoreState(cp.Protocol); err != nil {
-			return 0, false, fmt.Errorf("core: rank %d: %w", rank, err)
-		}
-		if failed[rank] {
-			// The failed rank lost its memory: its sender-based log comes
-			// back from the checkpoint. Co-rollback peers keep their
-			// in-memory logs (re-logging is deduplicated by sequence number).
-			e.stores[rank].RestoreFrom(storeFromRecords(cp.Logs))
-		}
-		e.protos[rank].beginRecovery(cuts)
-		e.counters.restored.Add(1)
-		e.mu.Lock()
-		e.rolled[rank] = true
-		e.mu.Unlock()
-	}
-
-	// Rendezvous 3: every rolled-back rank has restored its state; the
-	// recovery leader can now inject the logged inter-cluster messages.
-	if err := e.bar.await(); err != nil {
-		return 0, false, err
-	}
-	if rank == leaderOf(set) {
-		if err := e.injectReplays(iter, set); err != nil {
-			return 0, false, err
-		}
-		e.counters.recoveryEvents.Add(1)
-	}
-
-	// Rendezvous 4: replayed messages are lodged in the recovering ranks'
-	// queues before anyone resumes, so later direct sends stay in FIFO order
-	// behind the replays.
-	if err := e.bar.await(); err != nil {
-		return 0, false, err
-	}
-	if !set[rank] {
-		return iter, false, nil
-	}
-	return cp.Iteration, true, nil
-}
-
-// injectReplays replays, from the log stores of the surviving ranks, every
-// inter-cluster message that a rolled-back rank had received after its
-// restored checkpoint (restored MaxSeqSeen onwards). Replay is per channel in
-// sequence order; virtual availability times start after the failure time
-// plus a control latency.
-func (e *Engine) injectReplays(iter int, set map[int]bool) error {
-	cost := e.world.Cost()
-	e.mu.Lock()
-	start := e.failTimes[iter] + cost.ControlLatency
-	e.mu.Unlock()
-	records, bytes := 0, uint64(0)
-	for d := 0; d < e.world.Size(); d++ {
-		if !set[d] {
-			continue
-		}
-		pd := e.world.Proc(d)
-		for s := 0; s < e.world.Size(); s++ {
-			if set[s] {
-				continue
-			}
-			for _, key := range e.stores[s].Channels() {
-				if key.Peer != d {
-					continue
-				}
-				from := pd.InState(s, key.Comm).MaxSeqSeen + 1
-				t := start
-				for _, r := range e.stores[s].Range(d, key.Comm, from) {
-					t += cost.TransferTime(s, d, len(r.Payload))
-					if err := e.world.InjectReplay(r.Env, r.Payload, t); err != nil {
-						// A dropped replay would leave the recovering rank
-						// blocked forever on the missing sequence number.
-						return fmt.Errorf("core: replay %d->%d (comm %d) seq %d: %w",
-							s, d, key.Comm, r.Env.Seq, err)
-					}
-					records++
-					bytes += uint64(len(r.Payload))
-				}
-			}
-		}
-	}
-	e.counters.replayedRecords.Add(int64(records))
-	e.counters.replayedBytes.Add(bytes)
-	return nil
-}
-
-// rolledBackSet returns the union of the recovery groups failed at the
-// iteration, under the given epoch view.
-func (e *Engine) rolledBackSet(view *EpochView, iter int) map[int]bool {
-	set := make(map[int]bool)
-	groupOf := view.GroupOf()
-	for _, f := range e.faultsAt[iter] {
-		fg := groupOf[f.Rank]
-		for r, g := range groupOf {
-			if g == fg {
-				set[r] = true
-			}
-		}
-	}
-	return set
-}
-
-// leaderOf returns the lowest rank of the set (the recovery leader).
-func leaderOf(set map[int]bool) int {
-	leader := -1
-	for r := range set {
-		if leader < 0 || r < leader {
-			leader = r
-		}
-	}
-	return leader
 }
 
 // ToCheckpointRecords converts a log-store snapshot to checkpoint records.
@@ -858,7 +698,7 @@ func (b *rendezvous) await() error {
 	b.mu.Lock()
 	defer b.mu.Unlock()
 	if b.aborted {
-		return fmt.Errorf("core: run aborted")
+		return fmt.Errorf("core: run aborted: %w", mpi.ErrWorldStopped)
 	}
 	gen := b.gen
 	b.arrived++
@@ -872,7 +712,7 @@ func (b *rendezvous) await() error {
 		b.cond.Wait()
 	}
 	if b.aborted {
-		return fmt.Errorf("core: run aborted")
+		return fmt.Errorf("core: run aborted: %w", mpi.ErrWorldStopped)
 	}
 	return nil
 }

@@ -1,0 +1,103 @@
+package core
+
+import "sync"
+
+// Fault points are the named lifecycle hooks of the engine: the places where
+// chaos instrumentation may observe a run, stall it, or schedule further
+// faults. They generalize the old ad-hoc Config.CommitStall hook (which
+// covered only the committer's drain) into one registry covering the
+// checkpoint capture, the background commit drain, recovery and the adaptive
+// epoch machinery.
+//
+// Hooks run synchronously on engine-internal goroutines and must eventually
+// return; a blocking hook holds up exactly the mechanism its point belongs to
+// (a mid-commit-drain stall keeps a wave undurable, a pre-capture stall keeps
+// a rank inside the wave barrier). Two points additionally open a scheduling
+// window: during PointRecoveryStart the hook may call Engine.ArmFault to
+// chain a second failure into the recovery being handled, and during
+// PointEpochSwitch it may call Engine.ScheduleFault to pin a failure onto the
+// boundary that opened the epoch.
+type FaultPoint string
+
+const (
+	// PointPreCapture fires on every rank inside the wave barrier, just
+	// before the rank captures its checkpoint.
+	PointPreCapture FaultPoint = "pre-capture"
+	// PointPostCapture fires on every rank after its capture was handed to
+	// the background committer (still inside the wave's exit barrier).
+	PointPostCapture FaultPoint = "post-capture"
+	// PointMidCommitDrain fires on a committer worker goroutine before it
+	// stages a wave: a blocking hook keeps the wave in the not-yet-durable
+	// state. Hooks must not block a cluster's very first wave across a fault
+	// of that cluster (recovery waits for the first durable wave).
+	PointMidCommitDrain FaultPoint = "mid-commit-drain"
+	// PointRecoveryStart fires once per fault event, on the recovery leader,
+	// after the undurable waves of the failed groups were canceled and before
+	// any rank restores state. Engine.ArmFault is legal only inside this hook.
+	PointRecoveryStart FaultPoint = "recovery-start"
+	// PointRecoveryEnd fires on every rolled-back rank when its re-execution
+	// reaches the failure point and send suppression ends.
+	PointRecoveryEnd FaultPoint = "recovery-end"
+	// PointEpochSwitch fires when the adaptive controller adopts a new
+	// partition, while every rank is parked at the decision gate.
+	// Engine.ScheduleFault is race-free inside this hook.
+	PointEpochSwitch FaultPoint = "epoch-switch-gate"
+)
+
+// PointInfo carries the context of one fault-point firing. Fields that do not
+// apply to the point are -1 (e.g. Rank at cluster-scoped points, Wave at
+// recovery points).
+type PointInfo struct {
+	Point     FaultPoint
+	Rank      int
+	Cluster   int
+	Iteration int
+	Wave      int
+	Epoch     int
+}
+
+// Hook is a fault-point callback. It runs synchronously on the engine
+// goroutine that reached the point; the engine argument is the running
+// engine, so hooks can schedule faults or read metrics.
+type Hook func(e *Engine, info PointInfo)
+
+// FaultRegistry maps fault points to hooks. A nil registry is valid and fires
+// nothing; Register may be called while a run is in flight.
+type FaultRegistry struct {
+	mu    sync.Mutex
+	hooks map[FaultPoint][]Hook
+}
+
+// NewFaultRegistry creates an empty registry.
+func NewFaultRegistry() *FaultRegistry {
+	return &FaultRegistry{hooks: make(map[FaultPoint][]Hook)}
+}
+
+// Register adds a hook to a point. Hooks of one point run in registration
+// order. Returns the registry for chaining.
+func (r *FaultRegistry) Register(p FaultPoint, h Hook) *FaultRegistry {
+	r.mu.Lock()
+	r.hooks[p] = append(r.hooks[p], h)
+	r.mu.Unlock()
+	return r
+}
+
+// fire runs the point's hooks. The hook list is copied out of the lock so a
+// hook may Register further hooks without deadlocking.
+func (r *FaultRegistry) fire(e *Engine, info PointInfo) {
+	r.mu.Lock()
+	hooks := append([]Hook(nil), r.hooks[info.Point]...)
+	r.mu.Unlock()
+	for _, h := range hooks {
+		h(e, info)
+	}
+}
+
+// firePoint runs the configured hooks of a point, if any.
+func (e *Engine) firePoint(p FaultPoint, info PointInfo) {
+	if e.cfg.Faultpoints == nil {
+		return
+	}
+	info.Point = p
+	e.cfg.Faultpoints.fire(e, info)
+}

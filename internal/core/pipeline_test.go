@@ -77,15 +77,16 @@ func TestEngineFaultMidDrainRecoversFromDurableWave(t *testing.T) {
 		Storage:   storage,
 		Faults:    []Fault{{Rank: 2, Iteration: 5}},
 		// Hold the commits of cluster 1's waves at iterations 2 and 4
-		// (epochs 1 and 2) until recovery has restored the rolled-back
+		// (wave seqs 1 and 2) until recovery has restored the rolled-back
 		// ranks: the fault at iteration 5 is then guaranteed to land while
-		// both waves are draining. Epoch 0 commits freely, so the cluster
+		// both waves are draining. Wave 0 commits freely, so the cluster
 		// has a durable wave to fall back to.
-		CommitStall: func(cluster, epoch int) {
-			if cluster == 1 && (epoch == 1 || epoch == 2) {
-				<-release
-			}
-		},
+		Faultpoints: NewFaultRegistry().Register(PointMidCommitDrain,
+			func(_ *Engine, info PointInfo) {
+				if info.Cluster == 1 && (info.Wave == 1 || info.Wave == 2) {
+					<-release
+				}
+			}),
 	}
 
 	rec := trace.NewRecorder(ranks)
@@ -167,11 +168,12 @@ func TestEngineFaultWaitsForFirstDurableWave(t *testing.T) {
 		Faults:    []Fault{{Rank: 3, Iteration: 1}},
 		// Delay every commit of cluster 1 so the fault at iteration 1 always
 		// arrives before the iteration-0 wave is durable.
-		CommitStall: func(cluster, epoch int) {
-			if cluster == 1 {
-				time.Sleep(2 * time.Millisecond)
-			}
-		},
+		Faultpoints: NewFaultRegistry().Register(PointMidCommitDrain,
+			func(_ *Engine, info PointInfo) {
+				if info.Cluster == 1 {
+					time.Sleep(2 * time.Millisecond)
+				}
+			}),
 	}, nil)
 
 	if got := eng.VerifyValues(); !reflect.DeepEqual(got, wantVerify) {
@@ -299,9 +301,10 @@ func TestEngineCommitErrorDoesNotDeadlockRecovery(t *testing.T) {
 		Steps:     steps,
 		Storage:   &failingStorage{inner: checkpoint.NewMemoryStorage()},
 		Faults:    []Fault{{Rank: 3, Iteration: 1}},
-		CommitStall: func(cluster, epoch int) {
-			time.Sleep(time.Millisecond) // widen the fault-vs-first-commit race
-		},
+		Faultpoints: NewFaultRegistry().Register(PointMidCommitDrain,
+			func(_ *Engine, _ PointInfo) {
+				time.Sleep(time.Millisecond) // widen the fault-vs-first-commit race
+			}),
 	})
 	if err != nil {
 		t.Fatalf("NewEngine: %v", err)

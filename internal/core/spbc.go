@@ -224,7 +224,21 @@ func (s *SPBC) RestoreState(raw []byte) error {
 
 // beginRecovery installs the suppression cutoffs captured at the failure
 // point. Called from the rank's own goroutine during rollback.
-func (s *SPBC) beginRecovery(cutoffs map[mpi.ChanKey]uint64) { s.cutoffs = cutoffs }
+// Cutoffs merge per-channel max so a nested recovery (a second fault landing
+// while this rank is already replaying) keeps the outer run's suppression: the
+// re-execution's sequence numbers trail the original run's, so the larger
+// cutoff stays authoritative for every channel both recoveries cover.
+func (s *SPBC) beginRecovery(cutoffs map[mpi.ChanKey]uint64) {
+	if s.cutoffs == nil {
+		s.cutoffs = cutoffs
+		return
+	}
+	for k, v := range cutoffs {
+		if v > s.cutoffs[k] {
+			s.cutoffs[k] = v
+		}
+	}
+}
 
 // endRecovery clears the suppression cutoffs once the rank has re-executed
 // past the failure point and rejoined the failure-free execution.

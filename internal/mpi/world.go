@@ -1,6 +1,7 @@
 package mpi
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -104,8 +105,11 @@ func (w *World) Abort() {
 }
 
 // Run executes fn on every rank concurrently (one goroutine per rank) and
-// waits for all of them to return. The first non-nil error is returned; when
-// any rank fails, the world is aborted so blocked ranks do not hang.
+// waits for all of them to return. When any rank fails, the world is aborted
+// so blocked ranks do not hang; the aborted ranks then fail with errors
+// wrapping ErrWorldStopped. Run prefers the primary failure: the first error
+// (by rank) that is not such a secondary abort reaction, falling back to the
+// first error of any kind.
 func (w *World) Run(fn func(p *Proc) error) error {
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
@@ -126,12 +130,19 @@ func (w *World) Run(fn func(p *Proc) error) error {
 		}(i)
 	}
 	wg.Wait()
+	var first error
 	for _, err := range errs {
-		if err != nil {
+		if err == nil {
+			continue
+		}
+		if first == nil {
+			first = err
+		}
+		if !errors.Is(err, ErrWorldStopped) {
 			return err
 		}
 	}
-	return nil
+	return first
 }
 
 // MaxTime returns the maximum virtual clock across all ranks, i.e. the

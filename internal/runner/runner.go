@@ -124,6 +124,20 @@ type Scenario struct {
 	// Recorder, if set, is attached to the measured world so callers can run
 	// trace-based determinism analyses.
 	Recorder *trace.Recorder
+	// Chaos attaches chaos instrumentation (any protocol except
+	// ProtocolNative): lifecycle hooks and storage fault injection.
+	Chaos *ChaosSpec
+}
+
+// ChaosSpec is the chaos instrumentation of one scenario: the runner-level
+// surface the internal/chaos subsystem compiles its scenarios into.
+type ChaosSpec struct {
+	// Faultpoints receives the engine's lifecycle hook firings (fault
+	// scheduling windows, commit-drain stalls, recovery observation).
+	Faultpoints *core.FaultRegistry
+	// WrapStorage, if set, decorates the scenario's checkpoint storage after
+	// defaulting — typically with checkpoint.NewFaultStorage.
+	WrapStorage func(checkpoint.Storage) checkpoint.Storage
 }
 
 // AdaptiveOptions tunes adaptive epoch-based clustering.
@@ -175,6 +189,9 @@ func WithStorage(st checkpoint.Storage) Option { return func(s *Scenario) { s.St
 // WithRecorder attaches a trace recorder to the measured world.
 func WithRecorder(r *trace.Recorder) Option { return func(s *Scenario) { s.Recorder = r } }
 
+// WithChaos attaches chaos instrumentation to the scenario.
+func WithChaos(spec ChaosSpec) Option { return func(s *Scenario) { s.Chaos = &spec } }
+
 // normalize applies defaults and validates the scenario.
 func (s *Scenario) normalize() error {
 	if s.App == nil {
@@ -198,6 +215,9 @@ func (s *Scenario) normalize() error {
 	if s.Protocol == ProtocolNative && len(s.Faults) > 0 {
 		return fmt.Errorf("runner: the native baseline cannot recover from faults")
 	}
+	if s.Protocol == ProtocolNative && s.Chaos != nil {
+		return fmt.Errorf("runner: the native baseline has no chaos surface (no engine lifecycle, no checkpoint storage)")
+	}
 	if s.Clusters <= 0 {
 		s.Clusters = 2
 	}
@@ -217,7 +237,7 @@ func (s *Scenario) normalize() error {
 	}
 	// Adaptive clustering needs checkpoint waves even without faults: epochs
 	// open only at wave boundaries.
-	if s.CheckpointInterval == 0 && (len(s.Faults) > 0 || s.Protocol == ProtocolSPBCAdaptive) {
+	if s.CheckpointInterval == 0 && (len(s.Faults) > 0 || s.Chaos != nil || s.Protocol == ProtocolSPBCAdaptive) {
 		s.CheckpointInterval = s.Steps / 4
 		if s.CheckpointInterval < 1 {
 			s.CheckpointInterval = 1
@@ -239,6 +259,9 @@ func (s *Scenario) normalize() error {
 	s.Cost.RanksPerNode = s.RanksPerNode
 	if s.Storage == nil && (s.CheckpointInterval > 0 || len(s.Faults) > 0) {
 		s.Storage = checkpoint.NewMemoryStorage()
+	}
+	if s.Chaos != nil && s.Chaos.WrapStorage != nil && s.Storage != nil {
+		s.Storage = s.Chaos.WrapStorage(s.Storage)
 	}
 	return nil
 }
@@ -308,6 +331,9 @@ func engineConfig(sc *Scenario) (core.Config, error) {
 		Steps:    sc.Steps,
 		Storage:  sc.Storage,
 		Faults:   sc.Faults,
+	}
+	if sc.Chaos != nil {
+		cfg.Faultpoints = sc.Chaos.Faultpoints
 	}
 	switch sc.Protocol {
 	case ProtocolCoordinated:
