@@ -48,6 +48,16 @@
 // an invariant. A failed generated row reproduces from its seed alone:
 //
 //	spbcbench -profile chaos -name ci -chaos-seeds 16 -out .
+//
+// -profile scale measures how the simulator's host cost grows with the world
+// size: each cell runs a ring workload on a full engine at one rank count
+// (default sweep 64→16384, SPBC block clusters and full-log) and records
+// host-ns per simulated send and peak heap, gated so ns/send stays within
+// -ns-send-factor of the smallest cell and heap grows sublinearly in ranks
+// (-mem-factor). Results are written as BENCH_scale_<name>.json, exiting
+// non-zero on any gate violation:
+//
+//	spbcbench -profile scale -name baseline -out .
 package main
 
 import (
@@ -65,7 +75,7 @@ func main() {
 	var (
 		name       = flag.String("name", "sweep", "sweep name; output file is BENCH_<name>.json (BENCH_perf_<name>.json with -profile perf)")
 		out        = flag.String("out", ".", "output directory")
-		profile    = flag.String("profile", "sweep", "what to measure: 'sweep' (virtual-time protocol matrix), 'perf' (real allocs/op and ns/op of the runtime hot path), 'compare' (regression gate of -candidate against -baseline) or 'chaos' (fault-injection suite with invariant checking)")
+		profile    = flag.String("profile", "sweep", "what to measure: 'sweep' (virtual-time protocol matrix), 'perf' (real allocs/op and ns/op of the runtime hot path), 'compare' (regression gate of -candidate against -baseline), 'chaos' (fault-injection suite with invariant checking) or 'scale' (world-size growth of host ns/send and peak heap)")
 		chaosSeeds = flag.Int("chaos-seeds", 16, "number of generated scenarios for -profile chaos (seeds -seed .. -seed+n-1)")
 		sizes      = flag.String("sizes", "64,1024,16384", "comma-separated payload sizes for -profile perf")
 		allocGuard = flag.Float64("alloc-guard", 0, "allocs/op ceiling for -profile perf cells: 0 = protocol defaults, negative disables")
@@ -75,6 +85,10 @@ func main() {
 		candidate  = flag.String("candidate", "BENCH_perf_ci.json", "candidate perf profile for -profile compare")
 		allocSlack = flag.Float64("alloc-slack", 0, "allocs/op slack for -profile compare (0 = default 1.0)")
 		nsFactor   = flag.Float64("ns-factor", 0, "ns/op ratio threshold for -profile compare (0 = default 5.0)")
+		scaleRanks = flag.String("scale-ranks", "", "comma-separated rank counts for -profile scale (default: 64,256,1024,4096,16384)")
+		rpc        = flag.Int("ranks-per-cluster", 0, "SPBC block-cluster size for -profile scale (0 = default 16)")
+		nsSendFac  = flag.Float64("ns-send-factor", 0, "ns/send growth gate for -profile scale: largest cell within this factor of the smallest (0 = default 4.0, negative disables)")
+		memFactor  = flag.Float64("mem-factor", 0, "peak-heap growth gate for -profile scale: heap ratio <= factor x rank ratio (0 = default 1.0, negative disables)")
 		adaptGate  = flag.Bool("adaptive-gate", false, "fail the sweep when adaptive SPBC regresses against static SPBC (requires both in -protocols)")
 		protocols  = flag.String("protocols", "", "comma-separated protocols (default: all five)")
 		kernels    = flag.String("kernels", "ring:16:3,solver:24,phase:32:2", "comma-separated kernels, name:size[:arg] (arg: ring reduce period / phase length)")
@@ -91,7 +105,7 @@ func main() {
 	flag.Parse()
 
 	switch *profile {
-	case "perf", "compare", "chaos":
+	case "perf", "compare", "chaos", "scale":
 		if *adaptGate {
 			// Refuse rather than silently skip: the caller would believe the
 			// gate ran when only the perf/compare path executed.
@@ -104,11 +118,13 @@ func main() {
 			runCompare(*baseline, *candidate, *allocSlack, *nsFactor)
 		case "chaos":
 			runChaosProfile(*name, *out, *seed, *chaosSeeds, *quiet)
+		case "scale":
+			runScaleProfile(*name, *out, *protocols, *scaleRanks, *rpc, *nsSendFac, *memFactor, *quiet)
 		}
 		return
 	case "sweep":
 	default:
-		fatal(fmt.Errorf("unknown profile %q (have sweep, perf, compare)", *profile))
+		fatal(fmt.Errorf("unknown profile %q (have sweep, perf, compare, chaos, scale)", *profile))
 	}
 
 	m := bench.Matrix{
@@ -212,6 +228,45 @@ func runPerfProfile(name, out, protocols, sizes string, allocGuard, captureGuard
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "guard violation:", v)
+		}
+		os.Exit(1)
+	}
+}
+
+// runScaleProfile executes the world-size growth profile and exits non-zero
+// when any cell grew past the ns/send or peak-heap gate.
+func runScaleProfile(name, out, protocols, ranks string, rpc int, nsSendFactor, memFactor float64, quiet bool) {
+	m := bench.ScaleMatrix{
+		Name:            name,
+		RanksPerCluster: rpc,
+		NsPerSendFactor: nsSendFactor,
+		MemFactor:       memFactor,
+	}
+	var err error
+	if m.Protocols, err = parseProtocols(protocols); err != nil {
+		fatal(err)
+	}
+	if ranks != "" {
+		if m.Ranks, err = parseInts("scale-ranks", ranks); err != nil {
+			fatal(err)
+		}
+	}
+	res, err := bench.RunScale(m)
+	if err != nil {
+		fatal(err)
+	}
+	path, err := res.WriteFile(out)
+	if err != nil {
+		fatal(err)
+	}
+	if !quiet {
+		fmt.Println(res.Table())
+	}
+	violations := res.Violations()
+	fmt.Printf("wrote %s (%d cells, %d gate violations)\n", path, len(res.Cells), len(violations))
+	if len(violations) > 0 {
+		for _, v := range violations {
+			fmt.Fprintln(os.Stderr, "gate violation:", v)
 		}
 		os.Exit(1)
 	}

@@ -94,10 +94,24 @@ func (k KernelSpec) Factory() (model.AppFactory, error) {
 
 // drawFaults draws count distinct faults from the cell seed: any rank, any
 // iteration in [1, steps) so that the initial checkpoint wave precedes every
-// failure.
-func drawFaults(seed int64, count, ranks, steps int) []core.Fault {
+// failure. It validates its own cell geometry rather than trusting the
+// caller: steps < 2 leaves no iteration to fault (and would previously panic
+// in rng.Intn with a non-positive argument), and asking for more faults than
+// there are distinct (rank, iteration) pairs would previously make the
+// rejection-sampling loop spin forever.
+func drawFaults(seed int64, count, ranks, steps int) ([]core.Fault, error) {
 	if count == 0 {
-		return nil
+		return nil, nil
+	}
+	if ranks < 1 {
+		return nil, fmt.Errorf("bench: drawing %d faults needs at least 1 rank, got %d", count, ranks)
+	}
+	if steps < 2 {
+		return nil, fmt.Errorf("bench: drawing %d faults needs steps >= 2 so an iteration in [1, steps) exists, got %d", count, steps)
+	}
+	if max := ranks * (steps - 1); count > max {
+		return nil, fmt.Errorf("bench: %d faults exceed the %d distinct (rank, iteration) locations of %d ranks x %d steps",
+			count, max, ranks, steps)
 	}
 	rng := rand.New(rand.NewSource(seed))
 	seen := make(map[core.Fault]bool, count)
@@ -116,7 +130,7 @@ func drawFaults(seed int64, count, ranks, steps int) []core.Fault {
 		}
 		return out[i].Rank < out[j].Rank
 	})
-	return out
+	return out, nil
 }
 
 // FaultSpec describes one fault plan of the matrix: Count faults whose ranks
@@ -256,7 +270,7 @@ func (m *Matrix) normalize() error {
 // one group per rank). Fault plans are skipped for cells that cannot recover
 // (no checkpoint interval), and cells whose axes coincide after clamping
 // (e.g. two cluster counts both clamped to the rank count) are emitted once.
-func (m *Matrix) cells() []Cell {
+func (m *Matrix) cells() ([]Cell, error) {
 	var out []Cell
 	seen := make(map[string]bool)
 	for _, proto := range m.Protocols {
@@ -298,7 +312,11 @@ func (m *Matrix) cells() []Cell {
 							}
 							seen[c.key()] = true
 							c.Seed = cellSeed(m.Seed, c.key())
-							c.Faults = drawFaults(c.Seed, plan.Count, ranks, m.Steps)
+							faults, err := drawFaults(c.Seed, plan.Count, ranks, m.Steps)
+							if err != nil {
+								return nil, fmt.Errorf("bench: cell %s: %w", c.key(), err)
+							}
+							c.Faults = faults
 							out = append(out, c)
 						}
 					}
@@ -306,7 +324,7 @@ func (m *Matrix) cells() []Cell {
 			}
 		}
 	}
-	return out
+	return out, nil
 }
 
 // key canonicalizes the cell's axes for seeding and deduplication.
@@ -330,7 +348,10 @@ func Run(m Matrix) (*Result, error) {
 	if err := m.normalize(); err != nil {
 		return nil, err
 	}
-	cells := m.cells()
+	cells, err := m.cells()
+	if err != nil {
+		return nil, err
+	}
 
 	type outcome struct {
 		rep *runner.Report

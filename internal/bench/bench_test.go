@@ -13,7 +13,10 @@ func TestDefaultMatrixMeetsPaperScale(t *testing.T) {
 	if err := m.normalize(); err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
-	cells := m.cells()
+	cells, err := m.cells()
+	if err != nil {
+		t.Fatalf("cells: %v", err)
+	}
 	if len(cells) < 40 {
 		t.Fatalf("default matrix has %d cells, want >= 40 (5 protocols x 3 kernels x configs)", len(cells))
 	}
@@ -47,7 +50,11 @@ func TestCellExpansionIsDeterministic(t *testing.T) {
 	if err := b.normalize(); err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
-	ca, cb := a.cells(), b.cells()
+	ca, errA := a.cells()
+	cb, errB := b.cells()
+	if errA != nil || errB != nil {
+		t.Fatalf("cells: %v / %v", errA, errB)
+	}
 	if !reflect.DeepEqual(ca, cb) {
 		t.Fatalf("same matrix expanded differently")
 	}
@@ -56,7 +63,10 @@ func TestCellExpansionIsDeterministic(t *testing.T) {
 	if err := c.normalize(); err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
-	cc := c.cells()
+	cc, err := c.cells()
+	if err != nil {
+		t.Fatalf("cells: %v", err)
+	}
 	same := true
 	for i := range ca {
 		if len(ca[i].Faults) > 0 && !reflect.DeepEqual(ca[i].Faults, cc[i].Faults) {
@@ -109,6 +119,38 @@ func TestMatrixValidation(t *testing.T) {
 	}
 }
 
+// TestDrawFaultsRejectsDegenerateCells pins the two historic failure modes:
+// steps < 2 panicked inside rng.Intn (zero-width iteration range), and a
+// count above the number of distinct (rank, iteration) pairs spun the
+// rejection-sampling loop forever. Both must now come back as errors.
+func TestDrawFaultsRejectsDegenerateCells(t *testing.T) {
+	if _, err := drawFaults(1, 1, 4, 1); err == nil {
+		t.Fatalf("steps=1 accepted; faults need an iteration in [1, steps)")
+	}
+	if _, err := drawFaults(1, 1, 4, 0); err == nil {
+		t.Fatalf("steps=0 accepted")
+	}
+	if _, err := drawFaults(1, 13, 4, 4); err == nil {
+		t.Fatalf("13 faults from 4x3=12 locations accepted; the draw could never terminate")
+	}
+	if _, err := drawFaults(1, 1, 0, 4); err == nil {
+		t.Fatalf("ranks=0 accepted")
+	}
+	// The exact boundary still works: count == ranks*(steps-1) enumerates
+	// every location.
+	faults, err := drawFaults(1, 12, 4, 4)
+	if err != nil {
+		t.Fatalf("exhaustive draw rejected: %v", err)
+	}
+	if len(faults) != 12 {
+		t.Fatalf("exhaustive draw returned %d faults, want 12", len(faults))
+	}
+	// count=0 stays a no-op regardless of geometry.
+	if faults, err := drawFaults(1, 0, 0, 0); err != nil || faults != nil {
+		t.Fatalf("count=0 draw = (%v, %v), want (nil, nil)", faults, err)
+	}
+}
+
 func TestClampedClusterAxisDeduplicates(t *testing.T) {
 	m := Matrix{
 		Name:      "clamp",
@@ -119,7 +161,10 @@ func TestClampedClusterAxisDeduplicates(t *testing.T) {
 	if err := m.normalize(); err != nil {
 		t.Fatalf("normalize: %v", err)
 	}
-	cells := m.cells()
+	cells, err := m.cells()
+	if err != nil {
+		t.Fatalf("cells: %v", err)
+	}
 	keys := map[string]bool{}
 	for _, c := range cells {
 		if keys[c.key()] {

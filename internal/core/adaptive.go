@@ -254,6 +254,12 @@ func (a *adaptive) decideLocked(iter int) (*EpochView, error) {
 	if err != nil {
 		return nil, fmt.Errorf("core: adaptive repartition at iteration %d: %w", iter, err)
 	}
+	// All ranks are parked at the decision gate, so this single goroutine can
+	// intern the new epoch's cluster comms deterministically; the switching
+	// ranks then resolve them by lookup, with no world-sized CommSplit.
+	if err := internClusterComms(a.e.world, v); err != nil {
+		return nil, fmt.Errorf("core: adaptive repartition at iteration %d: %w", iter, err)
+	}
 	logged, sent := a.cumTotals()
 	a.closeOpenEpochLocked(logged, sent)
 	a.history = append(a.history, EpochInfo{

@@ -205,6 +205,7 @@ type Engine struct {
 	protos    []*SPBC
 	stores    []*logstore.Store
 	bar       *rendezvous
+	switchBar *rendezvous // epoch-switch rendezvous between flush and first new-epoch capture
 	committer *committer
 	adapt     *adaptive // nil for static policies
 
@@ -238,16 +239,24 @@ func NewEngine(w *mpi.World, cfg Config) (*Engine, error) {
 		return nil, err
 	}
 	e := &Engine{
-		world:  w,
-		cfg:    cfg,
-		pol:    pol,
-		view:   view,
-		protos: make([]*SPBC, w.Size()),
-		stores: make([]*logstore.Store, w.Size()),
-		bar:    newRendezvous(w.Size()),
-		events: buildEvents(cfg.Faults),
-		rolled: make(map[int]bool),
-		verify: make([]float64, w.Size()),
+		world:     w,
+		cfg:       cfg,
+		pol:       pol,
+		view:      view,
+		protos:    make([]*SPBC, w.Size()),
+		stores:    make([]*logstore.Store, w.Size()),
+		bar:       newRendezvous(w.Size()),
+		switchBar: newRendezvous(w.Size()),
+		events:    buildEvents(cfg.Faults),
+		rolled:    make(map[int]bool),
+		verify:    make([]float64, w.Size()),
+	}
+	// Intern the epoch's cluster communicators once, in group order, from
+	// this single goroutine: every rank then resolves its comm with a cache
+	// hit instead of a world-sized CommSplit allgather (O(world²) traffic at
+	// init), and comm ids are deterministic across runs.
+	if err := internClusterComms(w, view); err != nil {
+		return nil, err
 	}
 	for r := 0; r < w.Size(); r++ {
 		e.stores[r] = logstore.New()
@@ -360,12 +369,31 @@ func (e *Engine) LoggedBytesByCluster() []uint64 {
 // leave the others blocked forever.
 func (e *Engine) abortRun() {
 	e.bar.abort()
+	e.switchBar.abort()
 	if e.adapt != nil {
 		e.adapt.abort()
 	}
 	if e.committer != nil {
 		e.committer.abort()
 	}
+}
+
+// internClusterComms interns every recovery group's communicator for one
+// epoch, in group order. Must run on a single goroutine (engine init, or the
+// adaptive decision point while all ranks are parked).
+func internClusterComms(w *mpi.World, view *EpochView) error {
+	for g := 0; g < view.Groups(); g++ {
+		if _, err := w.InternComm(view.Members(g)); err != nil {
+			return fmt.Errorf("core: epoch %d group %d communicator: %w", view.Epoch(), g, err)
+		}
+	}
+	return nil
+}
+
+// clusterComm resolves a rank's cluster communicator from the epoch view.
+// The comm was interned at view creation, so this is a lookup.
+func (e *Engine) clusterComm(view *EpochView, cluster int) (*mpi.Comm, error) {
+	return e.world.InternComm(view.Members(cluster))
 }
 
 // Run executes the application on every rank of the world, with
@@ -419,7 +447,7 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 	}
 	rc := &rankCtx{view: e.protos[rank].View()}
 	rc.cluster = rc.view.Group(rank)
-	clusterComm, err := p.CommSplit(e.world.CommWorld(), rc.cluster, rank)
+	clusterComm, err := e.clusterComm(rc.view, rc.cluster)
 	if err != nil {
 		return fmt.Errorf("core: rank %d: cluster communicator: %w", rank, err)
 	}
@@ -513,8 +541,10 @@ func (e *Engine) runRank(p *mpi.Proc, app model.App) error {
 // (out-of-band, no virtual time) and learn the epoch active from this
 // boundary on. A rank whose epoch is older than the decision switches: it
 // drains the committer (old-epoch waves become durable and their remote logs
-// are GC'd before the cluster numbering changes), splits the new cluster
-// communicator, and installs the new view; the wave it then captures is the
+// are GC'd before the cluster numbering changes), meets the world at the
+// switch rendezvous, resolves the new cluster communicator from the view
+// (interned by the decision rank), and installs the new view; the wave it
+// then captures is the
 // first of the new epoch — the epoch's recovery line — and is forced durable
 // before the exit barrier releases anyone, so recovery after this point
 // always restores a wave of the current epoch.
@@ -534,7 +564,20 @@ func (e *Engine) checkpointRank(p *mpi.Proc, app model.App, rc *rankCtx, iter in
 			if err := e.committer.flush(); err != nil {
 				return fmt.Errorf("core: rank %d: drain before epoch %d: %w", rank, next.Epoch(), err)
 			}
-			newComm, err := p.CommSplit(e.world.CommWorld(), next.Group(rank), rank)
+			// World rendezvous between the flush and the first new-epoch
+			// capture: flush waits for *every* cluster's waves, so a rank
+			// submitting a new-epoch partial wave before some other rank has
+			// flushed would deadlock that rank's flush. The old CommSplit's
+			// world allgather provided this barrier implicitly; the new-epoch
+			// comms are now derived locally from the view (interned by the
+			// decision rank while everyone was parked), so the rendezvous is
+			// explicit. Every rank crosses the switch boundary exactly once —
+			// re-execution never re-crosses an epoch switch — so generations
+			// stay aligned.
+			if err := e.switchBar.await(); err != nil {
+				return fmt.Errorf("core: rank %d: epoch %d switch rendezvous: %w", rank, next.Epoch(), err)
+			}
+			newComm, err := e.clusterComm(next, next.Group(rank))
 			if err != nil {
 				return fmt.Errorf("core: rank %d: epoch %d cluster communicator: %w", rank, next.Epoch(), err)
 			}

@@ -43,6 +43,24 @@ type Policy interface {
 	Logs(epoch, src, dst int) bool
 }
 
+// GroupBoundaryLogger is an optional Policy refinement: a policy that
+// implements it with LogsGroupBoundaryOnly() == true promises that
+// Logs(epoch, src, dst) is true exactly when src and dst are in different
+// recovery groups of that epoch — no extra intra-group logging, no missing
+// inter-group logging. All built-in policies hold this by construction
+// (coordinated: one group, nothing inter-group; full-log: singleton groups,
+// everything inter-group; spbc/adaptive: cluster boundary).
+//
+// The promise lets NewEpochView skip materializing the O(world²) dense
+// logging matrix: at 16384 ranks that matrix is 256 MiB of bools plus 268M
+// Policy.Logs interface calls per epoch, which is the difference between a
+// scale cell fitting in memory or not. At small world sizes (≤ 256 ranks)
+// the view still cross-checks the promise against Policy.Logs exhaustively,
+// so a lying marker fails fast in every ordinary test.
+type GroupBoundaryLogger interface {
+	LogsGroupBoundaryOnly() bool
+}
+
 // EpochView is the engine's validated, immutable view of one policy epoch:
 // the group assignment and the logging relation, computed once and cached so
 // that per-send policy decisions are a slice lookup away (no interface call,
@@ -52,7 +70,8 @@ type EpochView struct {
 	groupOf   []int
 	groups    int
 	groupSize []int
-	logs      []bool // src*size + dst
+	members   [][]int // group -> world ranks, ascending
+	logs      []bool  // src*size + dst; nil for group-boundary policies
 }
 
 // Epoch returns the epoch id of the view.
@@ -72,8 +91,20 @@ func (v *EpochView) GroupSize(g int) int { return v.groupSize[g] }
 // Group returns the recovery group of a rank.
 func (v *EpochView) Group(rank int) int { return v.groupOf[rank] }
 
+// Members returns the world ranks of a group in ascending order. The slice
+// is shared and must not be mutated; the engine derives each group's cluster
+// communicator from it instead of running a world-sized CommSplit per rank.
+func (v *EpochView) Members(g int) []int { return v.members[g] }
+
 // Logs reports whether src→dst messages are sender-logged under this epoch.
-func (v *EpochView) Logs(src, dst int) bool { return v.logs[src*len(v.groupOf)+dst] }
+// Group-boundary policies carry no dense matrix: the relation is the group
+// comparison itself.
+func (v *EpochView) Logs(src, dst int) bool {
+	if v.logs == nil {
+		return v.groupOf[src] != v.groupOf[dst]
+	}
+	return v.logs[src*len(v.groupOf)+dst]
+}
 
 // NewEpochView validates one epoch of a policy against a world size and
 // caches its decisions: one dense, non-negative group id per rank, and a
@@ -102,7 +133,7 @@ func NewEpochView(pol Policy, epoch, size int) (*EpochView, error) {
 		groupOf:   append([]int(nil), groupOf...),
 		groups:    groups,
 		groupSize: make([]int, groups),
-		logs:      make([]bool, size*size),
+		members:   make([][]int, groups),
 	}
 	for _, g := range groupOf {
 		v.groupSize[g]++
@@ -111,7 +142,30 @@ func NewEpochView(pol Policy, epoch, size int) (*EpochView, error) {
 		if n == 0 {
 			return nil, fmt.Errorf("core: policy %s epoch %d leaves group %d empty (ids must be dense)", pol.Name(), epoch, g)
 		}
+		v.members[g] = make([]int, 0, n)
 	}
+	for r, g := range groupOf {
+		v.members[g] = append(v.members[g], r)
+	}
+
+	boundary, _ := pol.(GroupBoundaryLogger)
+	if boundary != nil && boundary.LogsGroupBoundaryOnly() {
+		// The logging relation is the group comparison; no dense matrix. At
+		// small sizes, cross-check the promise exhaustively so a policy whose
+		// Logs disagrees with its marker is caught by any ordinary test run.
+		if size <= groupBoundaryCheckLimit {
+			for s := 0; s < size; s++ {
+				for d := 0; d < size; d++ {
+					if pol.Logs(epoch, s, d) != (groupOf[s] != groupOf[d]) {
+						return nil, fmt.Errorf("core: policy %s epoch %d claims group-boundary logging but Logs(%d,%d) deviates", pol.Name(), epoch, s, d)
+					}
+				}
+			}
+		}
+		return v, nil
+	}
+
+	v.logs = make([]bool, size*size)
 	for s := 0; s < size; s++ {
 		for d := 0; d < size; d++ {
 			logs := pol.Logs(epoch, s, d)
@@ -123,6 +177,11 @@ func NewEpochView(pol Policy, epoch, size int) (*EpochView, error) {
 	}
 	return v, nil
 }
+
+// groupBoundaryCheckLimit is the world size up to which a GroupBoundaryLogger
+// policy's promise is verified against Policy.Logs exhaustively (O(size²)
+// interface calls — cheap at test sizes, prohibitive at 10k+ ranks).
+const groupBoundaryCheckLimit = 256
 
 // SPBCProtocol is the paper's hybrid protocol: recovery groups are the
 // communication-driven clusters, and only inter-cluster messages are logged.
@@ -148,6 +207,9 @@ func (s *SPBCProtocol) GroupOf(epoch int) []int { return append([]int(nil), s.cl
 // Logs selects inter-cluster messages.
 func (s *SPBCProtocol) Logs(epoch, src, dst int) bool { return s.clusterOf[src] != s.clusterOf[dst] }
 
+// LogsGroupBoundaryOnly: the logging relation is exactly the cluster boundary.
+func (s *SPBCProtocol) LogsGroupBoundaryOnly() bool { return true }
+
 // CoordinatedProtocol is pure coordinated checkpointing, the first baseline
 // of the paper's comparison: the whole world is one recovery group, every
 // checkpoint wave is global, nothing is ever logged, and any failure rolls
@@ -169,6 +231,10 @@ func (c *CoordinatedProtocol) GroupOf(epoch int) []int { return make([]int, c.ra
 
 // Logs logs nothing: surviving ranks roll back instead of replaying.
 func (c *CoordinatedProtocol) Logs(epoch, src, dst int) bool { return false }
+
+// LogsGroupBoundaryOnly: one global group, so "nothing" and "inter-group
+// only" coincide.
+func (c *CoordinatedProtocol) LogsGroupBoundaryOnly() bool { return true }
 
 // FullLogProtocol is full sender-based message logging, the second baseline:
 // every rank is its own recovery group, so checkpoints are per-process (the
@@ -198,6 +264,10 @@ func (f *FullLogProtocol) GroupOf(epoch int) []int {
 
 // Logs logs every message (self-channels never occur in the runtime).
 func (f *FullLogProtocol) Logs(epoch, src, dst int) bool { return src != dst }
+
+// LogsGroupBoundaryOnly: singleton groups, so "everything" and "inter-group
+// only" coincide.
+func (f *FullLogProtocol) LogsGroupBoundaryOnly() bool { return true }
 
 // AdaptivePolicy is the epoch-versioned policy behind adaptive clustering:
 // epoch 0 is the seed partition, and the engine's repartitioner pushes a new
@@ -247,6 +317,10 @@ func (a *AdaptivePolicy) Logs(epoch, src, dst int) bool {
 	p := a.parts[epoch]
 	return p[src] != p[dst]
 }
+
+// LogsGroupBoundaryOnly: every epoch's relation is exactly that epoch's
+// cluster boundary.
+func (a *AdaptivePolicy) LogsGroupBoundaryOnly() bool { return true }
 
 // Push appends a new partition and returns its epoch id.
 func (a *AdaptivePolicy) Push(clusterOf []int) int {

@@ -14,11 +14,16 @@ import (
 // SPBC's sender-based logging and identifier matching apply to them without
 // any special handling.
 //
-// Algorithms: dissemination barrier, binomial-tree broadcast and reduce,
-// recursive-doubling allreduce (via reduce+broadcast for non-power-of-two
-// sizes), ring allgather, linear gather/scatter and pairwise alltoall. Each
-// collective call consumes one slot of the per-communicator collective
-// sequence so that tags of distinct collective invocations never collide.
+// Algorithms: dissemination barrier, binomial-tree broadcast, reduce and
+// gather, Bruck allgather, recursive-doubling scan, allreduce via
+// reduce+broadcast, linear scatter and pairwise alltoall. Everything except
+// scatter and alltoall is O(log n) in rounds — at 10k+ ranks an O(n)-step
+// ring or linear chain dominates both the simulated makespan and the host
+// time, so the log-round algorithms are what makes world-sized collectives
+// (CommSplit's membership exchange, the clustering profile allgather)
+// affordable at scale. Each collective call consumes one slot of the
+// per-communicator collective sequence so that tags of distinct collective
+// invocations never collide.
 
 // nextCollTag reserves a tag block for one collective invocation on comm.
 // Every member calls the same collectives in the same order (SPMD), so the
@@ -84,8 +89,9 @@ func (p *Proc) Barrier(comm *Comm) error {
 		return nil
 	}
 	tag := p.nextCollTag(comm)
-	token := []byte{1}
-	buf := make([]byte, 1)
+	p.barScratch[0] = 1
+	token := p.barScratch[0:1]
+	buf := p.barScratch[1:2]
 	for dist := 1; dist < n; dist *= 2 {
 		to := (me + dist) % n
 		from := (me - dist + n) % n
@@ -248,7 +254,12 @@ func (p *Proc) AllreduceF64(send, recv []float64, op Op, comm *Comm) error {
 }
 
 // AllgatherBytes gathers each rank's contribution (all of identical length)
-// and returns the concatenation in comm-rank order, using a ring algorithm.
+// and returns the concatenation in comm-rank order, using the Bruck
+// algorithm: ceil(log2(n)) rounds for any communicator size, each round
+// shipping the (up to) first half of the blocks collected so far. Bandwidth
+// matches the old ring (each rank still moves n blocks in total) but the
+// round count — which is what both the simulated makespan and the host
+// wall-clock scale with — drops from n-1 to log n.
 func (p *Proc) AllgatherBytes(send []byte, comm *Comm) ([]byte, error) {
 	if comm == nil {
 		comm = p.world.worldComm
@@ -260,30 +271,39 @@ func (p *Proc) AllgatherBytes(send []byte, comm *Comm) ([]byte, error) {
 	n := comm.Size()
 	blk := len(send)
 	out := make([]byte, blk*n)
-	copy(out[me*blk:], send)
 	if n == 1 {
+		copy(out, send)
 		return out, nil
 	}
 	tag := p.nextCollTag(comm)
-	right := (me + 1) % n
-	left := (me - 1 + n) % n
-	cur := me
-	buf := make([]byte, blk)
-	for step := 0; step < n-1; step++ {
-		// Send the block we most recently obtained to the right, receive a
-		// new block from the left.
-		rreq, err := p.irecv(buf, comm.WorldRank(left), tag, comm)
+	// tmp holds blocks in me-relative order: tmp block i belongs to comm
+	// rank (me+i) mod n. Entering the round at distance d, blocks [0,d) are
+	// present; the peer at distance d contributes its first min(d, n-d)
+	// blocks, which are exactly our blocks [d, d+cnt).
+	tmp := make([]byte, blk*n)
+	copy(tmp, send)
+	for d := 1; d < n; d *= 2 {
+		cnt := d
+		if n-d < cnt {
+			cnt = n - d
+		}
+		to := (me - d + n) % n
+		from := (me + d) % n
+		rreq, err := p.irecv(tmp[d*blk:(d+cnt)*blk], comm.WorldRank(from), tag, comm)
 		if err != nil {
 			return nil, err
 		}
-		if err := p.sendColl(out[cur*blk:(cur+1)*blk], right, tag, comm); err != nil {
+		if err := p.sendColl(tmp[:cnt*blk], to, tag, comm); err != nil {
 			return nil, err
 		}
 		if _, err := p.Wait(rreq); err != nil {
 			return nil, err
 		}
-		cur = (cur - 1 + n) % n
-		copy(out[cur*blk:], buf)
+	}
+	// Rotate back to absolute comm-rank order.
+	for i := 0; i < n; i++ {
+		r := (me + i) % n
+		copy(out[r*blk:(r+1)*blk], tmp[i*blk:(i+1)*blk])
 	}
 	return out, nil
 }
@@ -302,7 +322,10 @@ func (p *Proc) AllgatherF64(send []float64, comm *Comm) ([]float64, error) {
 
 // GatherBytes gathers each rank's contribution (identical lengths) to the
 // root, which receives the concatenation in comm-rank order; other ranks
-// receive nil.
+// receive nil. A binomial tree (rotated so the root is virtual rank 0, like
+// BcastBytes/ReduceF64) replaces the old linear root-receives-from-everyone
+// loop: the root now takes log n receives instead of n-1, with intermediate
+// nodes forwarding their whole collected subtree in one message.
 func (p *Proc) GatherBytes(send []byte, root int, comm *Comm) ([]byte, error) {
 	if comm == nil {
 		comm = p.world.worldComm
@@ -313,19 +336,48 @@ func (p *Proc) GatherBytes(send []byte, root int, comm *Comm) ([]byte, error) {
 	}
 	n := comm.Size()
 	tag := p.nextCollTag(comm)
-	if me != root {
-		return nil, p.sendColl(send, root, tag, comm)
-	}
 	blk := len(send)
+	vrank := (me - root + n) % n
+	// My subtree spans virtual ranks [vrank, vrank+sub): sized upfront so a
+	// leaf allocates one block, not O(n).
+	sub := 1
+	for mask := 1; mask < n; mask <<= 1 {
+		if vrank&mask != 0 {
+			break
+		}
+		if child := vrank + mask; child < n {
+			cnt := mask
+			if n-child < cnt {
+				cnt = n - child
+			}
+			sub += cnt
+		}
+	}
+	acc := make([]byte, sub*blk)
+	copy(acc, send)
+	have := 1
+	for mask := 1; mask < n; mask <<= 1 {
+		if vrank&mask != 0 {
+			parent := ((vrank &^ mask) + root) % n
+			return nil, p.sendColl(acc[:have*blk], parent, tag, comm)
+		}
+		child := vrank + mask
+		if child < n {
+			cnt := mask
+			if n-child < cnt {
+				cnt = n - child
+			}
+			if err := p.recvColl(acc[mask*blk:(mask+cnt)*blk], (child+root)%n, tag, comm); err != nil {
+				return nil, err
+			}
+			have = mask + cnt
+		}
+	}
+	// Virtual rank 0 is the root: translate from virtual to comm-rank order.
 	out := make([]byte, blk*n)
-	copy(out[me*blk:], send)
-	for r := 0; r < n; r++ {
-		if r == me {
-			continue
-		}
-		if err := p.recvColl(out[r*blk:(r+1)*blk], r, tag, comm); err != nil {
-			return nil, err
-		}
+	for i := 0; i < n; i++ {
+		r := (i + root) % n
+		copy(out[r*blk:(r+1)*blk], acc[i*blk:(i+1)*blk])
 	}
 	return out, nil
 }
@@ -402,7 +454,11 @@ func (p *Proc) AlltoallBytes(send []byte, blockLen int, comm *Comm) ([]byte, err
 }
 
 // ScanF64 computes the inclusive prefix reduction over comm ranks: rank i
-// receives op(send_0, ..., send_i).
+// receives op(send_0, ..., send_i). Recursive doubling replaces the old
+// linear chain (rank i waited on i-1): log n rounds, in round d every rank
+// passes the reduction of its current window [i-d+1, i] to rank i+d and
+// prepends the window arriving from rank i-d, so contiguous windows merge
+// left-to-right exactly as the chain did.
 func (p *Proc) ScanF64(send, recv []float64, op Op, comm *Comm) error {
 	if comm == nil {
 		comm = p.world.worldComm
@@ -416,24 +472,34 @@ func (p *Proc) ScanF64(send, recv []float64, op Op, comm *Comm) error {
 	}
 	n := comm.Size()
 	tag := p.nextCollTag(comm)
-	acc := append([]float64(nil), send...)
+	// carry is the reduction of my window; it both feeds the next peer and,
+	// on the final round of a rank, is the finished prefix.
+	carry := append([]float64(nil), send...)
 	buf := make([]byte, 8*len(send))
 	tmp := make([]float64, len(send))
-	if me > 0 {
-		if err := p.recvColl(buf, me-1, tag, comm); err != nil {
-			return err
+	for d := 1; d < n; d *= 2 {
+		var rreq *Request
+		if me-d >= 0 {
+			if rreq, err = p.irecv(buf, comm.WorldRank(me-d), tag, comm); err != nil {
+				return err
+			}
 		}
-		decodeF64(buf, tmp)
-		for i := range acc {
-			acc[i] = op.apply(tmp[i], acc[i])
+		if me+d < n {
+			if err := p.sendColl(encodeF64(carry), me+d, tag, comm); err != nil {
+				return err
+			}
+		}
+		if rreq != nil {
+			if _, err := p.Wait(rreq); err != nil {
+				return err
+			}
+			decodeF64(buf, tmp)
+			for i := range carry {
+				carry[i] = op.apply(tmp[i], carry[i])
+			}
 		}
 	}
-	if me < n-1 {
-		if err := p.sendColl(encodeF64(acc), me+1, tag, comm); err != nil {
-			return err
-		}
-	}
-	copy(recv, acc)
+	copy(recv, carry)
 	return nil
 }
 

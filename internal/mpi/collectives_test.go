@@ -436,3 +436,206 @@ func TestCostModelIntraNodeUsedInWorld(t *testing.T) {
 		t.Errorf("intra-node receive (%g) should complete before inter-node receive (%g)", intraTime, interTime)
 	}
 }
+
+// TestGatherAllRoots sweeps every root at every collective size: the binomial
+// gather rotates ranks around the root the way BcastBytes/ReduceF64 do, and
+// the rotation arithmetic (virtual ranks, clipped subtrees at non-powers of
+// two) must hold for every (size, root) shape the linear version handled.
+func TestGatherAllRoots(t *testing.T) {
+	runSizes(t, collectiveSizes, func(w *World, p *Proc) error {
+		comm := w.CommWorld()
+		n := comm.Size()
+		for root := 0; root < n; root++ {
+			send := []byte{byte(p.Rank() * 3), byte(root), byte(p.Rank() + root)}
+			gathered, err := p.GatherBytes(send, root, comm)
+			if err != nil {
+				return err
+			}
+			if p.Rank() != root {
+				if gathered != nil {
+					return fmt.Errorf("non-root %d received gathered data for root %d", p.Rank(), root)
+				}
+				continue
+			}
+			for r := 0; r < n; r++ {
+				blk := gathered[3*r : 3*r+3]
+				if blk[0] != byte(r*3) || blk[1] != byte(root) || blk[2] != byte(r+root) {
+					return fmt.Errorf("root %d gather block %d = %v", root, r, blk)
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestReduceAllRoots pins the rotated-root shapes of the binomial reduce.
+func TestReduceAllRoots(t *testing.T) {
+	runSizes(t, collectiveSizes, func(w *World, p *Proc) error {
+		comm := w.CommWorld()
+		n := comm.Size()
+		for root := 0; root < n; root++ {
+			send := []float64{float64(p.Rank() + 1)}
+			recv := make([]float64, 1)
+			if err := p.ReduceF64(send, recv, OpSum, root, comm); err != nil {
+				return err
+			}
+			if p.Rank() == root && recv[0] != float64(n*(n+1))/2 {
+				return fmt.Errorf("reduce to root %d = %g, want %g", root, recv[0], float64(n*(n+1))/2)
+			}
+		}
+		return nil
+	})
+}
+
+// TestAllgatherLargeBlocks stresses the Bruck rounds with multi-byte blocks
+// whose count per round is clipped at non-powers of two, and checks that the
+// final rotation restores absolute comm-rank order for every member.
+func TestAllgatherLargeBlocks(t *testing.T) {
+	runSizes(t, collectiveSizes, func(w *World, p *Proc) error {
+		comm := w.CommWorld()
+		n := comm.Size()
+		const blk = 33 // deliberately odd-sized blocks
+		send := make([]byte, blk)
+		for i := range send {
+			send[i] = byte(p.Rank()*7 + i)
+		}
+		out, err := p.AllgatherBytes(send, comm)
+		if err != nil {
+			return err
+		}
+		if len(out) != blk*n {
+			return fmt.Errorf("allgather length %d, want %d", len(out), blk*n)
+		}
+		for r := 0; r < n; r++ {
+			for i := 0; i < blk; i++ {
+				if out[r*blk+i] != byte(r*7+i) {
+					return fmt.Errorf("rank %d: allgather block %d byte %d = %d, want %d",
+						p.Rank(), r, i, out[r*blk+i], byte(r*7+i))
+				}
+			}
+		}
+		return nil
+	})
+}
+
+// TestScanMultiElement checks the recursive-doubling scan element-wise on
+// vectors, including max (a non-invertible op: window merging must never
+// double-count a contribution).
+func TestScanMultiElement(t *testing.T) {
+	runSizes(t, collectiveSizes, func(w *World, p *Proc) error {
+		comm := w.CommWorld()
+		me := p.Rank()
+		send := []float64{float64(me + 1), float64(2 * (me + 1)), float64(comm.Size() - me)}
+		recv := make([]float64, 3)
+		if err := p.ScanF64(send, recv, OpSum, comm); err != nil {
+			return err
+		}
+		k := float64(me + 1)
+		if recv[0] != k*(k+1)/2 || recv[1] != k*(k+1) {
+			return fmt.Errorf("rank %d scan sum = %v", me, recv[:2])
+		}
+		if err := p.ScanF64(send, recv, OpMax, comm); err != nil {
+			return err
+		}
+		if recv[0] != float64(me+1) || recv[2] != float64(comm.Size()) {
+			return fmt.Errorf("rank %d scan max = %v", me, recv)
+		}
+		return nil
+	})
+}
+
+// TestCollectivesOnSubComm runs the reworked collectives on a strided
+// sub-communicator (members 0, 2, 4, ... of the world) with a rotated root:
+// every peer index the algorithms compute is comm-relative and must survive
+// the world-rank translation.
+func TestCollectivesOnSubComm(t *testing.T) {
+	w := testWorld(t, 9)
+	err := w.Run(func(p *Proc) error {
+		world := w.CommWorld()
+		color := -1
+		if p.Rank()%2 == 0 {
+			color = 0
+		}
+		sub, err := p.CommSplit(world, color, p.Rank())
+		if err != nil {
+			return err
+		}
+		if sub == nil {
+			return nil
+		}
+		n := sub.Size() // 5 members: world ranks 0 2 4 6 8
+		me := sub.CommRank(p.id)
+		out, err := p.AllgatherBytes([]byte{byte(10 + me)}, sub)
+		if err != nil {
+			return err
+		}
+		for r := 0; r < n; r++ {
+			if out[r] != byte(10+r) {
+				return fmt.Errorf("sub allgather block %d = %d", r, out[r])
+			}
+		}
+		root := n - 2
+		gathered, err := p.GatherBytes([]byte{byte(me * 2)}, root, sub)
+		if err != nil {
+			return err
+		}
+		if me == root {
+			for r := 0; r < n; r++ {
+				if gathered[r] != byte(r*2) {
+					return fmt.Errorf("sub gather block %d = %d", r, gathered[r])
+				}
+			}
+		}
+		recv := make([]float64, 1)
+		if err := p.ScanF64([]float64{1}, recv, OpSum, sub); err != nil {
+			return err
+		}
+		if recv[0] != float64(me+1) {
+			return fmt.Errorf("sub scan on member %d = %g", me, recv[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInternComm covers the out-of-band communicator constructor the engine
+// uses instead of CommSplit: same membership must intern to the same comm
+// CommSplit would produce, and invalid memberships must be rejected.
+func TestInternComm(t *testing.T) {
+	w := testWorld(t, 6)
+	groupA := []int{1, 3, 5}
+	cA, err := w.InternComm(groupA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cA.Size() != 3 || cA.CommRank(3) != 1 {
+		t.Fatalf("InternComm comm: size %d, rank of 3 = %d", cA.Size(), cA.CommRank(3))
+	}
+	cA2, err := w.InternComm([]int{1, 3, 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cA2 != cA {
+		t.Fatal("same membership must intern to the same communicator")
+	}
+	err = w.Run(func(p *Proc) error {
+		sub, err := p.CommSplit(w.CommWorld(), p.Rank()%2, p.Rank())
+		if err != nil {
+			return err
+		}
+		if p.Rank()%2 == 1 && sub != cA {
+			return fmt.Errorf("CommSplit of odd ranks must resolve to the pre-interned comm")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, bad := range [][]int{nil, {}, {0, 6}, {-1}, {2, 2}} {
+		if _, err := w.InternComm(bad); err == nil {
+			t.Errorf("InternComm(%v) must fail", bad)
+		}
+	}
+}

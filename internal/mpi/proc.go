@@ -22,10 +22,12 @@ type inMessage struct {
 	eager      bool
 	sendReq    *Request // rendezvous: sender's request, completed when the transfer finishes
 	replayed   bool     // injected by a recovery replay daemon
-	// senderVC is the sender's clock at send time (empty when no recorder is
-	// attached). Its backing array survives pooling, so steady-state traced
-	// sends clone the clock without allocating.
-	senderVC trace.VectorClock
+	// senderVC is the sender's clock at send time (zero when no recorder is
+	// attached), in compact wire form: the non-zero components only, so a
+	// message costs O(ranks heard from) instead of O(world). The backing
+	// arrays survive pooling, so steady-state traced sends encode the clock
+	// without allocating.
+	senderVC trace.CompactClock
 }
 
 // msgPool recycles inMessage headers so the steady-state eager path performs
@@ -44,9 +46,7 @@ func releaseMsg(m *inMessage) {
 	}
 	vc := m.senderVC
 	*m = inMessage{}
-	if vc != nil {
-		m.senderVC = vc[:0]
-	}
+	m.senderVC = vc.Reset()
 	msgPool.Put(m)
 }
 
@@ -169,6 +169,13 @@ type Proc struct {
 	// the interface call from forcing a heap allocation per operation; it is
 	// only touched from the rank's own goroutine (the stamping contract).
 	stampEnv Envelope
+
+	// barScratch is the token storage for Barrier rounds: byte 0 is the
+	// outgoing token, byte 1 the incoming one. Collectives run one at a time
+	// on the rank's own goroutine, so a single scratch pair suffices and the
+	// per-barrier allocations go away — at 10k+ ranks every barrier used to
+	// allocate 2·n tiny buffers.
+	barScratch [2]byte
 }
 
 func newProc(w *World, id int) *Proc {
@@ -363,7 +370,7 @@ func (p *Proc) isend(buf []byte, dstWorld, tag int, comm *Comm) (*Request, error
 	msg.payload = pb
 	msg.eager = eager
 	if recorded {
-		msg.senderVC = trace.CloneInto(msg.senderVC, p.vc)
+		msg.senderVC = trace.Compact(msg.senderVC, p.vc)
 	}
 	if eager {
 		msg.arriveTime = cost.EagerArrival(now, p.id, dstWorld, len(buf))
@@ -846,9 +853,7 @@ func (p *Proc) finalize(req *Request, waitStart float64) (Status, error) {
 		p.protocol.OnDeliver(p, msg.env)
 		if p.world.rec != nil {
 			p.mu.Lock()
-			if len(msg.senderVC) > 0 {
-				p.vc.Merge(msg.senderVC)
-			}
+			p.vc = msg.senderVC.MergeInto(p.vc)
 			p.vc.Tick(p.id)
 			p.mu.Unlock()
 			p.world.rec.Record(trace.Event{

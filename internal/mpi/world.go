@@ -1,10 +1,12 @@
 package mpi
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/simnet"
 	"repro/internal/trace"
@@ -23,8 +25,10 @@ type World struct {
 	nextComm  int
 	worldComm *Comm
 
-	stopMu  sync.Mutex
-	stopped bool
+	// stopped is checked on every isend/irecv/wait iteration of every rank —
+	// a mutex here is a world-global contention point at 10k+ goroutines, so
+	// it is a plain atomic flag.
+	stopped atomic.Bool
 }
 
 // Option configures a World.
@@ -86,17 +90,13 @@ func (w *World) Recorder() *trace.Recorder { return w.rec }
 
 // Stopped reports whether the world has been aborted.
 func (w *World) Stopped() bool {
-	w.stopMu.Lock()
-	defer w.stopMu.Unlock()
-	return w.stopped
+	return w.stopped.Load()
 }
 
 // Abort marks the world as stopped and wakes every blocked process so the
 // run can terminate with ErrWorldStopped instead of hanging.
 func (w *World) Abort() {
-	w.stopMu.Lock()
-	w.stopped = true
-	w.stopMu.Unlock()
+	w.stopped.Store(true)
 	for _, p := range w.procs {
 		p.mu.Lock()
 		p.cond.Broadcast()
@@ -180,8 +180,39 @@ func (w *World) internComm(group []int) *Comm {
 	return c
 }
 
+// groupSignature is the interning key for a membership list: a varint byte
+// encoding rather than fmt.Sprint, so interning a large group costs a few
+// bytes per member instead of a decimal render of the whole slice.
 func groupSignature(group []int) string {
-	return fmt.Sprint(group)
+	b := make([]byte, 0, 3*len(group)+4)
+	b = binary.AppendUvarint(b, uint64(len(group)))
+	for _, r := range group {
+		b = binary.AppendUvarint(b, uint64(r))
+	}
+	return string(b)
+}
+
+// InternComm returns the communicator with exactly the given membership
+// (world ranks, in comm-rank order), creating it on first use. It is the
+// out-of-band counterpart of CommSplit for callers that already know the
+// full membership on every rank — the engine derives its per-cluster comms
+// from the epoch view this way, instead of paying a world-sized allgather
+// per rank. Membership must be non-empty, in-range and duplicate-free.
+func (w *World) InternComm(group []int) (*Comm, error) {
+	if len(group) == 0 {
+		return nil, fmt.Errorf("mpi: InternComm with empty membership")
+	}
+	seen := make(map[int]bool, len(group))
+	for _, r := range group {
+		if r < 0 || r >= w.size {
+			return nil, fmt.Errorf("mpi: InternComm rank %d out of range [0,%d)", r, w.size)
+		}
+		if seen[r] {
+			return nil, fmt.Errorf("mpi: InternComm duplicate rank %d", r)
+		}
+		seen[r] = true
+	}
+	return w.internComm(group), nil
 }
 
 // Comm is a communicator: an ordered subset of world ranks with its own

@@ -1,0 +1,135 @@
+package trace
+
+import "fmt"
+
+// CompactClock is the wire form of a vector clock: the sparse set of non-zero
+// components, held as parallel (rank, value) arrays. A message's sender clock
+// only has non-zero entries for the ranks whose events the sender has
+// transitively heard about, so early in an execution — and for the lifetime
+// of nearest-neighbour kernels — the sparse form is a handful of pairs where
+// the dense form is O(world). When the clock saturates (more than half the
+// components non-zero) the encoder falls back to a dense copy, so the worst
+// case is never more than ~1.5x a plain clone and the pooled backing arrays
+// stop churning.
+//
+// Merging a compact clock into a dense one is bit-identical to the dense
+// VectorClock.Merge: the omitted components are zero and max(x, 0) == x.
+type CompactClock struct {
+	ranks  []uint32
+	values []uint64
+	dense  VectorClock // non-nil iff the encoder chose the dense fallback
+	n      int         // length of the source clock (the world size)
+}
+
+// Compact encodes src into dst, reusing dst's backing arrays when they are
+// large enough, and returns the encoding. It is the compact analogue of
+// CloneInto and serves the same pooled-message-header call sites: steady
+// state re-uses the same two small arrays instead of allocating an O(world)
+// clone per message.
+func Compact(dst CompactClock, src VectorClock) CompactClock {
+	nnz := 0
+	for _, v := range src {
+		if v != 0 {
+			nnz++
+		}
+	}
+	dst.n = len(src)
+	if nnz > len(src)/2 {
+		// Saturated clock: a dense copy is smaller than the pair list.
+		dst.dense = CloneInto(dst.dense, src)
+		dst.ranks = dst.ranks[:0]
+		dst.values = dst.values[:0]
+		return dst
+	}
+	dst.dense = dst.dense[:0]
+	if cap(dst.ranks) >= nnz {
+		dst.ranks = dst.ranks[:nnz]
+	} else {
+		dst.ranks = make([]uint32, nnz)
+	}
+	if cap(dst.values) >= nnz {
+		dst.values = dst.values[:nnz]
+	} else {
+		dst.values = make([]uint64, nnz)
+	}
+	i := 0
+	for r, v := range src {
+		if v != 0 {
+			dst.ranks[i] = uint32(r)
+			dst.values[i] = v
+			i++
+		}
+	}
+	return dst
+}
+
+// IsZero reports whether the clock carries no components at all — the
+// zero value, or an encoding of an all-zero clock.
+func (c CompactClock) IsZero() bool {
+	return len(c.ranks) == 0 && len(c.dense) == 0 && c.n == 0
+}
+
+// Len returns the world size of the encoded clock (0 for the zero value).
+func (c CompactClock) Len() int { return c.n }
+
+// Pairs returns the number of explicit components the encoding carries:
+// the non-zero count in sparse form, the world size in dense-fallback form.
+// It is what "per-message clock bytes" scales with.
+func (c CompactClock) Pairs() int {
+	if len(c.dense) > 0 {
+		return len(c.dense)
+	}
+	return len(c.ranks)
+}
+
+// MergeInto sets v to the component-wise maximum of v and the encoded clock,
+// exactly as v.Merge(decoded) would. Like VectorClock.Merge it panics when
+// the encoded clock belongs to a different world size.
+func (c CompactClock) MergeInto(v VectorClock) VectorClock {
+	if c.IsZero() {
+		return v
+	}
+	if c.n != len(v) {
+		panic(fmt.Sprintf("trace: MergeInto of vector clocks from different worlds: len %d vs %d", len(v), c.n))
+	}
+	if len(c.dense) > 0 {
+		return v.Merge(c.dense)
+	}
+	for i, r := range c.ranks {
+		if cv := c.values[i]; cv > v[int(r)] {
+			v[int(r)] = cv
+		}
+	}
+	return v
+}
+
+// Dense decodes the clock back to its dense form, reusing dst's storage when
+// large enough. Test and trace-record paths use it; the runtime merges via
+// MergeInto without materializing.
+func (c CompactClock) Dense(dst VectorClock) VectorClock {
+	if len(c.dense) > 0 {
+		return CloneInto(dst, c.dense)
+	}
+	if cap(dst) >= c.n {
+		dst = dst[:c.n]
+		for i := range dst {
+			dst[i] = 0
+		}
+	} else {
+		dst = make(VectorClock, c.n)
+	}
+	for i, r := range c.ranks {
+		dst[int(r)] = c.values[i]
+	}
+	return dst
+}
+
+// Reset empties the clock while keeping its backing arrays for reuse, and
+// returns the emptied value. Pooled message headers call it on recycle.
+func (c CompactClock) Reset() CompactClock {
+	c.ranks = c.ranks[:0]
+	c.values = c.values[:0]
+	c.dense = c.dense[:0]
+	c.n = 0
+	return c
+}

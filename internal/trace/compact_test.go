@@ -1,0 +1,93 @@
+package trace
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestCompactRoundTrip(t *testing.T) {
+	cases := []VectorClock{
+		{},
+		{0, 0, 0, 0},
+		{1, 0, 0, 0},
+		{0, 0, 0, 7},
+		{1, 2, 3, 4, 5, 6, 7, 8}, // saturated: dense fallback
+		{0, 9, 0, 0, 0, 0, 0, 0, 0, 0, 0, 3},
+	}
+	for _, src := range cases {
+		c := Compact(CompactClock{}, src)
+		got := c.Dense(nil)
+		if !VectorClock(got).Equal(src) && !(len(src) == 0 && len(got) == 0) {
+			t.Errorf("Compact/Dense round trip of %v = %v", src, got)
+		}
+		if c.Len() != len(src) {
+			t.Errorf("Len() = %d, want %d", c.Len(), len(src))
+		}
+	}
+}
+
+func TestCompactSparseStaysSmall(t *testing.T) {
+	// A nearest-neighbour clock at world size 1024: 3 non-zero entries must
+	// encode as 3 pairs, not an O(world) clone — the scaling property the
+	// wire format exists for.
+	src := NewVectorClock(1024)
+	src[0], src[1], src[1023] = 5, 9, 2
+	c := Compact(CompactClock{}, src)
+	if c.Pairs() != 3 {
+		t.Fatalf("Pairs() = %d, want 3 (sparse encoding)", c.Pairs())
+	}
+	// Saturate: dense fallback kicks in at > n/2 non-zero components.
+	for i := range src {
+		src[i] = uint64(i + 1)
+	}
+	c = Compact(c, src)
+	if c.Pairs() != 1024 {
+		t.Fatalf("Pairs() = %d, want 1024 (dense fallback)", c.Pairs())
+	}
+}
+
+func TestCompactReusesStorage(t *testing.T) {
+	src := NewVectorClock(64)
+	src[3], src[17] = 4, 8
+	c := Compact(CompactClock{}, src)
+	r0 := &c.ranks[0]
+	src[17] = 9
+	c = Compact(c, src)
+	if &c.ranks[0] != r0 {
+		t.Fatal("Compact must reuse sufficient backing storage")
+	}
+	c = c.Reset()
+	if !c.IsZero() {
+		t.Fatal("Reset must produce the zero clock")
+	}
+	c = Compact(c, src)
+	if &c.ranks[0] != r0 {
+		t.Fatal("Reset must keep backing storage for reuse")
+	}
+}
+
+// TestPropertyCompactMergeMatchesDense is the bit-identical contract the
+// runtime relies on: merging the compact wire form into a clock gives
+// exactly the same result as the dense VectorClock.Merge would.
+func TestPropertyCompactMergeMatchesDense(t *testing.T) {
+	f := func(x, y [6]uint8, sparse bool) bool {
+		sender := NewVectorClock(6)
+		recvA := NewVectorClock(6)
+		for i := 0; i < 6; i++ {
+			v := uint64(x[i])
+			if sparse && i%2 == 0 {
+				v = 0 // force the sparse encoding path often
+			}
+			sender[i] = v
+			recvA[i] = uint64(y[i])
+		}
+		recvB := recvA.Clone()
+		recvA.Merge(sender)
+		c := Compact(CompactClock{}, sender)
+		recvB = c.MergeInto(recvB)
+		return recvA.Equal(recvB)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

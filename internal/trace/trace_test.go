@@ -1,6 +1,8 @@
 package trace
 
 import (
+	"fmt"
+	"strings"
 	"testing"
 	"testing/quick"
 )
@@ -60,11 +62,32 @@ func TestVectorClockHappensBefore(t *testing.T) {
 }
 
 func TestVectorClockMismatchedLengths(t *testing.T) {
+	// Clocks of different lengths belong to different worlds: comparing or
+	// merging them is a wiring bug that used to be silently masked (Merge
+	// truncated, HappensBefore returned false). Both must panic now, naming
+	// both lengths.
 	a := NewVectorClock(2)
 	b := NewVectorClock(3)
-	if a.HappensBefore(b) || b.HappensBefore(a) {
-		t.Errorf("clocks of different sizes are never ordered")
+	mustPanic := func(name, want string, f func()) {
+		t.Helper()
+		defer func() {
+			r := recover()
+			if r == nil {
+				t.Errorf("%s on mismatched lengths did not panic", name)
+				return
+			}
+			if msg := fmt.Sprint(r); !strings.Contains(msg, want) {
+				t.Errorf("%s panic %q does not name both lengths (want substring %q)", name, msg, want)
+			}
+		}()
+		f()
 	}
+	mustPanic("HappensBefore", "len 2 vs 3", func() { a.HappensBefore(b) })
+	mustPanic("Merge", "len 2 vs 3", func() { a.Merge(b) })
+	mustPanic("CompactClock.MergeInto", "len 3 vs 2", func() {
+		c := Compact(CompactClock{}, VectorClock{1, 0})
+		c.MergeInto(b)
+	})
 	if a.Equal(b) {
 		t.Errorf("clocks of different sizes are never equal")
 	}

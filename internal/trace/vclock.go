@@ -1,5 +1,7 @@
 package trace
 
+import "fmt"
+
 // VectorClock is a fixed-size vector clock over the ranks of an execution.
 // It captures Lamport's happened-before relation: event a happened before
 // event b iff a's clock is component-wise <= b's clock and differs in at
@@ -41,13 +43,15 @@ func (v VectorClock) Tick(rank int) VectorClock {
 	return v
 }
 
-// Merge sets v to the component-wise maximum of v and other.
+// Merge sets v to the component-wise maximum of v and other. The two clocks
+// must come from the same execution: a length mismatch means a wired-up-wrong
+// world size, and silently truncating would mask it as a passing determinism
+// check, so Merge panics instead.
 func (v VectorClock) Merge(other VectorClock) VectorClock {
-	n := len(v)
-	if len(other) < n {
-		n = len(other)
+	if len(v) != len(other) {
+		panic(fmt.Sprintf("trace: Merge of vector clocks from different worlds: len %d vs %d", len(v), len(other)))
 	}
-	for i := 0; i < n; i++ {
+	for i := range v {
 		if other[i] > v[i] {
 			v[i] = other[i]
 		}
@@ -56,10 +60,12 @@ func (v VectorClock) Merge(other VectorClock) VectorClock {
 }
 
 // HappensBefore reports whether v happened before other: v <= other
-// component-wise and v != other.
+// component-wise and v != other. Like Merge it panics on a length mismatch —
+// clocks of different sizes belong to different worlds and comparing them is
+// a bug, not a "false".
 func (v VectorClock) HappensBefore(other VectorClock) bool {
 	if len(v) != len(other) {
-		return false
+		panic(fmt.Sprintf("trace: HappensBefore of vector clocks from different worlds: len %d vs %d", len(v), len(other)))
 	}
 	strictly := false
 	for i := range v {
