@@ -77,6 +77,8 @@ func main() {
 		out        = flag.String("out", ".", "output directory")
 		profile    = flag.String("profile", "sweep", "what to measure: 'sweep' (virtual-time protocol matrix), 'perf' (real allocs/op and ns/op of the runtime hot path), 'compare' (regression gate of -candidate against -baseline), 'chaos' (fault-injection suite with invariant checking) or 'scale' (world-size growth of host ns/send and peak heap)")
 		chaosSeeds = flag.Int("chaos-seeds", 16, "number of generated scenarios for -profile chaos (seeds -seed .. -seed+n-1)")
+		chaosNet   = flag.Bool("chaos-net", false, "generate chaos scenarios with the network profile: link delay/jitter, FIFO reorder, cross-channel reorder, partitions, chained crashes and all storage ops")
+		chaosShr   = flag.Bool("chaos-shrink", false, "minimize every failing chaos row with the scenario shrinker and write CHAOS_<name>_shrunk.txt")
 		sizes      = flag.String("sizes", "64,1024,16384", "comma-separated payload sizes for -profile perf")
 		allocGuard = flag.Float64("alloc-guard", 0, "allocs/op ceiling for -profile perf cells: 0 = protocol defaults, negative disables")
 		capGuard   = flag.Float64("capture-guard", 0, "capture allocs/op ceiling for the checkpoint profile: 0 = default, negative disables")
@@ -117,7 +119,7 @@ func main() {
 		case "compare":
 			runCompare(*baseline, *candidate, *allocSlack, *nsFactor)
 		case "chaos":
-			runChaosProfile(*name, *out, *seed, *chaosSeeds, *quiet)
+			runChaosProfile(*name, *out, *seed, *chaosSeeds, *chaosNet, *chaosShr, *quiet)
 		case "scale":
 			runScaleProfile(*name, *out, *protocols, *scaleRanks, *rpc, *nsSendFac, *memFactor, *quiet)
 		}
@@ -273,8 +275,11 @@ func runScaleProfile(name, out, protocols, ranks string, rpc int, nsSendFactor, 
 }
 
 // runChaosProfile checks the chaos scenario catalog plus n generated
-// scenarios and exits non-zero when any row violates an invariant.
-func runChaosProfile(name, out string, seed int64, n int, quiet bool) {
+// scenarios and exits non-zero when any row violates an invariant. Every
+// failing generated row is reported with its generator seed and the exact
+// command that replays just that row; with -chaos-shrink the failing rows are
+// also minimized and written as CHAOS_<name>_shrunk.txt.
+func runChaosProfile(name, out string, seed int64, n int, net, shrink, quiet bool) {
 	if n < 0 {
 		fatal(fmt.Errorf("-chaos-seeds must be non-negative, got %d", n))
 	}
@@ -282,7 +287,7 @@ func runChaosProfile(name, out string, seed int64, n int, quiet bool) {
 	for i := range seeds {
 		seeds[i] = seed + int64(i)
 	}
-	res, err := bench.RunChaos(name, seeds)
+	res, err := bench.RunChaos(name, seeds, bench.ChaosOpts{Net: net, Shrink: shrink})
 	if err != nil {
 		fatal(err)
 	}
@@ -295,16 +300,40 @@ func runChaosProfile(name, out string, seed int64, n int, quiet bool) {
 	}
 	fmt.Printf("wrote %s (%d suite + %d generated scenarios, %d failed)\n",
 		path, len(res.Suite), len(res.Generated), res.Failures)
+	if spath, err := res.WriteShrunkFile(out); err != nil {
+		fatal(err)
+	} else if spath != "" {
+		fmt.Printf("wrote %s (%d minimized scenarios)\n", spath, len(res.Shrunk))
+	}
 	if res.Failures > 0 {
-		for label, violations := range res.Failed() {
-			for _, v := range violations {
-				fmt.Fprintf(os.Stderr, "scenario %s: %s\n", label, v)
+		for i := range res.Suite {
+			c := &res.Suite[i]
+			if c.Passed {
+				continue
 			}
-			if len(violations) == 0 {
-				fmt.Fprintf(os.Stderr, "scenario %s: failed\n", label)
+			reportViolations(c.Scenario, c.Violations)
+		}
+		for i := range res.Generated {
+			c := &res.Generated[i]
+			if c.Passed {
+				continue
 			}
+			label := fmt.Sprintf("seed:%d/%s", c.Seed, c.Scenario)
+			reportViolations(label, c.Violations)
+			fmt.Fprintf(os.Stderr, "scenario %s: generator seed %d; reproduce: %s\n", label, c.Seed, c.Repro)
 		}
 		os.Exit(1)
+	}
+}
+
+// reportViolations prints one failing chaos row's violations to stderr.
+func reportViolations(label string, violations []string) {
+	if len(violations) == 0 {
+		fmt.Fprintf(os.Stderr, "scenario %s: failed\n", label)
+		return
+	}
+	for _, v := range violations {
+		fmt.Fprintf(os.Stderr, "scenario %s: %s\n", label, v)
 	}
 }
 

@@ -22,10 +22,28 @@ import (
 )
 
 // ChaosSeedResult is the verdict on one generated scenario, tagged with the
-// seed that reproduces it (`chaos.Generate(seed, chaos.DefaultProfile())`).
+// seed that reproduces it and the exact command that replays just this row.
 type ChaosSeedResult struct {
 	Seed int64 `json:"seed"`
+	// Repro is the one-line spbcbench invocation that regenerates and
+	// re-checks exactly this scenario.
+	Repro string `json:"repro,omitempty"`
 	chaos.Result
+}
+
+// ChaosShrunk is one minimized failing scenario: the smallest event list the
+// shrinker found that still violates an invariant, as a compilable literal.
+type ChaosShrunk struct {
+	// Label names the failing row (scenario name, or seed:<n>/<scenario>).
+	Label string `json:"label"`
+	// Seed is the generator seed for generated rows (0 for catalog rows).
+	Seed int64 `json:"seed,omitempty"`
+	// Events is the minimized scenario's event count.
+	Events int `json:"events"`
+	// Runs is how many checker runs the shrink spent.
+	Runs int `json:"runs"`
+	// Literal is the compilable chaos.Scenario literal of the minimum.
+	Literal string `json:"literal"`
 }
 
 // ChaosResult is the machine-readable output of one chaos run, the content
@@ -36,24 +54,73 @@ type ChaosResult struct {
 	Suite []chaos.Result `json:"suite"`
 	// Generated holds the seed-generated scenarios' verdicts in seed order.
 	Generated []ChaosSeedResult `json:"generated,omitempty"`
+	// Shrunk holds minimized failing scenarios (with ChaosOpts.Shrink).
+	Shrunk []ChaosShrunk `json:"shrunk,omitempty"`
 	// Failures counts the rows that violated an invariant.
 	Failures int `json:"failures"`
+}
+
+// ChaosOpts tunes a chaos run.
+type ChaosOpts struct {
+	// Net generates scenarios with chaos.NetProfile — network fabric events
+	// (delay, reorder, partition), chained crashes and all storage ops — in
+	// place of chaos.DefaultProfile.
+	Net bool
+	// Shrink runs chaos.Shrink on every failing row and attaches the
+	// minimized scenarios to the result.
+	Shrink bool
 }
 
 // RunChaos checks the full scenario catalog plus one generated scenario per
 // seed. It only errors on harness misuse (an invalid name); scenario
 // verdicts, including failed ones, land in the result.
-func RunChaos(name string, seeds []int64) (*ChaosResult, error) {
+func RunChaos(name string, seeds []int64, opts ChaosOpts) (*ChaosResult, error) {
 	if name == "" || strings.ContainsAny(name, "/\\") {
 		return nil, fmt.Errorf("bench: invalid chaos run name %q", name)
 	}
 	res := &ChaosResult{Name: name}
+	shrink := func(label string, seed int64, sc chaos.Scenario) {
+		if !opts.Shrink {
+			return
+		}
+		shr, err := chaos.Shrink(sc, chaos.Reproduces)
+		if err != nil {
+			// The row failed but the shrinker could not reproduce it (e.g. a
+			// run error outside the predicate's reach); keep the full row.
+			return
+		}
+		res.Shrunk = append(res.Shrunk, ChaosShrunk{
+			Label:   label,
+			Seed:    seed,
+			Events:  len(shr.Scenario.Events),
+			Runs:    shr.Runs,
+			Literal: shr.Literal,
+		})
+	}
 	for _, sc := range chaos.Catalog() {
-		res.Suite = append(res.Suite, *chaos.Check(sc))
+		r := *chaos.Check(sc)
+		res.Suite = append(res.Suite, r)
+		if !r.Passed {
+			shrink(r.Scenario, 0, sc)
+		}
+	}
+	profile := chaos.DefaultProfile()
+	reproFlags := ""
+	if opts.Net {
+		profile = chaos.NetProfile()
+		reproFlags = " -chaos-net"
 	}
 	for _, seed := range seeds {
-		sc := chaos.Generate(seed, chaos.DefaultProfile())
-		res.Generated = append(res.Generated, ChaosSeedResult{Seed: seed, Result: *chaos.Check(sc)})
+		sc := chaos.Generate(seed, profile)
+		r := ChaosSeedResult{
+			Seed:   seed,
+			Repro:  fmt.Sprintf("go run ./cmd/spbcbench -profile chaos -name repro -seed %d -chaos-seeds 1%s", seed, reproFlags),
+			Result: *chaos.Check(sc),
+		}
+		res.Generated = append(res.Generated, r)
+		if !r.Passed {
+			shrink(fmt.Sprintf("seed:%d/%s", seed, r.Scenario), seed, sc)
+		}
 	}
 	for i := range res.Suite {
 		if !res.Suite[i].Passed {
@@ -116,6 +183,37 @@ func (r *ChaosResult) WriteFile(dir string) (string, error) {
 	}
 	path := filepath.Join(dir, "CHAOS_"+r.Name+".json")
 	if err := os.WriteFile(path, append(raw, '\n'), 0o644); err != nil {
+		return "", fmt.Errorf("bench: write %s: %w", path, err)
+	}
+	return path, nil
+}
+
+// WriteShrunkFile writes the minimized failing scenarios as a Go-flavoured
+// text artifact (CHAOS_<name>_shrunk.txt) next to the JSON report: each entry
+// is the row label, its reproduce seed and a compilable chaos.Scenario
+// literal ready to paste into a regression test. Returns "" when there is
+// nothing to write.
+func (r *ChaosResult) WriteShrunkFile(dir string) (string, error) {
+	if len(r.Shrunk) == 0 {
+		return "", nil
+	}
+	if r.Name == "" || strings.ContainsAny(r.Name, "/\\") {
+		return "", fmt.Errorf("bench: invalid chaos run name %q", r.Name)
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "// Minimized failing chaos scenarios from run %q.\n", r.Name)
+	b.WriteString("// Each literal reproduces its violation without the generator seed.\n")
+	for _, s := range r.Shrunk {
+		fmt.Fprintf(&b, "\n// %s — shrunk to %d events in %d checker runs", s.Label, s.Events, s.Runs)
+		if s.Seed != 0 {
+			fmt.Fprintf(&b, " (generator seed %d)", s.Seed)
+		}
+		b.WriteString("\n")
+		b.WriteString(s.Literal)
+		b.WriteString("\n")
+	}
+	path := filepath.Join(dir, "CHAOS_"+r.Name+"_shrunk.txt")
+	if err := os.WriteFile(path, []byte(b.String()), 0o644); err != nil {
 		return "", fmt.Errorf("bench: write %s: %w", path, err)
 	}
 	return path, nil

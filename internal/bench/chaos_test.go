@@ -1,9 +1,11 @@
 package bench
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"reflect"
+	"strings"
 	"testing"
 
 	"repro/internal/chaos"
@@ -35,13 +37,22 @@ func goldenChaosResult() *ChaosResult {
 		},
 		Generated: []ChaosSeedResult{
 			{
-				Seed: 7,
+				Seed:  7,
+				Repro: "go run ./cmd/spbcbench -profile chaos -name repro -seed 7 -chaos-seeds 1",
 				Result: chaos.Result{
 					Scenario: "generated-7", Protocol: "full-log", Passed: true,
 					CrashedRanks: []int{1}, RolledBackRanks: []int{1},
 					RecoveryEvents: 1, ReplayedRecords: 9, CanceledWaves: 1,
 					StorageInjections: 2, Makespan: 0.0011,
 				},
+			},
+		},
+		Shrunk: []ChaosShrunk{
+			{
+				Label:   "epoch-switch-crash",
+				Events:  1,
+				Runs:    4,
+				Literal: "chaos.Scenario{\n\tName: \"epoch-switch-crash\",\n}",
 			},
 		},
 		Failures: 1,
@@ -87,7 +98,7 @@ func TestChaosGoldenJSON(t *testing.T) {
 // TestRunChaos runs the real catalog plus two generated seeds end to end:
 // every row must pass, and the report must account for every scenario.
 func TestRunChaos(t *testing.T) {
-	res, err := RunChaos("ci", []int64{1, 2})
+	res, err := RunChaos("ci", []int64{1, 2}, ChaosOpts{})
 	if err != nil {
 		t.Fatalf("RunChaos: %v", err)
 	}
@@ -99,6 +110,12 @@ func TestRunChaos(t *testing.T) {
 	}
 	if res.Failures != 0 {
 		t.Fatalf("chaos failures: %v", res.Failed())
+	}
+	for _, g := range res.Generated {
+		want := fmt.Sprintf("go run ./cmd/spbcbench -profile chaos -name repro -seed %d -chaos-seeds 1", g.Seed)
+		if g.Repro != want {
+			t.Fatalf("repro command = %q, want %q", g.Repro, want)
+		}
 	}
 	dir := t.TempDir()
 	path, err := res.WriteFile(dir)
@@ -120,7 +137,57 @@ func TestRunChaos(t *testing.T) {
 
 // TestRunChaosRejectsBadName keeps path fragments out of report names.
 func TestRunChaosRejectsBadName(t *testing.T) {
-	if _, err := RunChaos("../escape", nil); err == nil {
+	if _, err := RunChaos("../escape", nil, ChaosOpts{}); err == nil {
 		t.Fatal("RunChaos must reject path separators in the run name")
+	}
+}
+
+// TestRunChaosNetProfile runs two net-profile seeds end to end: the rows must
+// pass under the network fabric, carry the NetSeed-bearing repro command, and
+// a clean run with shrinking enabled must produce no shrunk artifacts.
+func TestRunChaosNetProfile(t *testing.T) {
+	res, err := RunChaos("ci-net", []int64{1, 2}, ChaosOpts{Net: true, Shrink: true})
+	if err != nil {
+		t.Fatalf("RunChaos: %v", err)
+	}
+	if res.Failures != 0 {
+		t.Fatalf("chaos failures: %v", res.Failed())
+	}
+	for _, g := range res.Generated {
+		if !strings.Contains(g.Repro, "-chaos-net") {
+			t.Fatalf("net-profile repro command %q does not carry -chaos-net", g.Repro)
+		}
+	}
+	if len(res.Shrunk) != 0 {
+		t.Fatalf("clean run produced %d shrunk scenarios", len(res.Shrunk))
+	}
+	if path, err := res.WriteShrunkFile(t.TempDir()); err != nil || path != "" {
+		t.Fatalf("WriteShrunkFile on clean run = (%q, %v), want no file", path, err)
+	}
+}
+
+// TestWriteShrunkFile pins the shrunk-artifact format CI uploads next to the
+// JSON report.
+func TestWriteShrunkFile(t *testing.T) {
+	res := goldenChaosResult()
+	dir := t.TempDir()
+	path, err := res.WriteShrunkFile(dir)
+	if err != nil {
+		t.Fatalf("WriteShrunkFile: %v", err)
+	}
+	if filepath.Base(path) != "CHAOS_golden_shrunk.txt" {
+		t.Fatalf("artifact path = %q, want CHAOS_golden_shrunk.txt", path)
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read artifact: %v", err)
+	}
+	for _, want := range []string{
+		"epoch-switch-crash — shrunk to 1 events in 4 checker runs",
+		"chaos.Scenario{",
+	} {
+		if !strings.Contains(string(raw), want) {
+			t.Fatalf("artifact missing %q:\n%s", want, raw)
+		}
 	}
 }

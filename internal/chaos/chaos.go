@@ -94,6 +94,10 @@ type Scenario struct {
 	Workload Workload
 	// Events is the failure script.
 	Events []Event
+	// NetSeed seeds the network-chaos layer's deterministic draws (jitter,
+	// reorder permutations, release orders). The zero seed is valid; the seed
+	// is irrelevant when the script has no network events.
+	NetSeed int64
 	// ExpectError marks scenarios whose run is *supposed* to fail (e.g.
 	// detected checkpoint corruption): Check then asserts the run errors
 	// instead of comparing it against the failure-free twin.

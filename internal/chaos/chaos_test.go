@@ -107,3 +107,88 @@ func TestGeneratedSeedsPassInvariants(t *testing.T) {
 		}
 	}
 }
+
+// TestGenerateNetProfileDeterministicAndCovering pins down the widened
+// generator: same seed, same schedule (network events and chained faults
+// included), and across a modest seed range every new event class and every
+// storage operation is actually drawn — the profile cannot silently stop
+// exercising a fault class.
+func TestGenerateNetProfileDeterministicAndCovering(t *testing.T) {
+	p := NetProfile()
+	covered := make(map[string]bool)
+	for seed := int64(0); seed < 64; seed++ {
+		a, b := Generate(seed, p), Generate(seed, p)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("seed %d: schedules differ:\n%#v\n%#v", seed, a, b)
+		}
+		if a.NetSeed != seed {
+			t.Fatalf("seed %d: NetSeed = %d, want the generator seed", seed, a.NetSeed)
+		}
+		for _, ev := range a.Events {
+			switch e := ev.(type) {
+			case netDelay:
+				covered["delay"] = true
+			case netReorder:
+				covered["reorder"] = true
+			case netCrossReorder:
+				covered["cross-reorder"] = true
+			case netPartition:
+				covered["partition"] = true
+			case afterRecovery:
+				covered["after-recovery"] = true
+			case afterCapture:
+				covered["after-capture"] = true
+			case storageFault:
+				covered["storage-"+string(e.Rule.Op)] = true
+			}
+		}
+	}
+	for _, want := range []string{
+		"delay", "reorder", "cross-reorder", "partition",
+		"after-recovery", "after-capture",
+		"storage-stage", "storage-commit", "storage-load",
+	} {
+		if !covered[want] {
+			t.Errorf("no seed in 0..63 drew a %s event", want)
+		}
+	}
+}
+
+// TestGenerateDefaultScheduleUnchangedByNetKnobs guards the reproducibility
+// of historical seeds: the widened generator must draw its new events after
+// the historical draws, so a DefaultProfile schedule keeps its exact event
+// prefix.
+func TestGenerateDefaultScheduleUnchangedByNetKnobs(t *testing.T) {
+	for seed := int64(0); seed < 16; seed++ {
+		def := Generate(seed, DefaultProfile())
+		net := Generate(seed, NetProfile())
+		if len(net.Events) < len(def.Events) {
+			t.Fatalf("seed %d: net profile generated fewer events (%d) than default (%d)", seed, len(net.Events), len(def.Events))
+		}
+		prefix := net.Events[:len(def.Events)]
+		for i, ev := range def.Events {
+			got := prefix[i]
+			// The storage stall rule may move to another op under the net
+			// profile's op mix; everything else must match exactly.
+			if _, isStorage := ev.(storageFault); isStorage {
+				if _, ok := got.(storageFault); !ok {
+					t.Fatalf("seed %d: event %d: default drew a storage fault, net profile drew %T", seed, i, got)
+				}
+				continue
+			}
+			if !reflect.DeepEqual(ev, got) {
+				t.Fatalf("seed %d: event %d differs: default %#v, net %#v", seed, i, ev, got)
+			}
+		}
+	}
+}
+
+func TestGeneratedNetSeedsPassInvariants(t *testing.T) {
+	p := NetProfile()
+	for seed := int64(0); seed < 4; seed++ {
+		res := Check(Generate(seed, p))
+		if !res.Passed {
+			t.Fatalf("generated net seed %d violated invariants: %v (run error: %q)", seed, res.Violations, res.RunError)
+		}
+	}
+}

@@ -170,6 +170,7 @@ func Check(sc Scenario) *Result {
 	var faultStore *checkpoint.FaultStorage
 	spec := runner.ChaosSpec{
 		Faultpoints: comp.reg,
+		NetChaos:    comp.net,
 		WrapStorage: func(st checkpoint.Storage) checkpoint.Storage {
 			ws, ok := st.(checkpoint.WaveStorage)
 			if !ok {
@@ -177,7 +178,15 @@ func Check(sc Scenario) *Result {
 				return st
 			}
 			if len(comp.rules) > 0 {
-				faultStore = checkpoint.NewFaultStorage(ws, comp.rules...)
+				fs, err := checkpoint.NewFaultStorage(ws, comp.rules...)
+				if err != nil {
+					// Rules were validated at compile time, so this is a
+					// should-not-happen; surface it as a violation, not a
+					// silent unfaulted run.
+					comp.hookErr(fmt.Errorf("chaos: building fault storage: %w", err))
+					return st
+				}
+				faultStore = fs
 				ws = faultStore
 			}
 			tracker = newDurabilityTracker(ws)

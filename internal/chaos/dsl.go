@@ -8,6 +8,7 @@ import (
 	"repro/internal/checkpoint"
 	"repro/internal/core"
 	"repro/internal/runner"
+	"repro/internal/simnet"
 )
 
 // Event is one element of a failure script. Events are plain data (the
@@ -91,6 +92,11 @@ type compilation struct {
 	faults []core.Fault
 	rules  []checkpoint.FaultRule
 	reg    *core.FaultRegistry
+	// net collects the network perturbation rules (nil when the scenario has
+	// no network events); gate, when set, is the NetDuring gate the network
+	// event currently being applied must attach to.
+	net  *simnet.NetChaos
+	gate *simnet.Gate
 	// crashed is every rank the script fails, static or hook-scheduled.
 	crashed map[int]bool
 	// armOnce guards the shared first-recovery arming window used by Cascade
@@ -259,7 +265,10 @@ func (d during) apply(sc *Scenario, c *compilation) error {
 	}
 }
 
-func (s storageFault) apply(_ *Scenario, c *compilation) error {
+func (s storageFault) apply(sc *Scenario, c *compilation) error {
+	if err := s.Rule.Validate(); err != nil {
+		return fmt.Errorf("chaos: scenario %s: %w", sc.Name, err)
+	}
 	c.rules = append(c.rules, s.Rule)
 	return nil
 }
@@ -270,6 +279,12 @@ func compile(sc *Scenario) (*compilation, error) {
 	for _, ev := range sc.Events {
 		if err := ev.apply(sc, c); err != nil {
 			return nil, err
+		}
+	}
+	if c.net != nil {
+		c.net.Seed = sc.NetSeed
+		if err := c.net.Validate(sc.Ranks); err != nil {
+			return nil, fmt.Errorf("chaos: scenario %s: %w", sc.Name, err)
 		}
 	}
 	return c, nil

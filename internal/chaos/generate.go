@@ -26,8 +26,22 @@ type Profile struct {
 	// CommitDrainProb turns the first crash into a fault racing the commit
 	// drain (the crashed cluster's waves held undurable until recovery).
 	CommitDrainProb float64
-	// StorageStallProb adds a stall rule on checkpoint stages.
+	// StorageStallProb adds a stall rule on a checkpoint storage operation.
 	StorageStallProb float64
+	// StorageOps is the operation mix the storage stall rule samples from; an
+	// empty or single-entry mix draws no extra randomness, so the historical
+	// stage-only schedules of DefaultProfile stay byte-identical.
+	StorageOps []checkpoint.FaultOp
+	// ChainProb chains a follow-up crash onto the first recovery's completion
+	// or onto a checkpoint capture (AfterRecovery / AfterCapture).
+	ChainProb float64
+	// DelayProb, ReorderProb, CrossReorderProb and PartitionProb add network
+	// perturbation events (partitions only under the SPBC protocols, which
+	// have a cluster pair to cut).
+	DelayProb        float64
+	ReorderProb      float64
+	CrossReorderProb float64
+	PartitionProb    float64
 }
 
 // DefaultProfile is the conservative stress mix the CI seeds run.
@@ -42,6 +56,20 @@ func DefaultProfile() Profile {
 		CommitDrainProb:  0.3,
 		StorageStallProb: 0.3,
 	}
+}
+
+// NetProfile is DefaultProfile widened to the message fabric and the chained
+// fault classes: network perturbations on every run class, storage stalls on
+// all three operations, and crashes chained from lifecycle hooks.
+func NetProfile() Profile {
+	p := DefaultProfile()
+	p.StorageOps = []checkpoint.FaultOp{checkpoint.OpStage, checkpoint.OpCommit, checkpoint.OpLoad}
+	p.ChainProb = 0.3
+	p.DelayProb = 0.5
+	p.ReorderProb = 0.4
+	p.CrossReorderProb = 0.3
+	p.PartitionProb = 0.4
+	return p
 }
 
 func (p *Profile) normalize() {
@@ -132,13 +160,68 @@ func Generate(seed int64, p Profile) Scenario {
 	}
 
 	if rng.Float64() < p.StorageStallProb {
+		op := checkpoint.OpStage
+		if len(p.StorageOps) == 1 {
+			op = p.StorageOps[0]
+		} else if len(p.StorageOps) > 1 {
+			op = p.StorageOps[rng.Intn(len(p.StorageOps))]
+		}
 		sc.Events = append(sc.Events, StorageFault(checkpoint.FaultRule{
-			Op:    checkpoint.OpStage,
+			Op:    op,
 			Mode:  checkpoint.ModeStall,
 			Rank:  -1,
 			Count: 2,
 			Delay: 200 * time.Microsecond,
 		}))
 	}
+
+	// Everything below draws after the historical schedule, so the scenarios
+	// DefaultProfile generated before the fabric existed keep their exact
+	// event prefix for any seed.
+
+	// A chained crash armed from a lifecycle hook: either the completion of
+	// the first recovery or a checkpoint capture. Both need a boundary the
+	// chained fault can land on; the draw is skipped (but still consumed)
+	// when the run shape has none.
+	if rng.Float64() < p.ChainProb {
+		rank := rng.Intn(p.Ranks)
+		if rng.Intn(2) == 0 {
+			minIter := crashes[0].Iteration
+			for _, f := range crashes[1:] {
+				if f.Iteration < minIter {
+					minIter = f.Iteration
+				}
+			}
+			if (minIter/p.Interval+1)*p.Interval < p.Steps {
+				sc.Events = append(sc.Events, AfterRecovery(rank))
+			}
+		} else if maxWave := (p.Steps - 1) / p.Interval; maxWave >= 1 {
+			sc.Events = append(sc.Events, AfterCapture(rank, 1+rng.Intn(maxWave)))
+		}
+	}
+
+	// Network perturbations, calibrated to the simulated fabric (25us branch
+	// latency, hundreds-of-us makespans): delays and spreads of tens of us
+	// move real message races without freezing the run.
+	if rng.Float64() < p.DelayProb {
+		extra := 20e-6 + 80e-6*rng.Float64()
+		jitter := 50e-6 * rng.Float64()
+		sc.Events = append(sc.Events, Delay(-1, -1, extra, jitter))
+	}
+	if rng.Float64() < p.ReorderProb {
+		window := 2 + rng.Intn(3)
+		spread := 40e-6 + 80e-6*rng.Float64()
+		sc.Events = append(sc.Events, Reorder(-1, -1, window, spread))
+	}
+	if rng.Float64() < p.CrossReorderProb {
+		sc.Events = append(sc.Events, CrossReorder(-1, 2+rng.Intn(2)))
+	}
+	isSPBC := sc.Protocol == runner.ProtocolSPBC || sc.Protocol == runner.ProtocolSPBCAdaptive
+	if rng.Float64() < p.PartitionProb && isSPBC {
+		from := 100e-6 * rng.Float64()
+		duration := 100e-6 + 400e-6*rng.Float64()
+		sc.Events = append(sc.Events, Partition(0, 1, from, from+duration))
+	}
+	sc.NetSeed = seed
 	return sc
 }

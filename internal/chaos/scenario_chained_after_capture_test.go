@@ -1,0 +1,22 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The crash is chained onto the second checkpoint capture and lands on that
+// wave's boundary, while the wave is still draining through the background
+// committer: recovery must fall back to a durable wave.
+func TestScenarioChainedAfterCapture(t *testing.T) {
+	res := checkScenario(t, "chained-after-capture")
+	if want := []int{1}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if want := []int{0, 1}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v (the crashed cluster only)", res.RolledBackRanks, want)
+	}
+	if res.RecoveryEvents != 1 {
+		t.Fatalf("recovery events = %d, want 1", res.RecoveryEvents)
+	}
+}

@@ -1,0 +1,22 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The second failure is chained from the completion of the first recovery and
+// lands at the next checkpoint boundary: two distinct recovery events, both
+// clusters eventually rolled back.
+func TestScenarioChainedAfterRecovery(t *testing.T) {
+	res := checkScenario(t, "chained-after-recovery")
+	if want := []int{0, 2}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if res.RecoveryEvents != 2 {
+		t.Fatalf("recovery events = %d, want 2 (the chained fault is a separate event)", res.RecoveryEvents)
+	}
+	if want := []int{0, 1, 2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v (both clusters, one per crash)", res.RolledBackRanks, want)
+	}
+}

@@ -1,0 +1,19 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Destination hold buffers release arrivals in a seeded cross-channel order —
+// the adversarial input for wildcard matching — across a crash and its
+// replay. Per-channel FIFO survives the buffer, so the invariants must hold.
+func TestScenarioCrossChannelReorder(t *testing.T) {
+	res := checkScenario(t, "cross-channel-reorder")
+	if want := []int{2}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v", res.RolledBackRanks, want)
+	}
+}

@@ -1,0 +1,19 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A delay burst gated on the commit drain degrades the fabric while a wave is
+// between capture and durability; the later crash must still recover onto a
+// durable wave.
+func TestScenarioDelayStraddlingCommitDrain(t *testing.T) {
+	res := checkScenario(t, "delay-straddling-commit-drain")
+	if want := []int{2}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v", res.RolledBackRanks, want)
+	}
+}

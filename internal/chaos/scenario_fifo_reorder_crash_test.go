@@ -1,0 +1,19 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// Seeded arrival-timing permutations inside per-channel windows, across a
+// crash: per-channel FIFO matching holds by construction, so the replay must
+// still be bit-identical to the failure-free twin.
+func TestScenarioFifoReorderCrash(t *testing.T) {
+	res := checkScenario(t, "fifo-reorder-crash")
+	if want := []int{1}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if want := []int{0, 1}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v (the crashed cluster only)", res.RolledBackRanks, want)
+	}
+}

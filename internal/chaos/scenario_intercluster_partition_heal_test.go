@@ -1,0 +1,22 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The inter-cluster links are cut and heal before the crash: the stalled
+// sends arrive as a late burst, and the later recovery replays logged
+// inter-cluster traffic on top of the disturbed channel timings.
+func TestScenarioInterclusterPartitionHeal(t *testing.T) {
+	res := checkScenario(t, "intercluster-partition-heal")
+	if want := []int{2}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v", res.RolledBackRanks, want)
+	}
+	if res.ReplayedRecords == 0 {
+		t.Fatal("cluster-local rollback must replay logged inter-cluster messages")
+	}
+}

@@ -1,0 +1,21 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// A crash under a uniformly delayed, jittery fabric: the rollback scope and
+// replay determinism must be immune to shifted message timings.
+func TestScenarioLinkDelayJitter(t *testing.T) {
+	res := checkScenario(t, "link-delay-jitter")
+	if want := []int{2}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if want := []int{2, 3}; !reflect.DeepEqual(res.RolledBackRanks, want) {
+		t.Fatalf("rolled-back ranks = %v, want %v (the crashed cluster only)", res.RolledBackRanks, want)
+	}
+	if res.RecoveryEvents != 1 {
+		t.Fatalf("recovery events = %d, want 1", res.RecoveryEvents)
+	}
+}

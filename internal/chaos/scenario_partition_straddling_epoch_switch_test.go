@@ -1,0 +1,19 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The inter-cluster cut opens exactly at the adaptive controller's epoch
+// switch while a crash pins onto the same boundary: the epoch's opening wave
+// must still become the recovery line, over a degraded fabric.
+func TestScenarioPartitionStraddlingEpochSwitch(t *testing.T) {
+	res := checkScenario(t, "partition-straddling-epoch-switch")
+	if want := []int{5}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if res.Epochs < 2 {
+		t.Fatalf("epochs = %d, want >= 2 (the switch must have happened)", res.Epochs)
+	}
+}

@@ -1,0 +1,19 @@
+package chaos
+
+import (
+	"reflect"
+	"testing"
+)
+
+// The partition opens the moment recovery starts and straddles the whole
+// rollback/replay window. A pass implies the gate fired (the compiled
+// scenario reports a never-opened NetDuring gate as a violation).
+func TestScenarioPartitionStraddlingRecovery(t *testing.T) {
+	res := checkScenario(t, "partition-straddling-recovery")
+	if want := []int{2}; !reflect.DeepEqual(res.CrashedRanks, want) {
+		t.Fatalf("crashed ranks = %v, want %v", res.CrashedRanks, want)
+	}
+	if res.RecoveryEvents != 1 {
+		t.Fatalf("recovery events = %d, want 1", res.RecoveryEvents)
+	}
+}

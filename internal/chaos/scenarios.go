@@ -110,6 +110,101 @@ func Catalog() []Scenario {
 			Events: []Event{NodeCrash(2, 3), NodeCrash(2, 6)},
 		},
 		{
+			// A crash under a uniformly slow, jittery fabric: every message
+			// carries extra seeded latency, so recovery replay races live
+			// traffic under shifted timings.
+			Name: "link-delay-jitter",
+			Events: []Event{
+				NodeCrash(2, 5),
+				Delay(-1, -1, 50e-6, 30e-6),
+			},
+		},
+		{
+			// Seeded permutations of arrival timing inside 4-message windows
+			// on every channel: per-channel FIFO holds by construction, but
+			// any protocol state piggybacked on arrival timing is scrambled.
+			Name: "fifo-reorder-crash",
+			Events: []Event{
+				NodeCrash(1, 4),
+				Reorder(-1, -1, 4, 100e-6),
+			},
+		},
+		{
+			// The adversarial input for wildcard matching: destinations buffer
+			// arrivals and release them in a seeded cross-channel order, so
+			// AnySource receives observe an interleaving unrelated to physical
+			// arrival — across a crash and its replay.
+			Name: "cross-channel-reorder",
+			Events: []Event{
+				NodeCrash(2, 5),
+				CrossReorder(-1, 4),
+			},
+		},
+		{
+			// The inter-cluster links are cut early in the run and heal: the
+			// stalled sends arrive as a late burst, then a crash forces replay
+			// on top of the disturbed channel timings.
+			Name: "intercluster-partition-heal",
+			Events: []Event{
+				NodeCrash(2, 5),
+				Partition(0, 1, 20e-6, 120e-6),
+			},
+		},
+		{
+			// The partition opens the moment recovery starts and straddles the
+			// whole rollback/replay window: replayed inter-cluster traffic is
+			// injected while the direct links are cut, and the heal floods the
+			// recovered rank with stalled pre-crash sends.
+			Name: "partition-straddling-recovery",
+			Events: []Event{
+				NodeCrash(2, 5),
+				NetDuring(Recovery, Partition(0, 1, 0, 0), 100e-6),
+			},
+		},
+		{
+			// The inter-cluster cut opens exactly when the adaptive controller
+			// adopts a new partition, so the epoch's opening wave commits over
+			// a degraded fabric while a crash pins onto the same boundary.
+			Name:         "partition-straddling-epoch-switch",
+			Protocol:     runner.ProtocolSPBCAdaptive,
+			Ranks:        8,
+			RanksPerNode: 2,
+			ClusterOf:    []int{0, 0, 0, 0, 1, 1, 1, 1},
+			Workload:     Workload{Kind: "phase-shift"},
+			Events: []Event{
+				During(EpochSwitch, core.Fault{Rank: 5}),
+				NetDuring(EpochSwitch, Partition(0, 1, 0, 0), 150e-6),
+			},
+		},
+		{
+			// A delay burst gated on the commit drain: the fabric degrades
+			// while a wave is between capture and durability, stretching the
+			// window in which the crash races the in-flight commit.
+			Name: "delay-straddling-commit-drain",
+			Events: []Event{
+				NodeCrash(2, 5),
+				NetDuring(CommitDrain, Delay(-1, -1, 60e-6, 40e-6), 200e-6),
+			},
+		},
+		{
+			// The second failure strikes at the first checkpoint boundary
+			// after recovery completes: the world is hit again just as it
+			// regains a durable footing.
+			Name: "chained-after-recovery",
+			Events: []Event{
+				NodeCrash(2, 3),
+				AfterRecovery(0),
+			},
+		},
+		{
+			// The crash lands on the boundary of the second checkpoint
+			// capture, while that wave is still draining through the
+			// background committer: recovery must fall back to the previous
+			// durable wave, never the in-flight one.
+			Name:   "chained-after-capture",
+			Events: []Event{AfterCapture(1, 2)},
+		},
+		{
 			// The global-rollback baseline under a correlated double crash.
 			Name:     "coordinated-cascade",
 			Protocol: runner.ProtocolCoordinated,

@@ -1,0 +1,306 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+)
+
+// This file is the scenario minimizer: a failing schedule — typically a
+// generated one with half a dozen stacked fault classes — is reduced to the
+// smallest event list that still reproduces the failure, first by ddmin-style
+// bisection over the event list, then by weakening each surviving event's
+// magnitudes (delays, windows, counts) to their smallest still-failing
+// values. The result carries a compilable Go literal of the minimized
+// scenario, so a CI failure lands in the repo as a seed-free regression
+// scenario instead of an opaque generator seed.
+
+// Shrunk is the result of a Shrink run.
+type Shrunk struct {
+	// Scenario is the minimized still-failing scenario.
+	Scenario Scenario
+	// Runs is how many times the failing predicate was evaluated.
+	Runs int
+	// Literal is a compilable Go literal of the minimized scenario.
+	Literal string
+}
+
+// Reproduces is the predicate CI shrinking uses: the scenario must be valid
+// (it normalizes and compiles — an event list whose dependencies were cut by
+// a removal probe is not a reproduction) and its run must violate the chaos
+// invariants.
+func Reproduces(sc Scenario) bool {
+	tmp := sc
+	if err := tmp.normalize(); err != nil {
+		return false
+	}
+	if _, err := compile(&tmp); err != nil {
+		return false
+	}
+	return !Check(sc).Passed
+}
+
+// Shrink minimizes a failing scenario against the predicate. Both phases are
+// fully deterministic (no randomness; candidate order is a pure function of
+// the event list), so the same input scenario and predicate always produce
+// the same minimized scenario, byte for byte.
+func Shrink(sc Scenario, failing func(Scenario) bool) (Shrunk, error) {
+	runs := 0
+	try := func(events []Event) bool {
+		if len(events) == 0 {
+			return false // a scenario needs at least one event
+		}
+		cand := sc
+		cand.Events = events
+		runs++
+		return failing(cand)
+	}
+	if !try(sc.Events) {
+		return Shrunk{}, fmt.Errorf("chaos: Shrink: scenario %s does not fail as given", sc.Name)
+	}
+
+	// Phase 1: ddmin over the event list — remove chunks, halving the chunk
+	// size whenever no removal reproduces, until single-event granularity is
+	// exhausted.
+	events := sc.Events
+	n := 2
+	for len(events) >= 2 {
+		chunk := (len(events) + n - 1) / n
+		reduced := false
+		for start := 0; start < len(events); start += chunk {
+			end := start + chunk
+			if end > len(events) {
+				end = len(events)
+			}
+			complement := make([]Event, 0, len(events)-(end-start))
+			complement = append(complement, events[:start]...)
+			complement = append(complement, events[end:]...)
+			if try(complement) {
+				events = complement
+				if n > 2 {
+					n--
+				}
+				reduced = true
+				break
+			}
+		}
+		if !reduced {
+			if n >= len(events) {
+				break
+			}
+			n *= 2
+			if n > len(events) {
+				n = len(events)
+			}
+		}
+	}
+
+	// Phase 2: weaken each surviving event to a fixpoint — every event is
+	// offered its weaker variants in order, and the first still-failing one
+	// replaces it.
+	for changed := true; changed; {
+		changed = false
+		for i := range events {
+			for _, w := range weaken(events[i]) {
+				cand := append([]Event(nil), events...)
+				cand[i] = w
+				if try(cand) {
+					events = cand
+					changed = true
+					break
+				}
+			}
+		}
+	}
+
+	out := sc
+	out.Events = events
+	return Shrunk{Scenario: out, Runs: runs, Literal: FormatScenario(out)}, nil
+}
+
+// weaken returns strictly weaker variants of one event, strongest reduction
+// first. An empty result means the event is already minimal.
+func weaken(ev Event) []Event {
+	var out []Event
+	switch e := ev.(type) {
+	case netDelay:
+		if e.Jitter > 0 {
+			w := e
+			w.Jitter = 0
+			out = append(out, w)
+		}
+		if e.Extra > 2e-6 {
+			w := e
+			w.Extra = e.Extra / 2
+			out = append(out, w)
+		}
+	case netReorder:
+		if e.Spread > 2e-6 {
+			w := e
+			w.Spread = e.Spread / 2
+			out = append(out, w)
+		}
+		if e.Window > 2 {
+			w := e
+			w.Window = e.Window - 1
+			out = append(out, w)
+		}
+	case netCrossReorder:
+		if e.Window > 2 {
+			w := e
+			w.Window = e.Window - 1
+			out = append(out, w)
+		}
+	case netPartition:
+		if dur := e.To - e.From; dur > 100e-6 {
+			w := e
+			w.To = e.From + dur/2
+			out = append(out, w)
+		}
+	case netDuring:
+		for _, inner := range weaken(e.Inner) {
+			w := e
+			w.Inner = inner
+			out = append(out, w)
+		}
+		if e.Duration > 100e-6 {
+			w := e
+			w.Duration = e.Duration / 2
+			out = append(out, w)
+		}
+	case storageFault:
+		if e.Rule.Count > 1 {
+			w := e
+			w.Rule.Count = e.Rule.Count - 1
+			out = append(out, w)
+		}
+		if e.Rule.Delay > 100000 { // 100us in ns
+			w := e
+			w.Rule.Delay = e.Rule.Delay / 2
+			out = append(out, w)
+		}
+		if e.Rule.After > 0 {
+			w := e
+			w.Rule.After = e.Rule.After / 2
+			out = append(out, w)
+		}
+	case cascade:
+		if len(e.Then) > 0 {
+			w := e
+			w.Then = e.Then[:len(e.Then)-1]
+			out = append(out, w)
+		}
+	case afterCapture:
+		if e.Wave > 1 {
+			w := e
+			w.Wave = e.Wave - 1
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// FormatScenario renders the scenario as a compilable Go composite literal
+// (package-qualified, ready to paste into a regression test).
+func FormatScenario(sc Scenario) string {
+	var b strings.Builder
+	b.WriteString("chaos.Scenario{\n")
+	fmt.Fprintf(&b, "\tName: %q,\n", sc.Name)
+	if sc.Protocol != "" {
+		fmt.Fprintf(&b, "\tProtocol: %q,\n", string(sc.Protocol))
+	}
+	if sc.Ranks != 0 {
+		fmt.Fprintf(&b, "\tRanks: %d,\n", sc.Ranks)
+	}
+	if sc.RanksPerNode != 0 {
+		fmt.Fprintf(&b, "\tRanksPerNode: %d,\n", sc.RanksPerNode)
+	}
+	if sc.ClusterOf != nil {
+		fmt.Fprintf(&b, "\tClusterOf: %#v,\n", sc.ClusterOf)
+	}
+	if sc.Steps != 0 {
+		fmt.Fprintf(&b, "\tSteps: %d,\n", sc.Steps)
+	}
+	if sc.Interval != 0 {
+		fmt.Fprintf(&b, "\tInterval: %d,\n", sc.Interval)
+	}
+	if sc.Workload != (Workload{}) {
+		fmt.Fprintf(&b, "\tWorkload: chaos.Workload{Kind: %q, Size: %d, Param: %d},\n",
+			sc.Workload.Kind, sc.Workload.Size, sc.Workload.Param)
+	}
+	if sc.NetSeed != 0 {
+		fmt.Fprintf(&b, "\tNetSeed: %d,\n", sc.NetSeed)
+	}
+	if sc.ExpectError {
+		b.WriteString("\tExpectError: true,\n")
+	}
+	b.WriteString("\tEvents: []chaos.Event{\n")
+	for _, ev := range sc.Events {
+		fmt.Fprintf(&b, "\t\t%s,\n", formatEvent(ev))
+	}
+	b.WriteString("\t},\n}")
+	return b.String()
+}
+
+func formatEvent(ev Event) string {
+	switch e := ev.(type) {
+	case nodeCrash:
+		return fmt.Sprintf("chaos.NodeCrash(%d, %d)", e.Rank, e.Iteration)
+	case clusterCrash:
+		return fmt.Sprintf("chaos.ClusterCrash(%d, %d)", e.Cluster, e.Iteration)
+	case cascade:
+		parts := make([]string, 0, len(e.Then)+1)
+		parts = append(parts, formatFault(e.Initial))
+		for _, f := range e.Then {
+			parts = append(parts, formatFault(f))
+		}
+		return fmt.Sprintf("chaos.Cascade(%s)", strings.Join(parts, ", "))
+	case during:
+		return fmt.Sprintf("chaos.During(%s, %s)", formatPhase(e.Phase), formatFault(e.Fault))
+	case storageFault:
+		return fmt.Sprintf("chaos.StorageFault(%s)", formatRule(e.Rule))
+	case netDelay:
+		if e.From == 0 && e.To == 0 {
+			return fmt.Sprintf("chaos.Delay(%d, %d, %g, %g)", e.Src, e.Dst, e.Extra, e.Jitter)
+		}
+		return fmt.Sprintf("chaos.DelayWindow(%d, %d, %g, %g, %g, %g)", e.Src, e.Dst, e.From, e.To, e.Extra, e.Jitter)
+	case netReorder:
+		return fmt.Sprintf("chaos.Reorder(%d, %d, %d, %g)", e.Src, e.Dst, e.Window, e.Spread)
+	case netCrossReorder:
+		return fmt.Sprintf("chaos.CrossReorder(%d, %d)", e.Dst, e.Window)
+	case netPartition:
+		return fmt.Sprintf("chaos.Partition(%d, %d, %g, %g)", e.ClusterA, e.ClusterB, e.From, e.To)
+	case netDuring:
+		return fmt.Sprintf("chaos.NetDuring(%s, %s, %g)", formatPhase(e.Phase), formatEvent(e.Inner), e.Duration)
+	case afterRecovery:
+		return fmt.Sprintf("chaos.AfterRecovery(%d)", e.Rank)
+	case afterCapture:
+		return fmt.Sprintf("chaos.AfterCapture(%d, %d)", e.Rank, e.Wave)
+	default:
+		return fmt.Sprintf("/* unformattable event %#v */", ev)
+	}
+}
+
+func formatFault(f core.Fault) string {
+	return fmt.Sprintf("core.Fault{Rank: %d, Iteration: %d}", f.Rank, f.Iteration)
+}
+
+func formatPhase(p Phase) string {
+	switch p {
+	case Recovery:
+		return "chaos.Recovery"
+	case EpochSwitch:
+		return "chaos.EpochSwitch"
+	case CommitDrain:
+		return "chaos.CommitDrain"
+	}
+	return fmt.Sprintf("chaos.Phase(%q)", string(p))
+}
+
+func formatRule(r checkpoint.FaultRule) string {
+	return fmt.Sprintf(
+		"checkpoint.FaultRule{Op: %q, Mode: %q, Rank: %d, After: %d, Count: %d, Delay: %d * time.Nanosecond}",
+		string(r.Op), string(r.Mode), r.Rank, r.After, r.Count, int64(r.Delay))
+}

@@ -1,0 +1,163 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+)
+
+// canaryEvent is a test-only event that unconditionally reports a violation:
+// the stand-in for "the one event that actually breaks the run" in a noisy
+// generated schedule.
+type canaryEvent struct{ ID int }
+
+func (c canaryEvent) apply(_ *Scenario, comp *compilation) error {
+	comp.hookErr(fmt.Errorf("canary %d tripped", c.ID))
+	return nil
+}
+
+// TestShrinkMinimizesToCanary buries a deliberately failing event under six
+// innocent ones and asserts the shrinker digs it out: the minimized scenario
+// has at most 3 events, still contains the canary, and is byte-identical
+// across 5 independent shrink runs (the checker is re-run on every probe).
+func TestShrinkMinimizesToCanary(t *testing.T) {
+	sc := Scenario{
+		Name:    "shrink-canary",
+		NetSeed: 7,
+		Events: []Event{
+			NodeCrash(2, 5),
+			Delay(-1, -1, 50e-6, 30e-6),
+			Reorder(-1, -1, 4, 100e-6),
+			CrossReorder(-1, 4),
+			StorageFault(checkpoint.FaultRule{Op: checkpoint.OpStage, Mode: checkpoint.ModeStall, Rank: -1, Count: 2, Delay: 200 * time.Microsecond}),
+			canaryEvent{ID: 1},
+			Partition(0, 1, 20e-6, 120e-6),
+		},
+	}
+	var first Shrunk
+	for run := 0; run < 5; run++ {
+		shrunk, err := Shrink(sc, Reproduces)
+		if err != nil {
+			t.Fatalf("run %d: %v", run, err)
+		}
+		if got := len(shrunk.Scenario.Events); got > 3 {
+			t.Fatalf("run %d: shrunk to %d events, want <= 3: %#v", run, got, shrunk.Scenario.Events)
+		}
+		hasCanary := false
+		for _, ev := range shrunk.Scenario.Events {
+			if _, ok := ev.(canaryEvent); ok {
+				hasCanary = true
+			}
+		}
+		if !hasCanary {
+			t.Fatalf("run %d: the canary was shrunk away: %#v", run, shrunk.Scenario.Events)
+		}
+		if run == 0 {
+			first = shrunk
+		} else if shrunk.Literal != first.Literal {
+			t.Fatalf("run %d: shrink is not deterministic:\n%s\nvs\n%s", run, shrunk.Literal, first.Literal)
+		}
+	}
+	if first.Runs == 0 {
+		t.Fatal("shrink reported zero predicate runs")
+	}
+}
+
+// TestShrinkWeakensMagnitudes drives the weakening phase with a synthetic
+// predicate: the failure needs a crash plus a delay of at least 10us, so the
+// shrinker must halve the 80us delay down to exactly 10us and zero the
+// jitter, deterministically and without any randomness.
+func TestShrinkWeakensMagnitudes(t *testing.T) {
+	sc := Scenario{
+		Name: "shrink-weaken",
+		Events: []Event{
+			NodeCrash(2, 5),
+			Delay(-1, -1, 80e-6, 40e-6),
+			CrossReorder(-1, 4),
+		},
+	}
+	failing := func(s Scenario) bool {
+		hasCrash, bigDelay := false, false
+		for _, ev := range s.Events {
+			switch e := ev.(type) {
+			case nodeCrash:
+				hasCrash = true
+			case netDelay:
+				if e.Extra >= 10e-6 {
+					bigDelay = true
+				}
+			}
+		}
+		return hasCrash && bigDelay
+	}
+	shrunk, err := Shrink(sc, failing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(shrunk.Scenario.Events) != 2 {
+		t.Fatalf("shrunk to %d events, want 2 (crash + delay): %#v", len(shrunk.Scenario.Events), shrunk.Scenario.Events)
+	}
+	var d netDelay
+	found := false
+	for _, ev := range shrunk.Scenario.Events {
+		if e, ok := ev.(netDelay); ok {
+			d, found = e, true
+		}
+	}
+	if !found {
+		t.Fatalf("no delay survived: %#v", shrunk.Scenario.Events)
+	}
+	if d.Extra != 10e-6 || d.Jitter != 0 {
+		t.Fatalf("delay weakened to extra=%g jitter=%g, want extra=1e-05 jitter=0", d.Extra, d.Jitter)
+	}
+}
+
+func TestShrinkRejectsPassingScenario(t *testing.T) {
+	sc, ok := ByName("node-crash")
+	if !ok {
+		t.Fatal("node-crash not in catalog")
+	}
+	if _, err := Shrink(sc, Reproduces); err == nil {
+		t.Fatal("Shrink accepted a scenario that does not fail")
+	}
+}
+
+// TestFormatScenarioCoversDSL renders one scenario using every event class
+// and asserts the literal names each builder — the reproducible artifact CI
+// attaches must round-trip through the DSL, not dump internals.
+func TestFormatScenarioCoversDSL(t *testing.T) {
+	sc := Generate(3, NetProfile())
+	sc.Events = append(sc.Events,
+		ClusterCrash(1, 6),
+		NetDuring(Recovery, Partition(0, 1, 0, 0), 100e-6),
+		AfterCapture(1, 2),
+		AfterRecovery(0),
+		CrossReorder(-1, 3),
+		Reorder(-1, -1, 4, 50e-6),
+		Delay(0, 1, 20e-6, 0),
+		DelayWindow(0, 1, 10e-6, 90e-6, 20e-6, 5e-6),
+	)
+	lit := FormatScenario(sc)
+	for _, want := range []string{
+		"chaos.Scenario{",
+		"chaos.ClusterCrash(1, 6)",
+		"chaos.NetDuring(chaos.Recovery, chaos.Partition(0, 1, 0, 0), 0.0001)",
+		"chaos.AfterCapture(1, 2)",
+		"chaos.AfterRecovery(0)",
+		"chaos.CrossReorder(-1, 3)",
+		"chaos.Reorder(-1, -1, 4, 5e-05)",
+		"chaos.Delay(0, 1, 2e-05, 0)",
+		"chaos.DelayWindow(0, 1, 1e-05, 9e-05, 2e-05, 5e-06)",
+		"NetSeed: 3",
+	} {
+		if !strings.Contains(lit, want) {
+			t.Errorf("literal missing %q:\n%s", want, lit)
+		}
+	}
+	if strings.Contains(lit, "unformattable") {
+		t.Errorf("literal contains unformattable events:\n%s", lit)
+	}
+}

@@ -1,0 +1,88 @@
+package chaos
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/checkpoint"
+	"repro/internal/runner"
+)
+
+// TestStorageOpMatrix exercises the commit- and load-targeted fault rules
+// under every crash protocol. Stalls must be survivable: the run converges,
+// recovery fires, and the rollback-scope and durability invariants (enforced
+// inside Check) hold with the fault injected. Fail and corrupt are fatal by
+// design — a failed commit leaves a partial wave no recovery may consume, and
+// a failed load means the only durable image is unreadable — so those runs
+// must error out with the injected fault, not limp past it.
+func TestStorageOpMatrix(t *testing.T) {
+	protocols := []runner.Protocol{
+		runner.ProtocolCoordinated,
+		runner.ProtocolFullLog,
+		runner.ProtocolSPBC,
+	}
+	cases := []struct {
+		op          checkpoint.FaultOp
+		mode        checkpoint.FaultMode
+		expectError bool
+	}{
+		{checkpoint.OpCommit, checkpoint.ModeStall, false},
+		{checkpoint.OpCommit, checkpoint.ModeFail, true},
+		{checkpoint.OpCommit, checkpoint.ModeCorrupt, true},
+		{checkpoint.OpLoad, checkpoint.ModeStall, false},
+		{checkpoint.OpLoad, checkpoint.ModeFail, true},
+		{checkpoint.OpLoad, checkpoint.ModeCorrupt, true},
+	}
+	for _, proto := range protocols {
+		for _, tc := range cases {
+			name := fmt.Sprintf("%s/%s-%s", proto, tc.op, tc.mode)
+			t.Run(name, func(t *testing.T) {
+				t.Parallel()
+				rule := checkpoint.FaultRule{Op: tc.op, Mode: tc.mode, Rank: -1, Count: 1}
+				if tc.mode == checkpoint.ModeStall {
+					// Stall a couple of operations long enough to overlap the
+					// crash window, but let the run finish.
+					rule.Count = 2
+					rule.Delay = 200 * time.Microsecond
+				}
+				sc := Scenario{
+					Name:        "storage-matrix-" + strings.ReplaceAll(name, "/", "-"),
+					Protocol:    proto,
+					ExpectError: tc.expectError,
+					Events: []Event{
+						NodeCrash(2, 5),
+						StorageFault(rule),
+					},
+				}
+				res := Check(sc)
+				if !res.Passed {
+					t.Fatalf("violations: %v", res.Violations)
+				}
+				if tc.expectError {
+					if !strings.Contains(res.RunError, "injected") {
+						t.Fatalf("run error %q does not carry the injected fault", res.RunError)
+					}
+					return
+				}
+				// Survivable stall: the fault actually fired, the crash was
+				// recovered, and Check's rollback-scope and durability
+				// invariants held (they would be Violations otherwise).
+				if res.StorageInjections < 1 {
+					t.Fatalf("storage injections = %d, want >= 1", res.StorageInjections)
+				}
+				if res.RecoveryEvents < 1 {
+					t.Fatalf("recovery events = %d, want >= 1", res.RecoveryEvents)
+				}
+				rolled := map[int]bool{}
+				for _, r := range res.RolledBackRanks {
+					rolled[r] = true
+				}
+				if !rolled[2] {
+					t.Fatalf("crashed rank 2 not in rolled-back set %v", res.RolledBackRanks)
+				}
+			})
+		}
+	}
+}

@@ -58,6 +58,37 @@ type FaultRule struct {
 	Delay time.Duration
 }
 
+// Validate rejects rules that could never fire or that combine fields
+// incoherently — a misspelled Op or Mode, a negative After or Count, or a
+// Delay on a mode that never sleeps would otherwise sit silently in the rule
+// list and never match, which in a chaos schedule reads as "the run survived
+// the fault" when no fault was injected at all.
+func (r FaultRule) Validate() error {
+	switch r.Op {
+	case OpStage, OpCommit, OpLoad:
+	default:
+		return fmt.Errorf("checkpoint: fault rule has unknown op %q (want %q, %q, or %q)", string(r.Op), OpStage, OpCommit, OpLoad)
+	}
+	switch r.Mode {
+	case ModeFail, ModeStall, ModeCorrupt:
+	default:
+		return fmt.Errorf("checkpoint: fault rule has unknown mode %q (want %q, %q, or %q)", string(r.Mode), ModeFail, ModeStall, ModeCorrupt)
+	}
+	if r.After < 0 {
+		return fmt.Errorf("checkpoint: fault rule has negative After %d", r.After)
+	}
+	if r.Count < 0 {
+		return fmt.Errorf("checkpoint: fault rule has negative Count %d (use 0 for unlimited)", r.Count)
+	}
+	if r.Delay < 0 {
+		return fmt.Errorf("checkpoint: fault rule has negative Delay %s", r.Delay)
+	}
+	if r.Mode != ModeStall && (r.Delay != 0 || r.Block != nil) {
+		return fmt.Errorf("checkpoint: fault rule sets a stall (Delay/Block) but mode is %q, not %q", string(r.Mode), ModeStall)
+	}
+	return nil
+}
+
 type ruleState struct {
 	FaultRule
 	seen int // matching operations observed
@@ -74,13 +105,18 @@ type FaultStorage struct {
 	rules []*ruleState
 }
 
-// NewFaultStorage wraps a WaveStorage with the given fault rules.
-func NewFaultStorage(inner WaveStorage, rules ...FaultRule) *FaultStorage {
+// NewFaultStorage wraps a WaveStorage with the given fault rules. Every rule
+// is validated up front; a rule that could never fire is a configuration bug,
+// not a survivable chaos schedule.
+func NewFaultStorage(inner WaveStorage, rules ...FaultRule) (*FaultStorage, error) {
 	f := &FaultStorage{inner: inner}
-	for _, r := range rules {
+	for i, r := range rules {
+		if err := r.Validate(); err != nil {
+			return nil, fmt.Errorf("rule %d: %w", i, err)
+		}
 		f.rules = append(f.rules, &ruleState{FaultRule: r})
 	}
-	return f
+	return f, nil
 }
 
 // Injections returns how many faults each rule injected, in rule order.

@@ -32,8 +32,60 @@ func TestDecodeMeta(t *testing.T) {
 	}
 }
 
+func mustFaultStorage(t *testing.T, inner WaveStorage, rules ...FaultRule) *FaultStorage {
+	t.Helper()
+	fs, err := NewFaultStorage(inner, rules...)
+	if err != nil {
+		t.Fatalf("NewFaultStorage: %v", err)
+	}
+	return fs
+}
+
+func TestFaultRuleValidation(t *testing.T) {
+	cases := []struct {
+		name string
+		rule FaultRule
+		want string // substring of the expected error; "" means valid
+	}{
+		{"valid fail", FaultRule{Op: OpStage, Mode: ModeFail, Rank: -1}, ""},
+		{"valid stall with delay", FaultRule{Op: OpCommit, Mode: ModeStall, Rank: 0, Delay: time.Millisecond}, ""},
+		{"valid stall with block", FaultRule{Op: OpLoad, Mode: ModeStall, Rank: -1, Block: make(chan struct{})}, ""},
+		{"unknown op", FaultRule{Op: "stge", Mode: ModeFail, Rank: -1}, `unknown op "stge"`},
+		{"empty op", FaultRule{Mode: ModeFail, Rank: -1}, "unknown op"},
+		{"unknown mode", FaultRule{Op: OpStage, Mode: "crash", Rank: -1}, `unknown mode "crash"`},
+		{"negative after", FaultRule{Op: OpStage, Mode: ModeFail, Rank: -1, After: -1}, "negative After"},
+		{"negative count", FaultRule{Op: OpStage, Mode: ModeFail, Rank: -1, Count: -2}, "negative Count"},
+		{"negative delay", FaultRule{Op: OpStage, Mode: ModeStall, Rank: -1, Delay: -time.Second}, "negative Delay"},
+		{"delay without stall", FaultRule{Op: OpStage, Mode: ModeFail, Rank: -1, Delay: time.Second}, `mode is "fail", not "stall"`},
+		{"block without stall", FaultRule{Op: OpLoad, Mode: ModeCorrupt, Rank: -1, Block: make(chan struct{})}, "not \"stall\""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			err := tc.rule.Validate()
+			if tc.want == "" {
+				if err != nil {
+					t.Fatalf("Validate: %v, want ok", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("Validate accepted %+v, want error containing %q", tc.rule, tc.want)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("Validate error %q does not mention %q", err, tc.want)
+			}
+			// NewFaultStorage must reject it too, naming the rule index.
+			if _, nerr := NewFaultStorage(NewMemoryStorage(), FaultRule{Op: OpStage, Mode: ModeFail, Rank: -1}, tc.rule); nerr == nil {
+				t.Fatal("NewFaultStorage accepted an invalid rule")
+			} else if !strings.Contains(nerr.Error(), "rule 1") {
+				t.Fatalf("NewFaultStorage error %q does not name the offending rule", nerr)
+			}
+		})
+	}
+}
+
 func TestFaultStorageFailAndCount(t *testing.T) {
-	fs := NewFaultStorage(NewMemoryStorage(),
+	fs := mustFaultStorage(t, NewMemoryStorage(),
 		FaultRule{Op: OpStage, Mode: ModeFail, Rank: 1, After: 1, Count: 1})
 
 	// First stage of rank 1 passes (After skips it), the second fails, the
@@ -56,7 +108,7 @@ func TestFaultStorageFailAndCount(t *testing.T) {
 }
 
 func TestFaultStorageCommitFault(t *testing.T) {
-	fs := NewFaultStorage(NewMemoryStorage(),
+	fs := mustFaultStorage(t, NewMemoryStorage(),
 		FaultRule{Op: OpCommit, Mode: ModeFail, Rank: -1, Count: 1})
 	image, err := EncodeBuffer(sampleCheckpoint(2))
 	if err != nil {
@@ -90,7 +142,7 @@ func TestFaultStorageCommitFault(t *testing.T) {
 }
 
 func TestFaultStorageCorruptDetectedOnLoad(t *testing.T) {
-	fs := NewFaultStorage(NewMemoryStorage(),
+	fs := mustFaultStorage(t, NewMemoryStorage(),
 		FaultRule{Op: OpStage, Mode: ModeCorrupt, Rank: 0, Count: 1})
 	image, err := EncodeBuffer(sampleCheckpoint(0))
 	if err != nil {
@@ -114,7 +166,7 @@ func TestFaultStorageCorruptDetectedOnLoad(t *testing.T) {
 
 func TestFaultStorageStallBlocksUntilRelease(t *testing.T) {
 	release := make(chan struct{})
-	fs := NewFaultStorage(NewMemoryStorage(),
+	fs := mustFaultStorage(t, NewMemoryStorage(),
 		FaultRule{Op: OpStage, Mode: ModeStall, Rank: -1, Count: 1, Block: release})
 	done := make(chan error, 1)
 	go func() { done <- fs.Save(sampleCheckpoint(1)) }()
@@ -134,7 +186,7 @@ func TestFaultStorageLoadFault(t *testing.T) {
 	if err := inner.Save(sampleCheckpoint(1)); err != nil {
 		t.Fatalf("seed save: %v", err)
 	}
-	fs := NewFaultStorage(inner, FaultRule{Op: OpLoad, Mode: ModeFail, Rank: 1, Count: 1})
+	fs := mustFaultStorage(t, inner, FaultRule{Op: OpLoad, Mode: ModeFail, Rank: 1, Count: 1})
 	if _, _, err := fs.Load(1); err == nil {
 		t.Fatal("first load must fail")
 	}

@@ -216,6 +216,10 @@ type Engine struct {
 	arming    *faultEvent  // event whose recovery-start hook is running
 	armingSet map[int]bool // rolled-back set of the arming event
 	armed     int          // chained events inserted by the current hook
+	// eventFloor is the highest iteration of any event handed out for
+	// processing; ScheduleFault rejects insertions below it (they would land
+	// inside the processed prefix and corrupt the per-rank cursors).
+	eventFloor int
 
 	// viewMu guards the current epoch view. It is written only while every
 	// rank is parked at the wave boundary that opens the epoch (the adaptive

@@ -89,6 +89,13 @@ func (e *Engine) nextDueEvent(cursor, rank, iter int) *faultEvent {
 	if (ev.armedBy == nil || ev.armedBy[rank]) && iter < ev.iter {
 		return nil
 	}
+	// The event is being handed out for processing: from here on, inserting a
+	// new event at an earlier iteration would land before it in the sorted
+	// schedule and corrupt the per-rank cursors. eventFloor is the guard
+	// ScheduleFault checks.
+	if ev.iter > e.eventFloor {
+		e.eventFloor = ev.iter
+	}
 	return ev
 }
 
@@ -108,6 +115,9 @@ func (e *Engine) ScheduleFault(f Fault) error {
 	}
 	e.eventMu.Lock()
 	defer e.eventMu.Unlock()
+	if f.Iteration < e.eventFloor {
+		return fmt.Errorf("core: scheduled fault at iteration %d precedes an event already being processed at iteration %d: the schedule's processed prefix is immutable (hooks must target the current boundary or later)", f.Iteration, e.eventFloor)
+	}
 	i := len(e.events)
 	for i > 0 && e.events[i-1].iter > f.Iteration {
 		i--

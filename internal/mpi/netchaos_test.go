@@ -1,0 +1,182 @@
+package mpi
+
+import (
+	"fmt"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+func TestNetChaosDelayShiftsArrivalOnly(t *testing.T) {
+	nc := &simnet.NetChaos{
+		Seed:   3,
+		Delays: []simnet.DelayRule{{Src: -1, Dst: -1, Extra: 500e-6}},
+	}
+	w := testWorld(t, 2, WithNetChaos(nc))
+	err := w.Run(func(p *Proc) error {
+		comm := w.CommWorld()
+		if p.Rank() == 0 {
+			return p.Send([]byte("hi"), 1, 7, comm)
+		}
+		buf := make([]byte, 2)
+		st, err := p.Recv(buf, 0, 7, comm)
+		if err != nil {
+			return err
+		}
+		if string(buf) != "hi" {
+			return fmt.Errorf("payload corrupted: %q", buf)
+		}
+		if st.Bytes != 2 {
+			return fmt.Errorf("status bytes = %d", st.Bytes)
+		}
+		// The receive observed the delayed arrival: the receiver's clock is
+		// past the injected delay.
+		if p.Now() < 500e-6 {
+			return fmt.Errorf("receiver clock %g did not observe the 500us delay", p.Now())
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNetChaosInvalidRuleRejectedByNewWorld(t *testing.T) {
+	nc := &simnet.NetChaos{Delays: []simnet.DelayRule{{Src: 9, Dst: -1}}}
+	if _, err := NewWorld(2, simnet.DefaultCostModel(), WithNetChaos(nc)); err == nil {
+		t.Fatal("NewWorld accepted an out-of-range netchaos rule")
+	}
+}
+
+// TestNetChaosHoldFlushesOnBlock sends fewer messages than the hold window:
+// the only way the receiver can make progress is the flush-on-block path.
+func TestNetChaosHoldFlushesOnBlock(t *testing.T) {
+	nc := &simnet.NetChaos{
+		Seed:  11,
+		Holds: []simnet.HoldRule{{Dst: 1, Window: 64}},
+	}
+	w := testWorld(t, 2, WithNetChaos(nc))
+	err := w.Run(func(p *Proc) error {
+		comm := w.CommWorld()
+		if p.Rank() == 0 {
+			return p.Send([]byte{42}, 1, 1, comm)
+		}
+		buf := make([]byte, 1)
+		if _, err := p.Recv(buf, 0, 1, comm); err != nil {
+			return err
+		}
+		if buf[0] != 42 {
+			return fmt.Errorf("payload corrupted: %d", buf[0])
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNetChaosHoldPreservesChannelFIFO floods a held destination from two
+// senders on distinct tags and wildcard-receives everything: whatever
+// inter-channel order the seeded flush picks, per-channel sequence order (and
+// so per-sender payload order) must survive.
+func TestNetChaosHoldPreservesChannelFIFO(t *testing.T) {
+	const msgs = 16
+	nc := &simnet.NetChaos{
+		Seed:  99,
+		Holds: []simnet.HoldRule{{Dst: 2, Window: 4}},
+	}
+	w := testWorld(t, 3, WithNetChaos(nc))
+	err := w.Run(func(p *Proc) error {
+		comm := w.CommWorld()
+		switch p.Rank() {
+		case 0, 1:
+			for i := 0; i < msgs; i++ {
+				if err := p.Send([]byte{byte(p.Rank()), byte(i)}, 2, 5, comm); err != nil {
+					return err
+				}
+			}
+			return nil
+		default:
+			lastSeen := map[byte]int{0: -1, 1: -1}
+			for i := 0; i < 2*msgs; i++ {
+				buf := make([]byte, 2)
+				if _, err := p.Recv(buf, AnySource, 5, comm); err != nil {
+					return err
+				}
+				src, idx := buf[0], int(buf[1])
+				if idx != lastSeen[src]+1 {
+					return fmt.Errorf("sender %d: got payload %d after %d — per-channel FIFO broken", src, idx, lastSeen[src])
+				}
+				lastSeen[src] = idx
+			}
+			return nil
+		}
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestNetChaosHoldReleaseOrderIsSeededAndFIFO drives the hold buffer
+// single-threaded (sequential Isends from two senders into a held
+// destination, then wildcard receives) so the physical arrival order is
+// fixed, and asserts that (a) the whole buffer is released, (b) the release
+// interleaving is identical for identical seeds, and (c) each channel is
+// released in sequence order regardless of the seed.
+func TestNetChaosHoldReleaseOrderIsSeededAndFIFO(t *testing.T) {
+	const msgs = 6
+	run := func(seed int64) []byte {
+		t.Helper()
+		nc := &simnet.NetChaos{
+			Seed:  seed,
+			Holds: []simnet.HoldRule{{Dst: 2, Window: 64}},
+		}
+		w := testWorld(t, 3, WithNetChaos(nc))
+		comm := w.CommWorld()
+		// Alternate senders so both channels interleave in the buffer.
+		for i := 0; i < msgs; i++ {
+			for _, src := range []int{0, 1} {
+				if _, err := w.Proc(src).Isend([]byte{byte(src), byte(i)}, 2, 5, comm); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		p2 := w.Proc(2)
+		if got := len(p2.held); got != 2*msgs {
+			t.Fatalf("held %d messages, want %d", got, 2*msgs)
+		}
+		if p2.UnexpectedCount() != 0 {
+			t.Fatalf("messages leaked past the hold buffer: %d", p2.UnexpectedCount())
+		}
+		var order []byte
+		lastSeen := map[byte]int{0: -1, 1: -1}
+		for i := 0; i < 2*msgs; i++ {
+			buf := make([]byte, 2)
+			if _, err := p2.Recv(buf, AnySource, 5, comm); err != nil {
+				t.Fatal(err)
+			}
+			src, idx := buf[0], int(buf[1])
+			if idx != lastSeen[src]+1 {
+				t.Fatalf("seed %d: sender %d delivered payload %d after %d — FIFO broken", seed, src, idx, lastSeen[src])
+			}
+			lastSeen[src] = idx
+			order = append(order, src)
+		}
+		return order
+	}
+	a := run(7)
+	b := run(7)
+	if string(a) != string(b) {
+		t.Fatalf("same seed produced different release orders: %v vs %v", a, b)
+	}
+	// Sanity: some seed deviates from the strictly alternating arrival order,
+	// i.e. the buffer is actually reordering across channels.
+	arrival := string([]byte{0, 1, 0, 1, 0, 1, 0, 1, 0, 1, 0, 1})
+	reordered := false
+	for seed := int64(0); seed < 8 && !reordered; seed++ {
+		reordered = string(run(seed)) != arrival
+	}
+	if !reordered {
+		t.Fatal("no seed in 0..7 deviated from arrival order — hold buffer is not reordering")
+	}
+}

@@ -2,6 +2,7 @@ package mpi
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 
 	bufpkg "repro/internal/buf"
@@ -158,6 +159,11 @@ type Proc struct {
 	postStamp uint64
 	inState   map[ChanKey]*inChannelState
 	pending   int // incomplete requests
+	// held buffers arriving messages under a network-chaos hold rule, in
+	// arrival order (which per channel is sequence order). A flush delivers
+	// them in a seeded inter-channel order; blocked receivers flush before
+	// sleeping so holds never affect liveness. Always empty without NetChaos.
+	held []*inMessage
 
 	outMu sync.Mutex
 	out   map[ChanKey]*outChannelState
@@ -383,6 +389,13 @@ func (p *Proc) isend(buf []byte, dstWorld, tag int, comm *Comm) (*Request, error
 		msg.arriveTime = cost.HeaderArrival(now, p.id, dstWorld)
 		msg.sendReq = req
 	}
+	if nc := p.world.net; nc != nil {
+		// Network chaos: delays, reorder windows and partitions all surface as
+		// a pure virtual-time shift of the arrival. Matching order per channel
+		// is the delivery call order, which this does not change, so FIFO is
+		// preserved no matter how adversarial the shift.
+		msg.arriveTime += nc.ExtraDelay(now, p.id, dstWorld, comm.id, seq)
+	}
 
 	dst := p.world.procs[dstWorld]
 	dst.deliverMessage(msg)
@@ -403,42 +416,134 @@ func (p *Proc) Send(buf []byte, dest, tag int, comm *Comm) error {
 // Arrival and matching
 // ---------------------------------------------------------------------------
 
+// heldSender is a rendezvous sender completion deferred until after p.mu is
+// released, to keep the lock order acyclic.
+type heldSender struct {
+	req *Request
+	t   float64
+}
+
+func completeSenders(senders []heldSender) {
+	for _, s := range senders {
+		s.req.proc.completeExternal(s.req, s.t)
+	}
+}
+
 // deliverMessage places a message arriving on one of p's incoming channels.
 // It is called from the sender's goroutine or from a replay daemon. Any
 // rendezvous sender request that becomes complete is completed after p's lock
-// is released to keep the lock order acyclic.
+// is released to keep the lock order acyclic. Under a network-chaos hold rule
+// the message is parked in the hold buffer instead; replayed messages bypass
+// holding (recovery replay owns its own ordering).
 func (p *Proc) deliverMessage(msg *inMessage) {
-	var completeSender *Request
-	var senderTime float64
+	var senders []heldSender
 
+	hold := 0
+	if nc := p.world.net; nc != nil && !msg.replayed {
+		hold = nc.HoldWindow(msg.arriveTime, msg.env.Source, p.id)
+	}
 	p.mu.Lock()
+	if hold > 0 || p.heldOnChannelLocked(msg.env.Source, msg.env.CommID) {
+		// A message also joins the buffer whenever its channel already has a
+		// held message, whatever its own rule match: per-channel FIFO through
+		// the buffer is absolute.
+		p.held = append(p.held, msg)
+		if hold == 0 || len(p.held) < hold {
+			// Not full: park it, but wake blocked receivers so flush-on-block
+			// keeps liveness.
+			p.cond.Broadcast()
+			p.mu.Unlock()
+			return
+		}
+		senders, _ = p.flushHeldLocked()
+	} else if s, ok := p.deliverLocked(msg); ok {
+		senders = append(senders, s)
+	}
+	p.cond.Broadcast()
+	p.mu.Unlock()
+	completeSenders(senders)
+}
+
+// deliverLocked runs the duplicate filter and matching for one message. The
+// returned rendezvous sender completion (if ok) must be performed after p.mu
+// is released, and the caller must Broadcast. Caller holds p.mu.
+func (p *Proc) deliverLocked(msg *inMessage) (heldSender, bool) {
 	st := p.inChannelLocked(msg.env.Source, msg.env.CommID)
 	if msg.env.Seq <= st.maxSeqSeen {
 		// Duplicate (recovery replay overlapped with a direct transmission):
 		// channel-determinism guarantees the payload is identical, drop it.
-		p.mu.Unlock()
 		releaseMsg(msg)
-		return
+		return heldSender{}, false
 	}
 	st.maxSeqSeen = msg.env.Seq
 
 	// Match against the earliest posted matching request, in post order.
 	if req := p.matchPostedLocked(msg); req != nil {
-		senderDone, sT := p.matchLocked(req, msg)
-		if senderDone != nil {
-			completeSender, senderTime = senderDone, sT
+		if senderReq, t := p.matchLocked(req, msg); senderReq != nil {
+			return heldSender{req: senderReq, t: t}, true
 		}
-	} else {
-		p.arrivals++
-		msg.arrival = p.arrivals
-		p.pushUnexpectedLocked(msg)
+		return heldSender{}, false
 	}
-	p.cond.Broadcast()
-	p.mu.Unlock()
+	p.arrivals++
+	msg.arrival = p.arrivals
+	p.pushUnexpectedLocked(msg)
+	return heldSender{}, false
+}
 
-	if completeSender != nil {
-		completeSender.proc.completeExternal(completeSender, senderTime)
+// heldOnChannelLocked reports whether the hold buffer contains a message of
+// the given channel. Caller holds p.mu.
+func (p *Proc) heldOnChannelLocked(srcWorld, commID int) bool {
+	for _, m := range p.held {
+		if m.env.Source == srcWorld && m.env.CommID == commID {
+			return true
+		}
 	}
+	return false
+}
+
+// flushHeldLocked releases every held message into the normal matching path,
+// in a seeded inter-channel order that preserves per-channel FIFO: the seeded
+// sort decides which delivery slots each channel occupies, and each channel's
+// slots are refilled in sequence order. It reports whether anything was
+// flushed; the returned sender completions must be performed after releasing
+// p.mu. Caller holds p.mu.
+func (p *Proc) flushHeldLocked() ([]heldSender, bool) {
+	if len(p.held) == 0 {
+		return nil, false
+	}
+	msgs := p.held
+	p.held = nil
+	nc := p.world.net
+
+	// Snapshot every channel key before delivering anything: delivery can
+	// release a message back to the pool, and the slot-refill indirection
+	// below (orig != idx) may deliver a message before its own slot is read —
+	// reading msg.env afterwards would race a concurrent sender recycling it.
+	order := make([]int, len(msgs))
+	keys := make([]uint64, len(msgs))
+	chans := make([]ChanKey, len(msgs))
+	byChan := make(map[ChanKey][]int) // original indices, in per-channel seq order
+	for i, m := range msgs {
+		order[i] = i
+		chans[i] = ChanKey{Peer: m.env.Source, Comm: m.env.CommID}
+		byChan[chans[i]] = append(byChan[chans[i]], i)
+		if nc != nil {
+			keys[i] = nc.OrderKey(m.env.Source, p.id, m.env.CommID, m.env.Seq)
+		}
+	}
+	sort.SliceStable(order, func(a, b int) bool { return keys[order[a]] < keys[order[b]] })
+
+	next := make(map[ChanKey]int)
+	var senders []heldSender
+	for _, idx := range order {
+		k := chans[idx]
+		orig := byChan[k][next[k]]
+		next[k]++
+		if s, ok := p.deliverLocked(msgs[orig]); ok {
+			senders = append(senders, s)
+		}
+	}
+	return senders, true
 }
 
 // pushUnexpectedLocked files a stamped message under its concrete
@@ -716,6 +821,14 @@ func (p *Proc) Wait(req *Request) (Status, error) {
 			p.mu.Unlock()
 			return Status{}, ErrWorldStopped
 		}
+		if senders, flushed := p.flushHeldLocked(); flushed {
+			// About to block: release the chaos hold buffer first so held
+			// messages cannot deadlock the receiver, then re-check.
+			p.mu.Unlock()
+			completeSenders(senders)
+			p.mu.Lock()
+			continue
+		}
 		p.cond.Wait()
 	}
 	p.mu.Unlock()
@@ -786,6 +899,11 @@ func (p *Proc) Waitany(reqs []*Request) (int, Status, error) {
 		if p.world.Stopped() {
 			p.mu.Unlock()
 			return -1, Status{}, ErrWorldStopped
+		}
+		if senders, flushed := p.flushHeldLocked(); flushed {
+			p.mu.Unlock()
+			completeSenders(senders)
+			continue
 		}
 		p.cond.Wait()
 		p.mu.Unlock()
@@ -933,6 +1051,11 @@ func (p *Proc) Probe(src, tag int, comm *Comm) (Status, error) {
 		if p.world.Stopped() {
 			p.mu.Unlock()
 			return Status{}, ErrWorldStopped
+		}
+		if senders, flushed := p.flushHeldLocked(); flushed {
+			p.mu.Unlock()
+			completeSenders(senders)
+			continue
 		}
 		p.cond.Wait()
 		p.mu.Unlock()

@@ -140,6 +140,15 @@ func (p *Proc) RestoreChannels(snap *ChannelSnapshot, keepQueued func(QueuedMess
 	p.posted = make(map[matchKey]*ring[*Request])
 	p.pending = 0
 	p.dropUnexpectedLocked()
+	// Chaos-held messages are dropped, not restored: everything in the buffer
+	// was sent before the rollback, so it is either replayed from a sender log
+	// (inter-cluster) or re-sent by the co-rolled-back sender with the same
+	// sequence number (intra-cluster / coordinated). Flushing it after the
+	// restore instead could overtake the replay and trip the duplicate filter.
+	for _, m := range p.held {
+		releaseMsg(m)
+	}
+	p.held = nil
 	p.inState = make(map[ChanKey]*inChannelState, len(snap.In))
 	for k, st := range snap.In {
 		p.inState[k] = &inChannelState{maxSeqSeen: st.MaxSeqSeen, delivered: st.Delivered}
@@ -187,6 +196,19 @@ func (p *Proc) RestoreChannels(snap *ChannelSnapshot, keepQueued func(QueuedMess
 func (p *Proc) PurgeChannel(srcWorld, commID int) int {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	// Strays parked in the chaos hold buffer are purged like queued ones (they
+	// are counted separately: unexpN tracks only the indexed queues).
+	heldPurged := 0
+	keptHeld := p.held[:0]
+	for _, m := range p.held {
+		if m.env.Source == srcWorld && m.env.CommID == commID && !m.replayed {
+			heldPurged++
+			releaseMsg(m)
+			continue
+		}
+		keptHeld = append(keptHeld, m)
+	}
+	p.held = keptHeld
 	purged := 0
 	for k, q := range p.unexp {
 		if k.source != srcWorld || k.comm != commID {
@@ -209,7 +231,7 @@ func (p *Proc) PurgeChannel(srcWorld, commID int) int {
 		q.head = 0
 	}
 	p.unexpN -= purged
-	return purged
+	return purged + heldPurged
 }
 
 // InState returns the incoming-channel bookkeeping for (src world rank, comm).
@@ -290,6 +312,12 @@ func (p *Proc) WaitDelivered(srcWorld, commID int, minDelivered uint64) {
 		}
 		if p.world.Stopped() {
 			return
+		}
+		if senders, flushed := p.flushHeldLocked(); flushed {
+			p.mu.Unlock()
+			completeSenders(senders)
+			p.mu.Lock()
+			continue
 		}
 		p.cond.Wait()
 	}

@@ -19,6 +19,9 @@ type World struct {
 	cost  simnet.CostModel
 	procs []*Proc
 	rec   *trace.Recorder
+	// net is the optional network-chaos model; immutable after NewWorld, read
+	// lock-free on the send path.
+	net *simnet.NetChaos
 
 	commMu    sync.Mutex
 	comms     map[string]*Comm // interned by membership signature
@@ -40,6 +43,15 @@ func WithRecorder(r *trace.Recorder) Option {
 	return func(w *World) { w.rec = r }
 }
 
+// WithNetChaos attaches a network-chaos model: transmitted messages suffer
+// the model's seeded delays, reorder windows, destination hold buffers and
+// link partitions. Perturbations are virtual-time only and never change
+// message content or per-channel FIFO order. The model is validated by
+// NewWorld.
+func WithNetChaos(n *simnet.NetChaos) Option {
+	return func(w *World) { w.net = n }
+}
+
 // NewWorld creates a world of n ranks with the given cost model.
 func NewWorld(n int, cost simnet.CostModel, opts ...Option) (*World, error) {
 	if n <= 0 {
@@ -55,6 +67,9 @@ func NewWorld(n int, cost simnet.CostModel, opts ...Option) (*World, error) {
 	}
 	for _, o := range opts {
 		o(w)
+	}
+	if err := w.net.Validate(n); err != nil {
+		return nil, err
 	}
 	group := make([]int, n)
 	for i := range group {

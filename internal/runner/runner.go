@@ -138,6 +138,10 @@ type ChaosSpec struct {
 	// WrapStorage, if set, decorates the scenario's checkpoint storage after
 	// defaulting — typically with checkpoint.NewFaultStorage.
 	WrapStorage func(checkpoint.Storage) checkpoint.Storage
+	// NetChaos, if set, attaches the deterministic network perturbation layer
+	// (delays, reorder windows, hold buffers, partitions) to the protected
+	// world.
+	NetChaos *simnet.NetChaos
 }
 
 // AdaptiveOptions tunes adaptive epoch-based clustering.
@@ -377,6 +381,9 @@ func runProtected(sc *Scenario) (*Report, error) {
 	var wopts []mpi.Option
 	if sc.Recorder != nil {
 		wopts = append(wopts, mpi.WithRecorder(sc.Recorder))
+	}
+	if sc.Chaos != nil && sc.Chaos.NetChaos != nil {
+		wopts = append(wopts, mpi.WithNetChaos(sc.Chaos.NetChaos))
 	}
 	w, err := mpi.NewWorld(sc.Ranks, *sc.Cost, wopts...)
 	if err != nil {

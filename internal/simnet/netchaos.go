@@ -1,0 +1,320 @@
+package simnet
+
+import (
+	"fmt"
+	"math"
+	"sync/atomic"
+)
+
+// This file is the network-chaos model: a deterministic, seeded perturbation
+// layer the mpi runtime consults on every transmitted message. All
+// perturbations are expressed in virtual time (extra arrival delay) or in
+// delivery scheduling (hold windows at the destination), so they stress the
+// protocols' ordering and timing assumptions without ever changing message
+// content — the invariant checkers (failure-free-twin replay, rollback scope)
+// must keep holding under any NetChaos configuration.
+//
+// Determinism contract: every drawn quantity (jitter, permutation slot,
+// release order key) is a pure function of (Seed, rule index, link, channel,
+// sequence number). Two runs with the same seed and the same rule set see a
+// byte-identical perturbation schedule.
+
+// Gate is an atomically published virtual-time window. Rules carrying a gate
+// are inactive until some lifecycle hook (e.g. the first recovery start)
+// opens it; this is how a partition straddles an epoch switch or a commit
+// drain whose virtual time is not known when the scenario is built.
+type Gate struct {
+	open atomic.Bool
+	from atomic.Uint64 // math.Float64bits
+	to   atomic.Uint64
+}
+
+// Open publishes the window [from, to). Later Opens overwrite earlier ones.
+func (g *Gate) Open(from, to float64) {
+	g.from.Store(math.Float64bits(from))
+	g.to.Store(math.Float64bits(to))
+	g.open.Store(true)
+}
+
+// Window returns the published window, or ok=false while the gate is closed.
+func (g *Gate) Window() (from, to float64, ok bool) {
+	if !g.open.Load() {
+		return 0, 0, false
+	}
+	return math.Float64frombits(g.from.Load()), math.Float64frombits(g.to.Load()), true
+}
+
+// DelayRule adds extra latency (plus seeded per-message jitter) to every
+// message sent on matching links inside the window.
+type DelayRule struct {
+	Src, Dst int     // world ranks; -1 matches any rank
+	From, To float64 // send-time window [From, To); To <= 0 means open-ended
+	Extra    float64 // deterministic extra latency per message (seconds)
+	Jitter   float64 // upper bound of the seeded per-message jitter (seconds)
+	Gate     *Gate   // when non-nil the window comes from the gate instead
+}
+
+// ReorderRule perturbs delivery timing among concurrently in-flight messages
+// of a channel: consecutive windows of Window sequence numbers receive a
+// seeded permutation of extra delays up to Spread. Per-channel FIFO matching
+// is preserved by construction (the runtime matches in per-channel send
+// order); what the permutation scrambles is the relative arrival *timing*
+// that protocols piggyback state on.
+type ReorderRule struct {
+	Src, Dst int
+	From, To float64
+	Window   int     // permutation window in per-channel sequence numbers (2..64)
+	Spread   float64 // the window's delays are spread over [0, Spread)
+	Gate     *Gate
+}
+
+// HoldRule buffers up to Window messages at the destination and releases them
+// in a seeded order that permutes arrival order *across* channels (per-channel
+// FIFO is still preserved). This is the adversarial input for wildcard
+// matching: MPI_ANY_SOURCE receives observe a different interleaving than the
+// physical arrival order. A full buffer — or the destination blocking on a
+// receive — forces a release, so holds never affect liveness.
+type HoldRule struct {
+	Dst      int // destination world rank; -1 matches any
+	From, To float64
+	Window   int // messages held before a forced release (2..64)
+	Gate     *Gate
+}
+
+// PartitionRule cuts every link between the two rank sets over the window:
+// a message sent across the cut inside [From, To) stalls and arrives only
+// after the heal at To (plus its normal transfer time), surfacing as a burst
+// of late deliveries racing whatever the world did during the partition.
+type PartitionRule struct {
+	A, B     []int   // the two sides of the cut (world ranks)
+	From, To float64 // [From, To); must be a finite window unless gated
+	Gate     *Gate
+}
+
+// NetChaos is a set of network perturbation rules plus the seed all drawn
+// quantities derive from. A nil *NetChaos disables the layer entirely.
+type NetChaos struct {
+	Seed       int64
+	Delays     []DelayRule
+	Reorders   []ReorderRule
+	Holds      []HoldRule
+	Partitions []PartitionRule
+}
+
+// Enabled reports whether any rule is present.
+func (n *NetChaos) Enabled() bool {
+	return n != nil && (len(n.Delays) > 0 || len(n.Reorders) > 0 || len(n.Holds) > 0 || len(n.Partitions) > 0)
+}
+
+// Validate checks every rule against the world size.
+func (n *NetChaos) Validate(worldSize int) error {
+	if n == nil {
+		return nil
+	}
+	rank := func(r int) error {
+		if r < -1 || r >= worldSize {
+			return fmt.Errorf("simnet: netchaos rank %d out of range [-1,%d)", r, worldSize)
+		}
+		return nil
+	}
+	for i, r := range n.Delays {
+		if err := firstErr(rank(r.Src), rank(r.Dst)); err != nil {
+			return fmt.Errorf("delay rule %d: %w", i, err)
+		}
+		if r.Extra < 0 || r.Jitter < 0 || r.From < 0 {
+			return fmt.Errorf("simnet: delay rule %d: negative extra/jitter/from", i)
+		}
+	}
+	for i, r := range n.Reorders {
+		if err := firstErr(rank(r.Src), rank(r.Dst)); err != nil {
+			return fmt.Errorf("reorder rule %d: %w", i, err)
+		}
+		if r.Window < 2 || r.Window > maxPermWindow {
+			return fmt.Errorf("simnet: reorder rule %d: window %d outside [2,%d]", i, r.Window, maxPermWindow)
+		}
+		if r.Spread <= 0 || r.From < 0 {
+			return fmt.Errorf("simnet: reorder rule %d: spread must be positive and from non-negative", i)
+		}
+	}
+	for i, r := range n.Holds {
+		if err := rank(r.Dst); err != nil {
+			return fmt.Errorf("hold rule %d: %w", i, err)
+		}
+		if r.Window < 2 || r.Window > maxPermWindow {
+			return fmt.Errorf("simnet: hold rule %d: window %d outside [2,%d]", i, r.Window, maxPermWindow)
+		}
+	}
+	for i, r := range n.Partitions {
+		if len(r.A) == 0 || len(r.B) == 0 {
+			return fmt.Errorf("simnet: partition rule %d: both sides must be non-empty", i)
+		}
+		for _, m := range append(append([]int(nil), r.A...), r.B...) {
+			if m < 0 || m >= worldSize {
+				return fmt.Errorf("simnet: partition rule %d: rank %d out of range [0,%d)", i, m, worldSize)
+			}
+		}
+		for _, a := range r.A {
+			for _, b := range r.B {
+				if a == b {
+					return fmt.Errorf("simnet: partition rule %d: rank %d on both sides", i, a)
+				}
+			}
+		}
+		if r.Gate == nil && !(r.To > r.From && r.From >= 0 && !math.IsInf(r.To, 1)) {
+			return fmt.Errorf("simnet: partition rule %d: window [%g,%g) must be finite and non-empty", i, r.From, r.To)
+		}
+	}
+	return nil
+}
+
+// ExtraDelay returns the additional arrival delay for a message sent at
+// sendTime on the channel (src → dst, comm) with the given per-channel
+// sequence number. It is a pure function of its arguments and the rule set.
+func (n *NetChaos) ExtraDelay(sendTime float64, src, dst, comm int, seq uint64) float64 {
+	if n == nil {
+		return 0
+	}
+	var d float64
+	for i, r := range n.Delays {
+		if !matchLink(r.Src, r.Dst, src, dst) || !inWindow(r.Gate, r.From, r.To, sendTime) {
+			continue
+		}
+		d += r.Extra
+		if r.Jitter > 0 {
+			d += r.Jitter * unit(n.hash(tagDelay, i, src, dst, comm, seq))
+		}
+	}
+	for i, r := range n.Reorders {
+		if !matchLink(r.Src, r.Dst, src, dst) || !inWindow(r.Gate, r.From, r.To, sendTime) {
+			continue
+		}
+		group := (seq - 1) / uint64(r.Window)
+		slot := permSlot(n.hash(tagReorder, i, src, dst, comm, group), r.Window, int((seq-1)%uint64(r.Window)))
+		d += r.Spread * float64(slot) / float64(r.Window)
+	}
+	for _, r := range n.Partitions {
+		from, to, ok := window(r.Gate, r.From, r.To)
+		if !ok || sendTime < from || sendTime >= to {
+			continue
+		}
+		if crosses(r.A, r.B, src, dst) {
+			d += to - sendTime // stall until the heal
+		}
+	}
+	return d
+}
+
+// HoldWindow returns the hold-buffer size to apply to a message arriving at
+// the destination, or 0 when no hold rule matches.
+func (n *NetChaos) HoldWindow(arriveTime float64, src, dst int) int {
+	if n == nil {
+		return 0
+	}
+	w := 0
+	for _, r := range n.Holds {
+		if r.Dst >= 0 && r.Dst != dst {
+			continue
+		}
+		if !inWindow(r.Gate, r.From, r.To, arriveTime) {
+			continue
+		}
+		if r.Window > w {
+			w = r.Window
+		}
+	}
+	_ = src
+	return w
+}
+
+// OrderKey is the seeded release key of a held message: sorting a hold buffer
+// by OrderKey yields a deterministic pseudo-random inter-channel order.
+func (n *NetChaos) OrderKey(src, dst, comm int, seq uint64) uint64 {
+	return n.hash(tagOrder, 0, src, dst, comm, seq)
+}
+
+const (
+	tagDelay   = 0xD1
+	tagReorder = 0x5E
+	tagOrder   = 0x0F
+
+	maxPermWindow = 64
+)
+
+// splitmix64 is the finalizer of the SplitMix64 generator — a cheap,
+// well-distributed 64-bit mixer.
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func (n *NetChaos) hash(tag uint64, ruleIdx, src, dst, comm int, x uint64) uint64 {
+	h := splitmix64(uint64(n.Seed) ^ tag)
+	h = splitmix64(h ^ uint64(ruleIdx))
+	h = splitmix64(h ^ uint64(uint32(src))<<32 ^ uint64(uint32(dst)))
+	h = splitmix64(h ^ uint64(uint32(comm))<<32 ^ x)
+	return h
+}
+
+// unit maps a hash to [0, 1).
+func unit(h uint64) float64 { return float64(h>>11) / (1 << 53) }
+
+// permSlot returns position idx of the Fisher–Yates permutation of [0, w)
+// drawn from h.
+func permSlot(h uint64, w, idx int) int {
+	var buf [maxPermWindow]int
+	perm := buf[:w]
+	for i := range perm {
+		perm[i] = i
+	}
+	for i := w - 1; i > 0; i-- {
+		h = splitmix64(h)
+		j := int(h % uint64(i+1))
+		perm[i], perm[j] = perm[j], perm[i]
+	}
+	return perm[idx]
+}
+
+func matchLink(ruleSrc, ruleDst, src, dst int) bool {
+	return (ruleSrc < 0 || ruleSrc == src) && (ruleDst < 0 || ruleDst == dst)
+}
+
+// window resolves a rule's active window: the gate's when gated (closed gate
+// means inactive), the static [From, To) otherwise, with To <= 0 open-ended.
+func window(gate *Gate, from, to float64) (float64, float64, bool) {
+	if gate != nil {
+		return gate.Window()
+	}
+	if to <= 0 {
+		to = math.Inf(1)
+	}
+	return from, to, true
+}
+
+func inWindow(gate *Gate, from, to, t float64) bool {
+	f, u, ok := window(gate, from, to)
+	return ok && t >= f && t < u
+}
+
+func crosses(a, b []int, src, dst int) bool {
+	return (contains(a, src) && contains(b, dst)) || (contains(b, src) && contains(a, dst))
+}
+
+func contains(s []int, r int) bool {
+	for _, v := range s {
+		if v == r {
+			return true
+		}
+	}
+	return false
+}
+
+func firstErr(errs ...error) error {
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,178 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+)
+
+func TestNetChaosNilAndEmpty(t *testing.T) {
+	var n *NetChaos
+	if n.Enabled() {
+		t.Fatal("nil NetChaos must be disabled")
+	}
+	if d := n.ExtraDelay(0, 0, 1, 0, 1); d != 0 {
+		t.Fatalf("nil NetChaos delay = %g, want 0", d)
+	}
+	if w := n.HoldWindow(0, 0, 1); w != 0 {
+		t.Fatalf("nil NetChaos hold = %d, want 0", w)
+	}
+	if (&NetChaos{Seed: 1}).Enabled() {
+		t.Fatal("rule-free NetChaos must be disabled")
+	}
+}
+
+func TestDelayRuleDeterminismAndWindow(t *testing.T) {
+	n := &NetChaos{
+		Seed:   42,
+		Delays: []DelayRule{{Src: -1, Dst: -1, From: 1e-3, To: 2e-3, Extra: 10e-6, Jitter: 20e-6}},
+	}
+	d1 := n.ExtraDelay(1.5e-3, 0, 1, 0, 7)
+	d2 := n.ExtraDelay(1.5e-3, 0, 1, 0, 7)
+	if d1 != d2 {
+		t.Fatalf("delay not deterministic: %g vs %g", d1, d2)
+	}
+	if d1 < 10e-6 || d1 >= 30e-6 {
+		t.Fatalf("delay %g outside [extra, extra+jitter)", d1)
+	}
+	if d := n.ExtraDelay(0.5e-3, 0, 1, 0, 7); d != 0 {
+		t.Fatalf("delay outside window = %g, want 0", d)
+	}
+	if d := n.ExtraDelay(2e-3, 0, 1, 0, 7); d != 0 {
+		t.Fatalf("delay at window end = %g, want 0 (half-open)", d)
+	}
+	// Different seeds draw different jitter.
+	m := &NetChaos{Seed: 43, Delays: n.Delays}
+	if d1 == m.ExtraDelay(1.5e-3, 0, 1, 0, 7) {
+		t.Fatal("different seeds drew identical jitter")
+	}
+}
+
+func TestReorderPermutationIsBijective(t *testing.T) {
+	const w = 8
+	n := &NetChaos{
+		Seed:     7,
+		Reorders: []ReorderRule{{Src: -1, Dst: -1, Window: w, Spread: 100e-6}},
+	}
+	seen := map[float64]bool{}
+	for seq := uint64(1); seq <= w; seq++ {
+		d := n.ExtraDelay(0, 2, 3, 0, seq)
+		if d < 0 || d >= 100e-6 {
+			t.Fatalf("seq %d: delay %g outside [0, spread)", seq, d)
+		}
+		if seen[d] {
+			t.Fatalf("seq %d: duplicate slot delay %g — permutation not bijective", seq, d)
+		}
+		seen[d] = true
+	}
+	if len(seen) != w {
+		t.Fatalf("got %d distinct slots, want %d", len(seen), w)
+	}
+	// The next window draws an independent permutation but the same slot set.
+	next := map[float64]bool{}
+	for seq := uint64(w + 1); seq <= 2*w; seq++ {
+		next[n.ExtraDelay(0, 2, 3, 0, seq)] = true
+	}
+	if len(next) != w {
+		t.Fatalf("second window has %d distinct slots, want %d", len(next), w)
+	}
+}
+
+func TestPartitionStallsUntilHeal(t *testing.T) {
+	n := &NetChaos{
+		Seed:       1,
+		Partitions: []PartitionRule{{A: []int{0, 1}, B: []int{2, 3}, From: 1e-3, To: 3e-3}},
+	}
+	// A→B send inside the window stalls exactly until the heal.
+	if d := n.ExtraDelay(1.5e-3, 0, 2, 0, 1); math.Abs(d-1.5e-3) > 1e-12 {
+		t.Fatalf("cross-cut delay = %g, want 1.5e-3 (heal - sendTime)", d)
+	}
+	// Symmetric for B→A.
+	if d := n.ExtraDelay(2.9e-3, 3, 1, 0, 1); math.Abs(d-0.1e-3) > 1e-12 {
+		t.Fatalf("reverse cross-cut delay = %g, want 0.1e-3", d)
+	}
+	// Intra-side traffic and out-of-window traffic are untouched.
+	if d := n.ExtraDelay(1.5e-3, 0, 1, 0, 1); d != 0 {
+		t.Fatalf("intra-side delay = %g, want 0", d)
+	}
+	if d := n.ExtraDelay(3e-3, 0, 2, 0, 1); d != 0 {
+		t.Fatalf("post-heal delay = %g, want 0", d)
+	}
+}
+
+func TestGateOpensRule(t *testing.T) {
+	g := &Gate{}
+	n := &NetChaos{
+		Seed:       5,
+		Partitions: []PartitionRule{{A: []int{0}, B: []int{1}, Gate: g}},
+	}
+	if d := n.ExtraDelay(1e-3, 0, 1, 0, 1); d != 0 {
+		t.Fatalf("gated rule active before Open: delay %g", d)
+	}
+	g.Open(1e-3, 2e-3)
+	if d := n.ExtraDelay(1.5e-3, 0, 1, 0, 1); math.Abs(d-0.5e-3) > 1e-12 {
+		t.Fatalf("gated partition delay = %g, want 0.5e-3", d)
+	}
+	if d := n.ExtraDelay(2.5e-3, 0, 1, 0, 1); d != 0 {
+		t.Fatalf("gated rule active after window: delay %g", d)
+	}
+}
+
+func TestHoldWindowMatching(t *testing.T) {
+	n := &NetChaos{
+		Seed: 9,
+		Holds: []HoldRule{
+			{Dst: 2, Window: 3},
+			{Dst: -1, From: 1e-3, To: 2e-3, Window: 5},
+		},
+	}
+	if w := n.HoldWindow(0, 0, 2); w != 3 {
+		t.Fatalf("hold window = %d, want 3", w)
+	}
+	if w := n.HoldWindow(1.5e-3, 0, 2); w != 5 {
+		t.Fatalf("overlapping rules hold window = %d, want max 5", w)
+	}
+	if w := n.HoldWindow(0, 0, 1); w != 0 {
+		t.Fatalf("non-matching dst hold window = %d, want 0", w)
+	}
+	// OrderKey is deterministic and channel-sensitive.
+	if n.OrderKey(0, 2, 0, 1) != n.OrderKey(0, 2, 0, 1) {
+		t.Fatal("OrderKey not deterministic")
+	}
+	if n.OrderKey(0, 2, 0, 1) == n.OrderKey(1, 2, 0, 1) {
+		t.Fatal("OrderKey ignores the source")
+	}
+}
+
+func TestNetChaosValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		n    *NetChaos
+		ok   bool
+	}{
+		{"nil", nil, true},
+		{"valid", &NetChaos{
+			Delays:     []DelayRule{{Src: -1, Dst: -1, Extra: 1e-6}},
+			Reorders:   []ReorderRule{{Src: -1, Dst: -1, Window: 4, Spread: 1e-6}},
+			Holds:      []HoldRule{{Dst: -1, Window: 2}},
+			Partitions: []PartitionRule{{A: []int{0}, B: []int{1}, From: 0, To: 1e-3}},
+		}, true},
+		{"delay rank out of range", &NetChaos{Delays: []DelayRule{{Src: 4, Dst: -1}}}, false},
+		{"negative extra", &NetChaos{Delays: []DelayRule{{Src: -1, Dst: -1, Extra: -1}}}, false},
+		{"reorder window too small", &NetChaos{Reorders: []ReorderRule{{Src: -1, Dst: -1, Window: 1, Spread: 1e-6}}}, false},
+		{"reorder spread zero", &NetChaos{Reorders: []ReorderRule{{Src: -1, Dst: -1, Window: 4}}}, false},
+		{"hold window too large", &NetChaos{Holds: []HoldRule{{Dst: -1, Window: 65}}}, false},
+		{"partition empty side", &NetChaos{Partitions: []PartitionRule{{A: []int{0}, From: 0, To: 1}}}, false},
+		{"partition overlapping sides", &NetChaos{Partitions: []PartitionRule{{A: []int{0, 1}, B: []int{1}, From: 0, To: 1}}}, false},
+		{"partition empty window", &NetChaos{Partitions: []PartitionRule{{A: []int{0}, B: []int{1}, From: 1, To: 1}}}, false},
+		{"gated partition needs no window", &NetChaos{Partitions: []PartitionRule{{A: []int{0}, B: []int{1}, Gate: &Gate{}}}}, true},
+	}
+	for _, tc := range cases {
+		err := tc.n.Validate(4)
+		if tc.ok && err != nil {
+			t.Errorf("%s: unexpected error: %v", tc.name, err)
+		}
+		if !tc.ok && err == nil {
+			t.Errorf("%s: expected a validation error", tc.name)
+		}
+	}
+}
