@@ -51,7 +51,8 @@
 //
 // -profile scale measures how the simulator's host cost grows with the world
 // size: each cell runs a ring workload on a full engine at one rank count
-// (default sweep 64→16384, SPBC block clusters and full-log) and records
+// (default sweep 64→65536; SPBC block clusters, full-log and the adaptive
+// controller seeded with the same block partition) and records
 // host-ns per simulated send and peak heap, gated so ns/send stays within
 // -ns-send-factor of the smallest cell and heap grows sublinearly in ranks
 // (-mem-factor). Results are written as BENCH_scale_<name>.json, exiting
@@ -87,10 +88,10 @@ func main() {
 		candidate  = flag.String("candidate", "BENCH_perf_ci.json", "candidate perf profile for -profile compare")
 		allocSlack = flag.Float64("alloc-slack", 0, "allocs/op slack for -profile compare (0 = default 1.0)")
 		nsFactor   = flag.Float64("ns-factor", 0, "ns/op ratio threshold for -profile compare (0 = default 5.0)")
-		scaleRanks = flag.String("scale-ranks", "", "comma-separated rank counts for -profile scale (default: 64,256,1024,4096,16384)")
+		scaleRanks = flag.String("scale-ranks", "", "comma-separated rank counts for -profile scale (default: 64,256,1024,4096,16384,65536)")
 		rpc        = flag.Int("ranks-per-cluster", 0, "SPBC block-cluster size for -profile scale (0 = default 16)")
 		nsSendFac  = flag.Float64("ns-send-factor", 0, "ns/send growth gate for -profile scale: largest cell within this factor of the smallest (0 = default 4.0, negative disables)")
-		memFactor  = flag.Float64("mem-factor", 0, "peak-heap growth gate for -profile scale: heap ratio <= factor x rank ratio (0 = default 1.0, negative disables)")
+		memFactor  = flag.Float64("mem-factor", 0, "peak-heap growth gate for -profile scale: heap ratio <= factor x rank ratio (0 = default 1.25, negative disables)")
 		adaptGate  = flag.Bool("adaptive-gate", false, "fail the sweep when adaptive SPBC regresses against static SPBC (requires both in -protocols)")
 		protocols  = flag.String("protocols", "", "comma-separated protocols (default: all five)")
 		kernels    = flag.String("kernels", "ring:16:3,solver:24,phase:32:2", "comma-separated kernels, name:size[:arg] (arg: ring reduce period / phase length)")

@@ -232,7 +232,7 @@ func ReadChaosResult(raw []byte) (*ChaosResult, error) {
 // scenario.
 func (r *ChaosResult) Table() *stats.Table {
 	t := stats.NewTable(fmt.Sprintf("CHAOS %s (%d suite, %d generated)", r.Name, len(r.Suite), len(r.Generated)),
-		"scenario", "protocol", "verdict", "crashed", "rolled", "recov", "replay", "canceled", "inject")
+		"scenario", "protocol", "verdict", "crashed", "rolled", "recov", "replay", "canceled", "st_inject", "net_inject")
 	row := func(label string, c *chaos.Result) {
 		verdict := "ok"
 		switch {
@@ -251,6 +251,7 @@ func (r *ChaosResult) Table() *stats.Table {
 			fmt.Sprint(c.ReplayedRecords),
 			fmt.Sprint(c.CanceledWaves),
 			fmt.Sprint(c.StorageInjections),
+			fmt.Sprint(c.NetInjections),
 		)
 	}
 	for i := range r.Suite {

@@ -43,7 +43,9 @@ func goldenChaosResult() *ChaosResult {
 					Scenario: "generated-7", Protocol: "full-log", Passed: true,
 					CrashedRanks: []int{1}, RolledBackRanks: []int{1},
 					RecoveryEvents: 1, ReplayedRecords: 9, CanceledWaves: 1,
-					StorageInjections: 2, Makespan: 0.0011,
+					StorageInjections: 2,
+					NetInjections:     38, NetInjectionsPerRule: []int{26, 12},
+					Makespan: 0.0011,
 				},
 			},
 		},

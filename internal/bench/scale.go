@@ -14,10 +14,13 @@ package bench
 // way BENCH_perf_<name>.json fences the per-operation hot path.
 //
 // Cells drive the engine directly rather than through the runner: the
-// runner's SPBC path adds a profiling pre-run and a trace recorder, both of
-// which are O(world²) by design (dense profile matrix, dense recorded
-// clocks) and belong to the small-scale determinism harness, not to a
-// 16384-rank cell.
+// runner's SPBC path adds a profiling pre-run and a trace recorder, which
+// belong to the small-scale determinism harness, not to a 65536-rank cell.
+// The spbc-adaptive cells seed the adaptive controller with the same block
+// partition and set one node per cluster, so repartitioning works at
+// cluster granularity and `clustering.Partition` takes its O(ranks) path —
+// together with the sparse live profile this is what lets the sweep carry
+// the adaptive protocol to the same world sizes as static SPBC.
 
 import (
 	"encoding/json"
@@ -42,21 +45,26 @@ import (
 // Default gates: ns/send of the largest cell must stay within
 // defaultNsPerSendFactor of the smallest cell's, and peak heap may grow at
 // most defaultMemFactor times as fast as the rank count (ratio of ratios), so
-// the per-rank footprint must not grow with the world size.
+// the per-rank footprint must not grow with the world size. The mem factor
+// carries a 25% tolerance: the smallest cells peak below a couple of MiB,
+// where the sampler's granularity and runtime overhead wobble the per-rank
+// figure ~10% run to run — a real superlinear footprint (any O(world)
+// per-rank state) blows through 1.25x within one 4x rank step.
 const (
 	defaultNsPerSendFactor = 4.0
-	defaultMemFactor       = 1.0
+	defaultMemFactor       = 1.25
 )
 
 // ScaleMatrix declares one scale profile run.
 type ScaleMatrix struct {
 	// Name labels the profile; the output file is BENCH_scale_<Name>.json.
 	Name string `json:"name"`
-	// Protocols to sweep. Defaults to SPBC and full-log: the two group
-	// structures whose bookkeeping scales differently (few large clusters vs
-	// one cluster per rank).
+	// Protocols to sweep. Defaults to SPBC, full-log and spbc-adaptive:
+	// the group structures whose bookkeeping scales differently (few large
+	// clusters, one cluster per rank, and live-profile-driven clusters).
 	Protocols []runner.Protocol `json:"protocols"`
-	// Ranks is the world-size axis. Defaults to {64, 256, 1024, 4096, 16384}.
+	// Ranks is the world-size axis. Defaults to
+	// {64, 256, 1024, 4096, 16384, 65536}.
 	Ranks []int `json:"ranks"`
 	// RanksPerCluster sizes the SPBC block clusters (cluster i holds ranks
 	// [i*rpc, (i+1)*rpc)). Defaults to 16.
@@ -73,8 +81,9 @@ type ScaleMatrix struct {
 	// negative disables the gate.
 	NsPerSendFactor float64 `json:"ns_per_send_factor,omitempty"`
 	// MemFactor gates heap growth: heap(cell)/heap(smallest) must not exceed
-	// MemFactor × ranks(cell)/ranks(smallest). 0 selects the default (1.0 —
-	// at most linear, i.e. a flat per-rank footprint), negative disables.
+	// MemFactor × ranks(cell)/ranks(smallest). 0 selects the default (1.25 —
+	// at most linear plus sampling tolerance, i.e. a flat per-rank
+	// footprint), negative disables.
 	MemFactor float64 `json:"mem_factor,omitempty"`
 }
 
@@ -84,17 +93,18 @@ func (m *ScaleMatrix) normalize() error {
 		m.Name = "scale"
 	}
 	if len(m.Protocols) == 0 {
-		m.Protocols = []runner.Protocol{runner.ProtocolSPBC, runner.ProtocolFullLog}
+		m.Protocols = []runner.Protocol{runner.ProtocolSPBC, runner.ProtocolFullLog, runner.ProtocolSPBCAdaptive}
 	}
 	for _, p := range m.Protocols {
 		switch p {
-		case runner.ProtocolSPBC, runner.ProtocolFullLog, runner.ProtocolCoordinated:
+		case runner.ProtocolSPBC, runner.ProtocolFullLog, runner.ProtocolCoordinated,
+			runner.ProtocolSPBCAdaptive:
 		default:
-			return fmt.Errorf("bench: scale profile supports spbc, full-log and coordinated, not %q", p)
+			return fmt.Errorf("bench: scale profile supports spbc, full-log, coordinated and spbc-adaptive, not %q", p)
 		}
 	}
 	if len(m.Ranks) == 0 {
-		m.Ranks = []int{64, 256, 1024, 4096, 16384}
+		m.Ranks = []int{64, 256, 1024, 4096, 16384, 65536}
 	}
 	for i, r := range m.Ranks {
 		if r < 2 {
@@ -159,6 +169,9 @@ type ScaleCell struct {
 	// Waves is the number of checkpoint waves durably committed, pinning
 	// that the cell exercised the pipeline it claims to measure.
 	Waves int `json:"waves"`
+	// Epochs is the number of clustering epochs the run went through;
+	// only set for the spbc-adaptive protocol (static protocols omit it).
+	Epochs int `json:"epochs,omitempty"`
 }
 
 // ScaleResult is the machine-readable output of one scale profile, the
@@ -173,21 +186,42 @@ type ScaleResult struct {
 	Cells           []ScaleCell `json:"cells"`
 }
 
-// scalePolicy builds the cell's policy: SPBC with block clusters, full-log,
-// or coordinated.
-func scalePolicy(proto runner.Protocol, ranks, ranksPerCluster int) core.Policy {
+// blockClusters assigns rank r to cluster r/ranksPerCluster — the seed
+// layout shared by the static SPBC cells and the adaptive controller.
+func blockClusters(ranks, ranksPerCluster int) []int {
+	clusterOf := make([]int, ranks)
+	for r := range clusterOf {
+		clusterOf[r] = r / ranksPerCluster
+	}
+	return clusterOf
+}
+
+// scaleConfig builds the cell's engine config. Static protocols get a fixed
+// policy; spbc-adaptive gets the live controller seeded with the same block
+// partition. The adaptive cells set one node per cluster so the controller's
+// repartition step stays on clustering.Partition's O(ranks) k>=nodes path —
+// the configuration a scale sweep is meant to measure, not the O(nodes²)
+// refinement heuristic.
+func scaleConfig(m *ScaleMatrix, proto runner.Protocol, ranks int) core.Config {
+	cfg := core.Config{
+		Interval: m.Interval,
+		Steps:    m.Steps,
+		Storage:  checkpoint.NewMemoryStorage(),
+	}
 	switch proto {
 	case runner.ProtocolFullLog:
-		return core.NewFullLogProtocol(ranks)
+		cfg.Policy = core.NewFullLogProtocol(ranks)
 	case runner.ProtocolCoordinated:
-		return core.NewCoordinatedProtocol(ranks)
-	default:
-		clusterOf := make([]int, ranks)
-		for r := range clusterOf {
-			clusterOf[r] = r / ranksPerCluster
+		cfg.Policy = core.NewCoordinatedProtocol(ranks)
+	case runner.ProtocolSPBCAdaptive:
+		cfg.Adaptive = &core.AdaptiveConfig{
+			Seed:         blockClusters(ranks, m.RanksPerCluster),
+			RanksPerNode: m.RanksPerCluster,
 		}
-		return core.NewSPBCProtocol(clusterOf)
+	default:
+		cfg.Policy = core.NewSPBCProtocol(blockClusters(ranks, m.RanksPerCluster))
 	}
+	return cfg
 }
 
 // heapSampler tracks the peak live heap while a run is in flight. ReadMemStats
@@ -253,12 +287,7 @@ func runScaleCell(m *ScaleMatrix, proto runner.Protocol, ranks int) (ScaleCell, 
 		sampler.finish(baseline)
 		return ScaleCell{}, fmt.Errorf("bench: scale cell %s/r%d: %w", proto, ranks, err)
 	}
-	eng, err := core.NewEngine(w, core.Config{
-		Policy:   scalePolicy(proto, ranks, m.RanksPerCluster),
-		Interval: m.Interval,
-		Steps:    m.Steps,
-		Storage:  checkpoint.NewMemoryStorage(),
-	})
+	eng, err := core.NewEngine(w, scaleConfig(m, proto, ranks))
 	if err != nil {
 		sampler.finish(baseline)
 		return ScaleCell{}, fmt.Errorf("bench: scale cell %s/r%d: %w", proto, ranks, err)
@@ -279,7 +308,7 @@ func runScaleCell(m *ScaleMatrix, proto runner.Protocol, ranks int) (ScaleCell, 
 	if sends == 0 {
 		return ScaleCell{}, fmt.Errorf("bench: scale cell %s/r%d performed no sends", proto, ranks)
 	}
-	return ScaleCell{
+	cell := ScaleCell{
 		Protocol:         string(proto),
 		Ranks:            ranks,
 		Clusters:         eng.Clusters(),
@@ -291,7 +320,11 @@ func runScaleCell(m *ScaleMatrix, proto runner.Protocol, ranks int) (ScaleCell, 
 		PeakHeapBytes:    peak,
 		HeapBytesPerRank: float64(peak) / float64(ranks),
 		Waves:            eng.Metrics().CheckpointWaves,
-	}, nil
+	}
+	if proto == runner.ProtocolSPBCAdaptive {
+		cell.Epochs = eng.Epochs()
+	}
+	return cell, nil
 }
 
 // RunScale executes the scale profile. Cells run sequentially — each

@@ -26,8 +26,8 @@ func TestRunScaleSmall(t *testing.T) {
 	if err != nil {
 		t.Fatalf("RunScale: %v", err)
 	}
-	if len(res.Cells) != 4 {
-		t.Fatalf("sweep produced %d cells, want 4 (2 protocols x 2 rank counts)", len(res.Cells))
+	if len(res.Cells) != 6 {
+		t.Fatalf("sweep produced %d cells, want 6 (3 protocols x 2 rank counts)", len(res.Cells))
 	}
 	for i := range res.Cells {
 		c := &res.Cells[i]
@@ -45,9 +45,19 @@ func TestRunScaleSmall(t *testing.T) {
 			if want := (c.Ranks + 3) / 4; c.Clusters != want {
 				t.Fatalf("SPBC cell r%d has %d clusters, want %d", c.Ranks, c.Clusters, want)
 			}
+			if c.Epochs != 0 {
+				t.Fatalf("static SPBC cell r%d reports %d epochs, want the field omitted", c.Ranks, c.Epochs)
+			}
 		case runner.ProtocolFullLog:
 			if c.Clusters != c.Ranks {
 				t.Fatalf("full-log cell r%d has %d clusters", c.Ranks, c.Clusters)
+			}
+		case runner.ProtocolSPBCAdaptive:
+			if want := (c.Ranks + 3) / 4; c.Clusters != want {
+				t.Fatalf("adaptive cell r%d seeded %d clusters, want %d", c.Ranks, c.Clusters, want)
+			}
+			if c.Epochs < 1 {
+				t.Fatalf("adaptive cell r%d went through %d epochs, want >= 1", c.Ranks, c.Epochs)
 			}
 		}
 	}

@@ -26,14 +26,21 @@ type Result struct {
 	// Violations lists every invariant the run broke; empty iff Passed.
 	Violations []string `json:"violations,omitempty"`
 
-	CrashedRanks      []int   `json:"crashed_ranks"`
-	RolledBackRanks   []int   `json:"rolled_back_ranks,omitempty"`
-	RecoveryEvents    int     `json:"recovery_events"`
-	ReplayedRecords   int     `json:"replayed_records"`
-	CanceledWaves     int     `json:"canceled_waves"`
-	Epochs            int     `json:"epochs,omitempty"`
-	StorageInjections int     `json:"storage_injections"`
-	Makespan          float64 `json:"makespan_s"`
+	CrashedRanks      []int `json:"crashed_ranks"`
+	RolledBackRanks   []int `json:"rolled_back_ranks,omitempty"`
+	RecoveryEvents    int   `json:"recovery_events"`
+	ReplayedRecords   int   `json:"replayed_records"`
+	CanceledWaves     int   `json:"canceled_waves"`
+	Epochs            int   `json:"epochs,omitempty"`
+	StorageInjections int   `json:"storage_injections"`
+	// NetInjections is the total number of messages the scenario's network
+	// rules perturbed; NetInjectionsPerRule breaks it down per rule in the
+	// model's order (delays, reorders, holds, partitions, concatenated) —
+	// the network counterpart of StorageInjections, pinning that a scenario
+	// actually exercised the chaos it declares.
+	NetInjections        int     `json:"net_injections"`
+	NetInjectionsPerRule []int   `json:"net_injections_per_rule,omitempty"`
+	Makespan             float64 `json:"makespan_s"`
 }
 
 // appTraffic keeps only application point-to-point sends on the world
@@ -212,6 +219,10 @@ func Check(sc Scenario) *Result {
 	}
 	if faultStore != nil {
 		res.StorageInjections = faultStore.TotalInjections()
+	}
+	if comp.net != nil {
+		res.NetInjections = comp.net.TotalInjections()
+		res.NetInjectionsPerRule = comp.net.Injections()
 	}
 
 	if sc.ExpectError {

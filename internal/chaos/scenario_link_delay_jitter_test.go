@@ -18,4 +18,17 @@ func TestScenarioLinkDelayJitter(t *testing.T) {
 	if res.RecoveryEvents != 1 {
 		t.Fatalf("recovery events = %d, want 1", res.RecoveryEvents)
 	}
+	// The delay rule matches every message of the run, so the net injection
+	// accounting must be non-trivial and consistent with its per-rule split.
+	if res.NetInjections == 0 {
+		t.Fatal("a whole-fabric delay scenario reported zero net injections")
+	}
+	total := 0
+	for _, c := range res.NetInjectionsPerRule {
+		total += c
+	}
+	if total != res.NetInjections {
+		t.Fatalf("per-rule net injections %v sum to %d, want total %d",
+			res.NetInjectionsPerRule, total, res.NetInjections)
+	}
 }

@@ -2,7 +2,9 @@ package chaos
 
 import (
 	"fmt"
+	"runtime"
 	"strings"
+	"sync"
 
 	"repro/internal/checkpoint"
 	"repro/internal/core"
@@ -42,33 +44,114 @@ func Reproduces(sc Scenario) bool {
 	return !Check(sc).Passed
 }
 
+// ShrinkWorkers bounds the worker pool Shrink evaluates candidate batches
+// on. 0 (the default) selects GOMAXPROCS; 1 forces the fully sequential
+// scan. The parallel path is speculative — probes past the batch's first
+// failing candidate may run but their verdicts are discarded — so any value
+// produces the same minimized scenario and the same Runs count as workers=1.
+var ShrinkWorkers = 0
+
+// shrinkEval evaluates ordered candidate batches against the failing
+// predicate, speculatively in parallel, while charging Runs exactly as the
+// sequential scan would: one run per non-empty candidate up to and
+// including the batch's first failing one.
+type shrinkEval struct {
+	sc      Scenario
+	failing func(Scenario) bool
+	workers int
+	runs    int
+}
+
+// check runs the predicate on one candidate event list. It must be safe for
+// concurrent calls (the predicate builds its own world per call).
+func (e *shrinkEval) check(events []Event) bool {
+	if len(events) == 0 {
+		return false // a scenario needs at least one event
+	}
+	cand := e.sc
+	cand.Events = events
+	return e.failing(cand)
+}
+
+// tryOne is the sequential single-candidate probe (used for the initial
+// does-it-fail-at-all check).
+func (e *shrinkEval) tryOne(events []Event) bool {
+	if len(events) == 0 {
+		return false
+	}
+	e.runs++
+	return e.check(events)
+}
+
+// firstFailing returns the index of the first failing candidate in the
+// batch, or -1. With more than one worker the batch is evaluated
+// speculatively on a bounded pool; the scan over the verdicts afterwards is
+// sequential, so the chosen index and the Runs accounting are identical to
+// the workers=1 path.
+func (e *shrinkEval) firstFailing(cands [][]Event) int {
+	if e.workers <= 1 || len(cands) <= 1 {
+		for i, c := range cands {
+			if e.tryOne(c) {
+				return i
+			}
+		}
+		return -1
+	}
+	verdicts := make([]bool, len(cands))
+	sem := make(chan struct{}, e.workers)
+	var wg sync.WaitGroup
+	for i := range cands {
+		if len(cands[i]) == 0 {
+			continue
+		}
+		wg.Add(1)
+		sem <- struct{}{}
+		go func(i int) {
+			defer wg.Done()
+			verdicts[i] = e.check(cands[i])
+			<-sem
+		}(i)
+	}
+	wg.Wait()
+	for i, v := range verdicts {
+		if len(cands[i]) == 0 {
+			continue
+		}
+		e.runs++
+		if v {
+			return i
+		}
+	}
+	return -1
+}
+
 // Shrink minimizes a failing scenario against the predicate. Both phases are
 // fully deterministic (no randomness; candidate order is a pure function of
 // the event list), so the same input scenario and predicate always produce
-// the same minimized scenario, byte for byte.
+// the same minimized scenario, byte for byte. Each round's candidate batch
+// is probed in parallel on up to ShrinkWorkers workers; because the probes
+// are speculative and the verdict scan stays ordered, the worker count never
+// changes the result — the predicate just has to tolerate concurrent calls
+// (Reproduces does: every Check builds its own world).
 func Shrink(sc Scenario, failing func(Scenario) bool) (Shrunk, error) {
-	runs := 0
-	try := func(events []Event) bool {
-		if len(events) == 0 {
-			return false // a scenario needs at least one event
-		}
-		cand := sc
-		cand.Events = events
-		runs++
-		return failing(cand)
+	workers := ShrinkWorkers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
 	}
-	if !try(sc.Events) {
+	eval := &shrinkEval{sc: sc, failing: failing, workers: workers}
+	if !eval.tryOne(sc.Events) {
 		return Shrunk{}, fmt.Errorf("chaos: Shrink: scenario %s does not fail as given", sc.Name)
 	}
 
 	// Phase 1: ddmin over the event list — remove chunks, halving the chunk
 	// size whenever no removal reproduces, until single-event granularity is
-	// exhausted.
+	// exhausted. Each pass probes every complement of the current event list
+	// as one batch and restarts from the first reproducing one.
 	events := sc.Events
 	n := 2
 	for len(events) >= 2 {
 		chunk := (len(events) + n - 1) / n
-		reduced := false
+		var cands [][]Event
 		for start := 0; start < len(events); start += chunk {
 			end := start + chunk
 			if end > len(events) {
@@ -77,47 +160,47 @@ func Shrink(sc Scenario, failing func(Scenario) bool) (Shrunk, error) {
 			complement := make([]Event, 0, len(events)-(end-start))
 			complement = append(complement, events[:start]...)
 			complement = append(complement, events[end:]...)
-			if try(complement) {
-				events = complement
-				if n > 2 {
-					n--
-				}
-				reduced = true
-				break
-			}
+			cands = append(cands, complement)
 		}
-		if !reduced {
-			if n >= len(events) {
-				break
+		if idx := eval.firstFailing(cands); idx >= 0 {
+			events = cands[idx]
+			if n > 2 {
+				n--
 			}
-			n *= 2
-			if n > len(events) {
-				n = len(events)
-			}
+			continue
+		}
+		if n >= len(events) {
+			break
+		}
+		n *= 2
+		if n > len(events) {
+			n = len(events)
 		}
 	}
 
 	// Phase 2: weaken each surviving event to a fixpoint — every event is
-	// offered its weaker variants in order, and the first still-failing one
-	// replaces it.
+	// offered its weaker variants in order (one batch per event), and the
+	// first still-failing one replaces it.
 	for changed := true; changed; {
 		changed = false
 		for i := range events {
-			for _, w := range weaken(events[i]) {
+			variants := weaken(events[i])
+			cands := make([][]Event, len(variants))
+			for vi, w := range variants {
 				cand := append([]Event(nil), events...)
 				cand[i] = w
-				if try(cand) {
-					events = cand
-					changed = true
-					break
-				}
+				cands[vi] = cand
+			}
+			if idx := eval.firstFailing(cands); idx >= 0 {
+				events = cands[idx]
+				changed = true
 			}
 		}
 	}
 
 	out := sc
 	out.Events = events
-	return Shrunk{Scenario: out, Runs: runs, Literal: FormatScenario(out)}, nil
+	return Shrunk{Scenario: out, Runs: eval.runs, Literal: FormatScenario(out)}, nil
 }
 
 // weaken returns strictly weaker variants of one event, strongest reduction

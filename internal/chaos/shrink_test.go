@@ -115,6 +115,49 @@ func TestShrinkWeakensMagnitudes(t *testing.T) {
 	}
 }
 
+// TestShrinkParallelMatchesSequential pins the worker-pool contract: the
+// speculative parallel evaluator must produce the exact Shrunk the
+// sequential scan does — same minimized literal AND the same Runs count,
+// since Runs is part of the CHAOS_*.json schema and a worker-count-dependent
+// value would make shrink output machine-dependent.
+func TestShrinkParallelMatchesSequential(t *testing.T) {
+	old := ShrinkWorkers
+	t.Cleanup(func() { ShrinkWorkers = old })
+
+	sc := Scenario{
+		Name:    "shrink-parallel",
+		NetSeed: 7,
+		Events: []Event{
+			NodeCrash(2, 5),
+			Delay(-1, -1, 50e-6, 30e-6),
+			Reorder(-1, -1, 4, 100e-6),
+			CrossReorder(-1, 4),
+			StorageFault(checkpoint.FaultRule{Op: checkpoint.OpStage, Mode: checkpoint.ModeStall, Rank: -1, Count: 2, Delay: 200 * time.Microsecond}),
+			canaryEvent{ID: 1},
+			Partition(0, 1, 20e-6, 120e-6),
+		},
+	}
+
+	ShrinkWorkers = 1
+	seq, err := Shrink(sc, Reproduces)
+	if err != nil {
+		t.Fatalf("sequential: %v", err)
+	}
+	for _, workers := range []int{2, 4, 8} {
+		ShrinkWorkers = workers
+		par, err := Shrink(sc, Reproduces)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if par.Literal != seq.Literal {
+			t.Fatalf("workers=%d minimized differently:\n%s\nvs sequential\n%s", workers, par.Literal, seq.Literal)
+		}
+		if par.Runs != seq.Runs {
+			t.Fatalf("workers=%d charged %d runs, sequential charged %d", workers, par.Runs, seq.Runs)
+		}
+	}
+}
+
 func TestShrinkRejectsPassingScenario(t *testing.T) {
 	sc, ok := ByName("node-crash")
 	if !ok {

@@ -72,7 +72,29 @@ func WindowProfile(cur, prev [][]uint64, ranksPerNode int) *Profile {
 				b -= prev[src][dst]
 			}
 			if src != dst && b > 0 {
-				p.Bytes[src][dst] = b
+				p.Add(src, dst, b)
+			}
+		}
+	}
+	return p
+}
+
+// WindowProfileSparse is WindowProfile over sparse cumulative snapshots:
+// per-source destination→bytes maps, nil map meaning no traffic from that
+// source. Counters are cumulative (they only grow), so every pair present
+// in prev is present in cur and the element-wise difference covers all
+// window traffic. This is the scale path: the live profile at 65k ranks
+// holds O(nnz) counters, and building the window never materializes an
+// n×n matrix.
+func WindowProfileSparse(cur, prev []map[int]uint64, ranksPerNode int) *Profile {
+	p := NewProfile(len(cur), ranksPerNode)
+	for src, m := range cur {
+		for dst, b := range m {
+			if prev != nil && prev[src] != nil {
+				b -= prev[src][dst]
+			}
+			if src != dst && b > 0 {
+				p.Add(src, dst, b)
 			}
 		}
 	}

@@ -43,25 +43,48 @@ func (o Objective) String() string {
 	}
 }
 
+// SparseThreshold is the world size at or above which NewProfile switches
+// from a dense n×n matrix to sparse per-source maps. Real HPC
+// communication patterns touch O(degree) peers per rank, so beyond a few
+// thousand ranks the dense matrix is almost entirely zeros — at 65,536
+// ranks it would be 32 GiB. Below the threshold the dense matrix is both
+// smaller and faster. Tests may lower it to exercise the sparse path on
+// tiny worlds.
+var SparseThreshold = 2048
+
 // Profile is the communication profile of an application run: the number of
 // bytes sent between every ordered pair of ranks, plus the node placement.
+// Small profiles store a dense matrix in Bytes; profiles with
+// Ranks >= SparseThreshold store per-source (dst → bytes) maps instead and
+// leave Bytes nil. Use At/Add/ForEach to stay representation-agnostic.
 type Profile struct {
 	Ranks        int
 	RanksPerNode int
-	// Bytes[i][j] is the number of bytes rank i sent to rank j.
+	// Bytes[i][j] is the number of bytes rank i sent to rank j. Nil when
+	// the profile is sparse.
 	Bytes [][]uint64
+	// sparse[i] maps destination → bytes for source i; entries are
+	// allocated lazily on first traffic. Nil when the profile is dense.
+	sparse []map[int]uint64
 }
 
-// NewProfile allocates an empty profile.
+// NewProfile allocates an empty profile, choosing the dense or sparse
+// representation by SparseThreshold.
 func NewProfile(ranks, ranksPerNode int) *Profile {
+	if ranksPerNode <= 0 {
+		ranksPerNode = 1
+	}
+	p := &Profile{Ranks: ranks, RanksPerNode: ranksPerNode}
+	if ranks >= SparseThreshold {
+		p.sparse = make([]map[int]uint64, ranks)
+		return p
+	}
 	b := make([][]uint64, ranks)
 	for i := range b {
 		b[i] = make([]uint64, ranks)
 	}
-	if ranksPerNode <= 0 {
-		ranksPerNode = 1
-	}
-	return &Profile{Ranks: ranks, RanksPerNode: ranksPerNode, Bytes: b}
+	p.Bytes = b
+	return p
 }
 
 // Add accumulates traffic from src to dst.
@@ -69,7 +92,50 @@ func (p *Profile) Add(src, dst int, bytes uint64) {
 	if src < 0 || src >= p.Ranks || dst < 0 || dst >= p.Ranks || src == dst {
 		return
 	}
+	if p.sparse != nil {
+		m := p.sparse[src]
+		if m == nil {
+			m = make(map[int]uint64, 8)
+			p.sparse[src] = m
+		}
+		m[dst] += bytes
+		return
+	}
 	p.Bytes[src][dst] += bytes
+}
+
+// At returns the traffic from src to dst.
+func (p *Profile) At(src, dst int) uint64 {
+	if src < 0 || src >= p.Ranks || dst < 0 || dst >= p.Ranks {
+		return 0
+	}
+	if p.sparse != nil {
+		return p.sparse[src][dst]
+	}
+	return p.Bytes[src][dst]
+}
+
+// ForEach calls fn for every (src, dst) pair with non-zero traffic.
+// Iteration order is unspecified (sparse profiles iterate maps), so fn
+// must be order-insensitive — every aggregation in this package is.
+func (p *Profile) ForEach(fn func(src, dst int, bytes uint64)) {
+	if p.sparse != nil {
+		for src, m := range p.sparse {
+			for dst, b := range m {
+				if b != 0 {
+					fn(src, dst, b)
+				}
+			}
+		}
+		return
+	}
+	for src := range p.Bytes {
+		for dst, b := range p.Bytes[src] {
+			if b != 0 {
+				fn(src, dst, b)
+			}
+		}
+	}
 }
 
 // Nodes returns the number of physical nodes implied by the placement.
@@ -83,11 +149,7 @@ func (p *Profile) NodeOf(rank int) int { return rank / p.RanksPerNode }
 // TotalBytes returns the total traffic of the profile.
 func (p *Profile) TotalBytes() uint64 {
 	var t uint64
-	for i := range p.Bytes {
-		for j := range p.Bytes[i] {
-			t += p.Bytes[i][j]
-		}
-	}
+	p.ForEach(func(_, _ int, b uint64) { t += b })
 	return t
 }
 
@@ -100,15 +162,9 @@ func (p *Profile) nodeTraffic() [][]uint64 {
 	for i := range m {
 		m[i] = make([]uint64, n)
 	}
-	for i := 0; i < p.Ranks; i++ {
-		for j := 0; j < p.Ranks; j++ {
-			if p.Bytes[i][j] == 0 {
-				continue
-			}
-			ni, nj := p.NodeOf(i), p.NodeOf(j)
-			m[ni][nj] += p.Bytes[i][j]
-		}
-	}
+	p.ForEach(func(i, j int, b uint64) {
+		m[p.NodeOf(i)][p.NodeOf(j)] += b
+	})
 	return m
 }
 
@@ -305,15 +361,12 @@ func objectiveValue(p *Profile, clusterOf []int, obj Objective) float64 {
 // the per-rank (sender-side) logged volume.
 func LoggedBytes(p *Profile, clusterOf []int) (total uint64, perRank []uint64) {
 	perRank = make([]uint64, p.Ranks)
-	for i := 0; i < p.Ranks; i++ {
-		for j := 0; j < p.Ranks; j++ {
-			if p.Bytes[i][j] == 0 || clusterOf[i] == clusterOf[j] {
-				continue
-			}
-			perRank[i] += p.Bytes[i][j]
-			total += p.Bytes[i][j]
+	p.ForEach(func(i, j int, b uint64) {
+		if clusterOf[i] != clusterOf[j] {
+			perRank[i] += b
+			total += b
 		}
-	}
+	})
 	return total, perRank
 }
 

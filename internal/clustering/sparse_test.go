@@ -1,0 +1,127 @@
+package clustering
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// buildPair fills a dense and a sparse profile with identical seeded
+// traffic, regardless of the package-level threshold.
+func buildPair(t *testing.T, ranks, ranksPerNode int, seed int64) (dense, sparse *Profile) {
+	t.Helper()
+	old := SparseThreshold
+	t.Cleanup(func() { SparseThreshold = old })
+
+	SparseThreshold = ranks + 1
+	dense = NewProfile(ranks, ranksPerNode)
+	SparseThreshold = 0
+	sparse = NewProfile(ranks, ranksPerNode)
+	if dense.Bytes == nil || sparse.Bytes != nil {
+		t.Fatalf("threshold did not select representations: dense.Bytes=%v sparse.Bytes=%v",
+			dense.Bytes != nil, sparse.Bytes != nil)
+	}
+
+	rng := rand.New(rand.NewSource(seed))
+	for n := 0; n < ranks*4; n++ {
+		src, dst := rng.Intn(ranks), rng.Intn(ranks)
+		b := uint64(rng.Intn(4096))
+		dense.Add(src, dst, b)
+		sparse.Add(src, dst, b)
+	}
+	return dense, sparse
+}
+
+// TestSparseProfileMatchesDense drives every aggregate consumer of a
+// profile through both representations and requires identical answers —
+// the sparse path must be an exact drop-in, not an approximation.
+func TestSparseProfileMatchesDense(t *testing.T) {
+	const ranks, rpn = 48, 4
+	dense, sparse := buildPair(t, ranks, rpn, 7)
+
+	if dense.TotalBytes() != sparse.TotalBytes() {
+		t.Fatalf("TotalBytes: dense %d, sparse %d", dense.TotalBytes(), sparse.TotalBytes())
+	}
+	for src := 0; src < ranks; src++ {
+		for dst := 0; dst < ranks; dst++ {
+			if dense.At(src, dst) != sparse.At(src, dst) {
+				t.Fatalf("At(%d,%d): dense %d, sparse %d", src, dst, dense.At(src, dst), sparse.At(src, dst))
+			}
+		}
+	}
+	for _, k := range []int{2, 3, ranks / rpn, ranks} {
+		for _, obj := range []Objective{MinTotalLogged, MinMaxPerProcess} {
+			a, errA := Partition(dense, k, obj)
+			b, errB := Partition(sparse, k, obj)
+			if (errA == nil) != (errB == nil) {
+				t.Fatalf("k=%d obj=%v: dense err %v, sparse err %v", k, obj, errA, errB)
+			}
+			if !SameAssignment(a, b) {
+				t.Fatalf("k=%d obj=%v: partitions diverged:\ndense  %v\nsparse %v", k, obj, a, b)
+			}
+			if errA != nil {
+				continue
+			}
+			ta, pa := LoggedBytes(dense, a)
+			tb, pb := LoggedBytes(sparse, b)
+			if ta != tb {
+				t.Fatalf("k=%d: LoggedBytes total dense %d, sparse %d", k, ta, tb)
+			}
+			for r := range pa {
+				if pa[r] != pb[r] {
+					t.Fatalf("k=%d rank %d: per-rank logged dense %d, sparse %d", k, r, pa[r], pb[r])
+				}
+			}
+		}
+	}
+}
+
+// TestWindowProfileSparseMatchesDense checks the two window builders agree
+// on the same cumulative snapshots.
+func TestWindowProfileSparseMatchesDense(t *testing.T) {
+	const ranks = 6
+	cur := make([][]uint64, ranks)
+	prev := make([][]uint64, ranks)
+	curS := make([]map[int]uint64, ranks)
+	prevS := make([]map[int]uint64, ranks)
+	rng := rand.New(rand.NewSource(11))
+	for i := range cur {
+		cur[i] = make([]uint64, ranks)
+		prev[i] = make([]uint64, ranks)
+		for j := range cur[i] {
+			if i == j || rng.Intn(2) == 0 {
+				continue
+			}
+			p := uint64(rng.Intn(100))
+			c := p + uint64(rng.Intn(100)) // cumulative: cur >= prev
+			prev[i][j], cur[i][j] = p, c
+			if c > 0 {
+				if curS[i] == nil {
+					curS[i] = map[int]uint64{}
+				}
+				curS[i][j] = c
+			}
+			if p > 0 {
+				if prevS[i] == nil {
+					prevS[i] = map[int]uint64{}
+				}
+				prevS[i][j] = p
+			}
+		}
+	}
+	for _, withPrev := range []bool{false, true} {
+		pd, ps := prev, prevS
+		if !withPrev {
+			pd, ps = nil, nil
+		}
+		d := WindowProfile(cur, pd, 2)
+		s := WindowProfileSparse(curS, ps, 2)
+		for i := 0; i < ranks; i++ {
+			for j := 0; j < ranks; j++ {
+				if d.At(i, j) != s.At(i, j) {
+					t.Fatalf("withPrev=%v window(%d,%d): dense %d, sparse %d",
+						withPrev, i, j, d.At(i, j), s.At(i, j))
+				}
+			}
+		}
+	}
+}

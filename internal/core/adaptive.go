@@ -90,30 +90,35 @@ type EpochInfo struct {
 	LoggedFraction float64 `json:"logged_fraction"`
 }
 
-// liveProfile is the online per-(src, dst) application-byte matrix behind
-// adaptive repartitioning. Each rank's row is written only by that rank's
+// liveProfile is the online per-(src, dst) application-byte counter set
+// behind adaptive repartitioning, stored sparsely: each rank's row is a
+// destination→bytes map holding only the peers the rank has actually sent
+// to, so the controller costs O(nnz) memory instead of an n×n matrix
+// (32 GiB at 65k ranks). Each row is written only by the owning rank's
 // goroutine (from the Protocol.OnSend hook); the decision step reads the
-// whole matrix under the controller mutex while every rank is parked at the
-// boundary, which is also what establishes the happens-before edge from the
-// rows' last writes.
+// whole structure under the controller mutex while every rank is parked at
+// the boundary, which is also what establishes the happens-before edge
+// from the rows' last writes.
 type liveProfile struct {
-	rows [][]uint64
+	rows []map[int]uint64
 }
 
 func newLiveProfile(size int) *liveProfile {
-	rows := make([][]uint64, size)
-	for i := range rows {
-		rows[i] = make([]uint64, size)
-	}
-	return &liveProfile{rows: rows}
+	return &liveProfile{rows: make([]map[int]uint64, size)}
 }
 
 // add accumulates one application send. Called from the owning rank's
 // goroutine only.
 func (lp *liveProfile) add(src, dst int, bytes uint64) {
-	if dst >= 0 && dst < len(lp.rows) {
-		lp.rows[src][dst] += bytes
+	if dst < 0 || dst >= len(lp.rows) {
+		return
 	}
+	m := lp.rows[src]
+	if m == nil {
+		m = make(map[int]uint64, 8)
+		lp.rows[src] = m
+	}
+	m[dst] += bytes
 }
 
 // adaptive is the engine's repartitioning controller.
@@ -132,9 +137,9 @@ type adaptive struct {
 	// decided maps a boundary iteration to the view active from it on.
 	arrivals map[int]*arrival
 	decided  map[int]*EpochView
-	// lastCum is the cumulative per-(src,dst) byte matrix at the previous
-	// boundary; the decision window is the delta against it.
-	lastCum [][]uint64
+	// lastCum is the cumulative per-(src,dst) byte snapshot (sparse rows)
+	// at the previous boundary; the decision window is the delta against it.
+	lastCum []map[int]uint64
 	// history is the per-epoch report; the last entry is the open epoch,
 	// whose traffic counters are filled when it closes. openLogged/openSent
 	// are the cumulative totals at the open epoch's first boundary.
@@ -235,7 +240,7 @@ func (a *adaptive) decideLocked(iter int) (*EpochView, error) {
 	if iter == 0 || prev == nil {
 		return cur, nil // nothing before the first boundary to profile
 	}
-	win := clustering.WindowProfile(cum, prev, a.cfg.RanksPerNode)
+	win := clustering.WindowProfileSparse(cum, prev, a.cfg.RanksPerNode)
 	if win.TotalBytes() == 0 {
 		return cur, nil
 	}
@@ -279,13 +284,22 @@ func (a *adaptive) decideLocked(iter int) (*EpochView, error) {
 }
 
 // cumMatrix snapshots the cumulative per-(src, dst) application-byte
-// counters of every rank. Called while the world is quiescent at a boundary,
-// so the copy is stable and deterministic.
-func (a *adaptive) cumMatrix() [][]uint64 {
+// counters of every rank, sparsely: only rows and pairs with traffic are
+// copied. Called while the world is quiescent at a boundary, so the copy
+// is stable and deterministic.
+func (a *adaptive) cumMatrix() []map[int]uint64 {
 	size := a.e.world.Size()
-	out := make([][]uint64, size)
+	out := make([]map[int]uint64, size)
 	for r := 0; r < size; r++ {
-		out[r] = append([]uint64(nil), a.prof.rows[r]...)
+		row := a.prof.rows[r]
+		if row == nil {
+			continue
+		}
+		cp := make(map[int]uint64, len(row))
+		for dst, b := range row {
+			cp[dst] = b
+		}
+		out[r] = cp
 	}
 	return out
 }

@@ -262,10 +262,15 @@ func NewEngine(w *mpi.World, cfg Config) (*Engine, error) {
 	if err := internClusterComms(w, view); err != nil {
 		return nil, err
 	}
-	for r := 0; r < w.Size(); r++ {
-		e.stores[r] = logstore.New()
-		e.protos[r] = newSPBCWithView(r, view, w.Cost(), e.stores[r])
-	}
+	// Per-rank stores and protocol instances are independent; build them in
+	// parallel chunks — at 65k ranks this serial loop used to dominate
+	// engine setup in the scale sweep.
+	mpi.ParallelFor(w.Size(), func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			e.stores[r] = logstore.New()
+			e.protos[r] = newSPBCWithView(r, view, w.Cost(), e.stores[r])
+		}
+	})
 	if cfg.Storage != nil {
 		e.committer = newCommitter(e, cfg.Storage)
 	}

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	bufpkg "repro/internal/buf"
 	"repro/internal/simnet"
@@ -145,8 +146,19 @@ type Proc struct {
 
 	Stats ProcStats
 
-	mu   sync.Mutex
-	cond *sync.Cond
+	mu sync.Mutex
+	// waiters are the parked callers blocked on p's state (the rank's own
+	// goroutine in Wait/Waitany/Probe, replay daemons in WaitDelivered).
+	// A waiter is deregistered at wake time and re-registers itself before
+	// sleeping again; see sched.go for the parking protocol.
+	waiters []*parker
+	// ownPark is the rank goroutine's reusable parker (blocking waits are
+	// rank-goroutine-only by contract, so one is always enough).
+	ownPark parker
+	// wakeQueued coalesces shard-mailbox wakeups: set while the rank is
+	// sitting in its shard's queue, cleared by the shard loop before the
+	// waiter hand-off.
+	wakeQueued atomic.Bool
 	// unexp indexes received-but-unmatched messages by their concrete
 	// (source, comm, tag); arrivals stamps them so wildcard receives can
 	// recover global arrival order across queues.
@@ -195,7 +207,7 @@ func newProc(w *World, id int) *Proc {
 		out:      make(map[ChanKey]*outChannelState),
 		collSeq:  make(map[int]uint64),
 	}
-	p.cond = sync.NewCond(&p.mu)
+	p.ownPark.ch = make(chan struct{}, 1)
 	p.Stats.BytesToDst = make(map[int]uint64)
 	if w.rec != nil {
 		p.vc = trace.NewVectorClock(w.size)
@@ -451,7 +463,7 @@ func (p *Proc) deliverMessage(msg *inMessage) {
 		if hold == 0 || len(p.held) < hold {
 			// Not full: park it, but wake blocked receivers so flush-on-block
 			// keeps liveness.
-			p.cond.Broadcast()
+			p.notifyLocked()
 			p.mu.Unlock()
 			return
 		}
@@ -459,7 +471,7 @@ func (p *Proc) deliverMessage(msg *inMessage) {
 	} else if s, ok := p.deliverLocked(msg); ok {
 		senders = append(senders, s)
 	}
-	p.cond.Broadcast()
+	p.notifyLocked()
 	p.mu.Unlock()
 	completeSenders(senders)
 }
@@ -706,7 +718,7 @@ func (p *Proc) completeLocked(req *Request, t float64, status Status) {
 	req.done = true
 	req.completeTime = t
 	req.status = status
-	p.cond.Broadcast()
+	p.notifyLocked()
 }
 
 // completeExternal completes a request owned by p from another goroutine.
@@ -829,7 +841,7 @@ func (p *Proc) Wait(req *Request) (Status, error) {
 			p.mu.Lock()
 			continue
 		}
-		p.cond.Wait()
+		p.sleepLocked(&p.ownPark)
 	}
 	p.mu.Unlock()
 	return p.finalize(req, before)
@@ -905,7 +917,7 @@ func (p *Proc) Waitany(reqs []*Request) (int, Status, error) {
 			completeSenders(senders)
 			continue
 		}
-		p.cond.Wait()
+		p.sleepLocked(&p.ownPark)
 		p.mu.Unlock()
 	}
 }
@@ -1057,7 +1069,7 @@ func (p *Proc) Probe(src, tag int, comm *Comm) (Status, error) {
 			completeSenders(senders)
 			continue
 		}
-		p.cond.Wait()
+		p.sleepLocked(&p.ownPark)
 		p.mu.Unlock()
 	}
 }

@@ -1,0 +1,180 @@
+package mpi
+
+import (
+	"errors"
+	"fmt"
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/simnet"
+)
+
+// The scheduler tests pin the wake machinery's contract: parking and waking
+// through the shard mailboxes must be invisible to rank code — same matching
+// order, same error and panic semantics, same abort behavior — under any
+// shard count, including the legacy direct-wake path (WithShards(-1)).
+
+// shardSettings is the matrix the behavioral tests run under: auto-sized,
+// forced single shard, forced multi-shard (cross-shard wakeups guaranteed),
+// and the legacy direct-wake path.
+var shardSettings = []struct {
+	name   string
+	shards int
+}{
+	{"auto", 0},
+	{"one-shard", 1},
+	{"three-shards", 3},
+	{"legacy", -1},
+}
+
+// TestSchedulerRandomParkWakeStress drives every park site — blocking Recv,
+// Probe, rendezvous Send, Waitany — with seeded pseudo-random traffic on a
+// multi-shard world. The cost model's eager threshold is lowered so roughly
+// half the messages take the rendezvous path (sender parks until the
+// receiver matches). Run with -race this is the lost-wakeup/teardown stress
+// for the shard mailboxes.
+func TestSchedulerRandomParkWakeStress(t *testing.T) {
+	const ranks, iters = 24, 40
+	cost := simnet.DefaultCostModel()
+	cost.EagerThreshold = 64 // force frequent rendezvous parking
+	for _, tc := range shardSettings {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := NewWorld(ranks, cost, WithShards(tc.shards))
+			if err != nil {
+				t.Fatalf("NewWorld: %v", err)
+			}
+			err = w.Run(func(p *Proc) error {
+				rng := rand.New(rand.NewSource(int64(p.Rank()) + 1))
+				comm := w.CommWorld()
+				right := (p.Rank() + 1) % ranks
+				left := (p.Rank() + ranks - 1) % ranks
+				for it := 0; it < iters; it++ {
+					size := 1 + rng.Intn(128) // straddles the eager threshold
+					payload := make([]byte, size)
+					for i := range payload {
+						payload[i] = byte(p.Rank() ^ it ^ i)
+					}
+					req, err := p.Isend(payload, right, it, comm)
+					if err != nil {
+						return err
+					}
+					// Probe parks until the neighbor's message arrives, then
+					// the sized Recv parks on the rendezvous handshake.
+					st, err := p.Probe(left, it, comm)
+					if err != nil {
+						return err
+					}
+					buf := make([]byte, st.Bytes)
+					if _, err := p.Recv(buf, left, it, comm); err != nil {
+						return err
+					}
+					for i, b := range buf {
+						if want := byte(left ^ it ^ i); b != want {
+							return fmt.Errorf("iter %d byte %d: got %#x want %#x", it, i, b, want)
+						}
+					}
+					if _, err := p.Wait(req); err != nil {
+						return err
+					}
+					if it%8 == 7 {
+						if err := p.Barrier(comm); err != nil {
+							return err
+						}
+					}
+				}
+				return nil
+			})
+			if err != nil {
+				t.Fatalf("stress run: %v", err)
+			}
+		})
+	}
+}
+
+// TestSchedulerAbortMidWait parks most of the world in receives that can
+// never match, fails one rank, and requires (a) everyone wakes and
+// terminates, (b) Run reports the failing rank's error — the primary
+// failure — not a secondary ErrWorldStopped reaction.
+func TestSchedulerAbortMidWait(t *testing.T) {
+	const ranks = 8
+	boom := errors.New("boom")
+	for _, tc := range shardSettings {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := NewWorld(ranks, simnet.DefaultCostModel(), WithShards(tc.shards))
+			if err != nil {
+				t.Fatalf("NewWorld: %v", err)
+			}
+			err = w.Run(func(p *Proc) error {
+				if p.Rank() == 3 {
+					p.Compute(1e-6)
+					return boom
+				}
+				buf := make([]byte, 8)
+				_, err := p.Recv(buf, 3, 99, w.CommWorld()) // never sent
+				return err
+			})
+			if err == nil {
+				t.Fatal("run with a failing rank returned nil")
+			}
+			if !errors.Is(err, boom) {
+				t.Fatalf("run error = %v, want the primary failure (rank 3: boom)", err)
+			}
+			if errors.Is(err, ErrWorldStopped) {
+				t.Fatalf("run preferred a secondary abort error: %v", err)
+			}
+			if !strings.Contains(err.Error(), "rank 3") {
+				t.Fatalf("run error %q does not name the failing rank", err)
+			}
+		})
+	}
+}
+
+// TestSchedulerPanicInRank panics one rank mid-run while the rest are
+// parked; Run must capture it as a "rank N panicked" error and release the
+// parked ranks instead of deadlocking.
+func TestSchedulerPanicInRank(t *testing.T) {
+	const ranks = 6
+	for _, tc := range shardSettings {
+		t.Run(tc.name, func(t *testing.T) {
+			w, err := NewWorld(ranks, simnet.DefaultCostModel(), WithShards(tc.shards))
+			if err != nil {
+				t.Fatalf("NewWorld: %v", err)
+			}
+			err = w.Run(func(p *Proc) error {
+				if p.Rank() == 2 {
+					p.Compute(1e-6)
+					panic("scheduler-test panic")
+				}
+				buf := make([]byte, 8)
+				_, err := p.Recv(buf, 2, 99, w.CommWorld()) // never sent
+				return err
+			})
+			if err == nil {
+				t.Fatal("run with a panicking rank returned nil")
+			}
+			if !strings.Contains(err.Error(), "rank 2 panicked") {
+				t.Fatalf("run error %q does not capture the panic", err)
+			}
+			if !strings.Contains(err.Error(), "scheduler-test panic") {
+				t.Fatalf("run error %q lost the panic value", err)
+			}
+		})
+	}
+}
+
+// TestSchedulerRunReusableAfterAbort pins that a world is not poisoned for
+// inspection after an aborted Run: the scheduler must be torn down (sched
+// pointer cleared) and Stopped reports the abort.
+func TestSchedulerTeardownAfterRun(t *testing.T) {
+	w := testWorld(t, 4, WithShards(2))
+	if err := w.Run(func(p *Proc) error { return nil }); err != nil {
+		t.Fatalf("clean run: %v", err)
+	}
+	if w.sched.Load() != nil {
+		t.Fatal("scheduler still installed after Run returned")
+	}
+	if w.Stopped() {
+		t.Fatal("clean run left the world stopped")
+	}
+}

@@ -171,7 +171,7 @@ func (p *Proc) RestoreChannels(snap *ChannelSnapshot, keepQueued func(QueuedMess
 	for c, s := range snap.CollSeq {
 		p.collSeq[c] = s
 	}
-	p.cond.Broadcast()
+	p.notifyLocked()
 	p.mu.Unlock()
 
 	p.outMu.Lock()
@@ -303,6 +303,11 @@ func (p *Proc) Routed(dstWorld, commID int) (bool, uint64) {
 // of the recovering process's consumption).
 func (p *Proc) WaitDelivered(srcWorld, commID int, minDelivered uint64) {
 	key := ChanKey{Peer: srcWorld, Comm: commID}
+	// Replay daemons are not the rank's own goroutine, so they park on a
+	// pooled parker instead of p.ownPark (several daemons may block on the
+	// same Proc concurrently with its own fiber).
+	pk := getParker()
+	defer putParker(pk)
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	for {
@@ -319,7 +324,7 @@ func (p *Proc) WaitDelivered(srcWorld, commID int, minDelivered uint64) {
 			p.mu.Lock()
 			continue
 		}
-		p.cond.Wait()
+		p.sleepLocked(pk)
 	}
 }
 

@@ -4,6 +4,7 @@ import (
 	"encoding/binary"
 	"errors"
 	"fmt"
+	"runtime"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -32,6 +33,13 @@ type World struct {
 	// a mutex here is a world-global contention point at 10k+ goroutines, so
 	// it is a plain atomic flag.
 	stopped atomic.Bool
+
+	// shardOpt is the WithShards setting: 0 auto-sizes the shard count,
+	// n>0 forces it, -1 selects the legacy direct-wake path.
+	shardOpt int
+	// sched is the wake scheduler of the Run in progress, nil outside Run
+	// and in legacy mode. Read lock-free on every notify.
+	sched atomic.Pointer[scheduler]
 }
 
 // Option configures a World.
@@ -50,6 +58,15 @@ func WithRecorder(r *trace.Recorder) Option {
 // NewWorld.
 func WithNetChaos(n *simnet.NetChaos) Option {
 	return func(w *World) { w.net = n }
+}
+
+// WithShards sets the number of shard loops the wake scheduler batches
+// ranks onto during Run. 0 (the default) auto-sizes to
+// min(GOMAXPROCS·shardFactor, size); a negative value disables the
+// scheduler entirely and wakes waiters inline at the notify site (the
+// goroutine-per-rank legacy path, kept for bit-identical cross-checks).
+func WithShards(n int) Option {
+	return func(w *World) { w.shardOpt = n }
 }
 
 // NewWorld creates a world of n ranks with the given cost model.
@@ -77,10 +94,43 @@ func NewWorld(n int, cost simnet.CostModel, opts ...Option) (*World, error) {
 	}
 	w.worldComm = w.internComm(group)
 	w.procs = make([]*Proc, n)
-	for i := 0; i < n; i++ {
-		w.procs[i] = newProc(w, i)
-	}
+	// Per-rank construction is independent (maps, scratch, clock state), so
+	// build the world in parallel chunks: at 65k+ ranks a serial loop over
+	// newProc dominates cell setup time in the scale sweep.
+	ParallelFor(n, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			w.procs[i] = newProc(w, i)
+		}
+	})
 	return w, nil
+}
+
+// ParallelFor splits [0, n) into contiguous chunks and runs fn on each
+// from a bounded set of workers. fn must be independent across chunks. It
+// is exported for world-sized per-rank construction loops elsewhere in the
+// runtime (the engine's protocol array, bench cell setup): at 65k ranks
+// those serial loops, not the measured run, dominate cell wall time.
+func ParallelFor(n int, fn func(lo, hi int)) {
+	workers := runtime.GOMAXPROCS(0)
+	const minChunk = 64 // below this, goroutine overhead beats the win
+	if chunks := (n + minChunk - 1) / minChunk; workers > chunks {
+		workers = chunks
+	}
+	if workers <= 1 {
+		fn(0, n)
+		return
+	}
+	block := (n + workers - 1) / workers
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += block {
+		hi := min(lo+block, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
 }
 
 // Size returns the number of ranks.
@@ -109,12 +159,18 @@ func (w *World) Stopped() bool {
 }
 
 // Abort marks the world as stopped and wakes every blocked process so the
-// run can terminate with ErrWorldStopped instead of hanging.
+// run can terminate with ErrWorldStopped instead of hanging. With the
+// shard scheduler active the caller's cost is O(shards) — one abort token
+// per mailbox — and the world-sized waiter sweep runs on the shard loops.
 func (w *World) Abort() {
 	w.stopped.Store(true)
+	if s := w.sched.Load(); s != nil {
+		s.abort()
+		return
+	}
 	for _, p := range w.procs {
 		p.mu.Lock()
-		p.cond.Broadcast()
+		p.wakeWaitersLocked()
 		p.mu.Unlock()
 	}
 }
@@ -129,22 +185,32 @@ func (w *World) Run(fn func(p *Proc) error) error {
 	errs := make([]error, w.size)
 	var wg sync.WaitGroup
 	wg.Add(w.size)
-	for i := 0; i < w.size; i++ {
-		go func(rank int) {
-			defer wg.Done()
-			defer func() {
-				if r := recover(); r != nil {
-					errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
-					w.Abort()
-				}
-			}()
-			if err := fn(w.procs[rank]); err != nil {
-				errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+	body := func(rank int) {
+		defer wg.Done()
+		defer func() {
+			if r := recover(); r != nil {
+				errs[rank] = fmt.Errorf("mpi: rank %d panicked: %v", rank, r)
 				w.Abort()
 			}
-		}(i)
+		}()
+		if err := fn(w.procs[rank]); err != nil {
+			errs[rank] = fmt.Errorf("mpi: rank %d: %w", rank, err)
+			w.Abort()
+		}
 	}
-	wg.Wait()
+	if w.shardOpt >= 0 {
+		s := newScheduler(w, w.shardOpt)
+		w.sched.Store(s)
+		s.start(body)
+		wg.Wait()
+		s.stop()
+		w.sched.Store(nil)
+	} else {
+		for i := 0; i < w.size; i++ {
+			go body(i)
+		}
+		wg.Wait()
+	}
 	var first error
 	for _, err := range errs {
 		if err == nil {

@@ -99,6 +99,48 @@ type NetChaos struct {
 	Reorders   []ReorderRule
 	Holds      []HoldRule
 	Partitions []PartitionRule
+
+	// injections counts the messages each rule perturbed, indexed in the
+	// order Delays, Reorders, Holds, Partitions (concatenated). (Re)allocated
+	// by Validate — which every consumer runs before the world starts — and
+	// incremented atomically on the send/arrive paths, mirroring
+	// checkpoint.FaultStorage's per-rule accounting.
+	injections []atomic.Int64
+}
+
+// bump counts one perturbed message against rule index i. A NetChaos whose
+// Validate was never run has no counters; perturbation behavior is
+// unaffected either way.
+func (n *NetChaos) bump(i int) {
+	if i < len(n.injections) {
+		n.injections[i].Add(1)
+	}
+}
+
+// Injections returns how many messages each rule perturbed, in the order
+// Delays, Reorders, Holds, Partitions (concatenated) — one entry per rule,
+// zero for rules that never matched. It returns nil when Validate has not
+// run. A delay/reorder entry counts matched sends, a hold entry counts
+// matched arrivals, a partition entry counts messages stalled to the heal.
+func (n *NetChaos) Injections() []int {
+	if n == nil || n.injections == nil {
+		return nil
+	}
+	out := make([]int, len(n.injections))
+	for i := range n.injections {
+		out[i] = int(n.injections[i].Load())
+	}
+	return out
+}
+
+// TotalInjections returns the total number of perturbed messages across all
+// rules.
+func (n *NetChaos) TotalInjections() int {
+	total := 0
+	for _, c := range n.Injections() {
+		total += c
+	}
+	return total
 }
 
 // Enabled reports whether any rule is present.
@@ -164,12 +206,14 @@ func (n *NetChaos) Validate(worldSize int) error {
 			return fmt.Errorf("simnet: partition rule %d: window [%g,%g) must be finite and non-empty", i, r.From, r.To)
 		}
 	}
+	n.injections = make([]atomic.Int64, len(n.Delays)+len(n.Reorders)+len(n.Holds)+len(n.Partitions))
 	return nil
 }
 
 // ExtraDelay returns the additional arrival delay for a message sent at
 // sendTime on the channel (src → dst, comm) with the given per-channel
-// sequence number. It is a pure function of its arguments and the rule set.
+// sequence number. The returned delay is a pure function of its arguments
+// and the rule set; the only side effect is the per-rule injection count.
 func (n *NetChaos) ExtraDelay(sendTime float64, src, dst, comm int, seq uint64) float64 {
 	if n == nil {
 		return 0
@@ -179,6 +223,7 @@ func (n *NetChaos) ExtraDelay(sendTime float64, src, dst, comm int, seq uint64) 
 		if !matchLink(r.Src, r.Dst, src, dst) || !inWindow(r.Gate, r.From, r.To, sendTime) {
 			continue
 		}
+		n.bump(i)
 		d += r.Extra
 		if r.Jitter > 0 {
 			d += r.Jitter * unit(n.hash(tagDelay, i, src, dst, comm, seq))
@@ -188,16 +233,18 @@ func (n *NetChaos) ExtraDelay(sendTime float64, src, dst, comm int, seq uint64) 
 		if !matchLink(r.Src, r.Dst, src, dst) || !inWindow(r.Gate, r.From, r.To, sendTime) {
 			continue
 		}
+		n.bump(len(n.Delays) + i)
 		group := (seq - 1) / uint64(r.Window)
 		slot := permSlot(n.hash(tagReorder, i, src, dst, comm, group), r.Window, int((seq-1)%uint64(r.Window)))
 		d += r.Spread * float64(slot) / float64(r.Window)
 	}
-	for _, r := range n.Partitions {
+	for i, r := range n.Partitions {
 		from, to, ok := window(r.Gate, r.From, r.To)
 		if !ok || sendTime < from || sendTime >= to {
 			continue
 		}
 		if crosses(r.A, r.B, src, dst) {
+			n.bump(len(n.Delays) + len(n.Reorders) + len(n.Holds) + i)
 			d += to - sendTime // stall until the heal
 		}
 	}
@@ -211,13 +258,14 @@ func (n *NetChaos) HoldWindow(arriveTime float64, src, dst int) int {
 		return 0
 	}
 	w := 0
-	for _, r := range n.Holds {
+	for i, r := range n.Holds {
 		if r.Dst >= 0 && r.Dst != dst {
 			continue
 		}
 		if !inWindow(r.Gate, r.From, r.To, arriveTime) {
 			continue
 		}
+		n.bump(len(n.Delays) + len(n.Reorders) + i)
 		if r.Window > w {
 			w = r.Window
 		}

@@ -17,18 +17,43 @@ import (
 // reconstructed at read time: a channel has exactly one sender rank, so the
 // channel's send order is the sender's program order restricted to that
 // channel (sequence numbers are assigned in that same order).
+// Clocks are stored delta-compressed: an event's storage holds only the
+// components that changed since the rank's previously recorded clock, in a
+// per-rank append-only arena. A rank's clock between consecutive events
+// changes in O(ranks recently heard from) components, not O(world), so
+// recorder bytes per event scale with the communication pattern's non-zero
+// entries and are independent of world size. Deltas use set semantics
+// (they store the new value, not a max-merge): a rollback restore can move
+// a clock backwards, and replaying the deltas in program order must
+// reproduce exactly the clock each event was recorded with.
 type Recorder struct {
 	nranks  int
 	perRank []rankLog
 }
 
-// rankLog is one rank's append-only event buffer. The trailing padding sizes
-// the struct to a full 64-byte cache line (8-byte mutex + 24-byte slice
-// header + 32), so adjacent ranks' write-hot state never false-shares.
+// rankLog is one rank's append-only event buffer. Events are stored with a
+// nil Clock plus a span into the delta arena; accessors that only read
+// event metadata walk the events directly, and EventsOf re-materializes
+// dense clocks by replaying the deltas. The struct is two full 64-byte
+// cache lines, so adjacent ranks' write-hot state never false-shares.
 type rankLog struct {
 	mu     sync.Mutex
 	events []Event
-	_      [32]byte
+	// spans[i] locates events[i]'s clock delta inside the arena.
+	spans []clockSpan
+	// The delta arena: parallel (component rank, new value) pairs.
+	deltaRanks []uint32
+	deltaVals  []uint64
+	// last is the clock of the rank's latest clocked event; the next delta
+	// is computed against it.
+	last VectorClock
+}
+
+// clockSpan locates one event's clock delta in its rankLog arena. A span
+// with hasClock=false marks an event recorded without a clock.
+type clockSpan struct {
+	off, n   uint32
+	hasClock bool
 }
 
 // NewRecorder creates a recorder for an execution with n ranks.
@@ -42,35 +67,70 @@ func NewRecorder(n int) *Recorder {
 // Ranks returns the number of ranks of the recorded execution.
 func (r *Recorder) Ranks() int { return r.nranks }
 
-// Record appends an event to the event's rank buffer. The event's Clock, if
-// non-nil, is cloned — outside the buffer lock, and only when the event is
-// actually stored — so the caller may keep mutating its working clock (and
-// may hand in a pooled clone and recycle it afterwards).
+// Record appends an event to the event's rank buffer. The event's Clock,
+// if non-nil, is consumed by value — only the components that changed
+// since the rank's previous event are stored — so the caller may keep
+// mutating its working clock (and may hand in a pooled clone and recycle
+// it afterwards).
 func (r *Recorder) Record(e Event) {
 	if e.Rank < 0 || e.Rank >= r.nranks {
 		return
 	}
-	if e.Clock != nil {
-		e.Clock = e.Clock.Clone()
-	}
 	rl := &r.perRank[e.Rank]
 	rl.mu.Lock()
+	var sp clockSpan
+	if e.Clock != nil {
+		sp.hasClock = true
+		sp.off = uint32(len(rl.deltaRanks))
+		if len(rl.last) < len(e.Clock) {
+			grown := NewVectorClock(len(e.Clock))
+			copy(grown, rl.last)
+			rl.last = grown
+		}
+		for i, v := range e.Clock {
+			if v != rl.last[i] {
+				rl.deltaRanks = append(rl.deltaRanks, uint32(i))
+				rl.deltaVals = append(rl.deltaVals, v)
+				rl.last[i] = v
+			}
+		}
+		sp.n = uint32(len(rl.deltaRanks)) - sp.off
+		e.Clock = nil
+	}
 	rl.events = append(rl.events, e)
+	rl.spans = append(rl.spans, sp)
 	rl.mu.Unlock()
 }
 
-// snapshotRank returns a copy of one rank's events.
+// snapshotRank returns a copy of one rank's events with dense clocks
+// re-materialized by replaying the delta arena in program order.
 func (r *Recorder) snapshotRank(rank int) []Event {
 	rl := &r.perRank[rank]
 	rl.mu.Lock()
 	defer rl.mu.Unlock()
 	out := make([]Event, len(rl.events))
 	copy(out, rl.events)
+	var vc VectorClock
+	if rl.last != nil {
+		vc = NewVectorClock(len(rl.last))
+	}
+	for i := range out {
+		sp := rl.spans[i]
+		if !sp.hasClock {
+			continue
+		}
+		for j := sp.off; j < sp.off+sp.n; j++ {
+			vc[rl.deltaRanks[j]] = rl.deltaVals[j]
+		}
+		out[i].Clock = vc.Clone()
+	}
 	return out
 }
 
 // EventsOf returns a copy of the events recorded on the given rank, in
-// program order.
+// program order, with dense clocks re-materialized from the compressed
+// storage (this is the only accessor that pays the O(world) clock cost,
+// and only on the analysis path).
 func (r *Recorder) EventsOf(rank int) []Event {
 	if rank < 0 || rank >= r.nranks {
 		return nil
@@ -112,7 +172,9 @@ func (r *Recorder) Channels() []ChannelKey {
 // ChannelSends returns the sequence of send events recorded on a channel: the
 // sender rank's program order restricted to the channel, which equals the
 // channel's send order (re-executed sends during recovery appear again at the
-// point of re-execution, exactly as they are recorded).
+// point of re-execution, exactly as they are recorded). The returned events
+// carry identity metadata only (Clock is nil); use EventsOf when clocks are
+// needed.
 func (r *Recorder) ChannelSends(c ChannelKey) []Event {
 	if c.Src < 0 || c.Src >= r.nranks {
 		return nil

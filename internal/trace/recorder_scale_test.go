@@ -1,0 +1,113 @@
+package trace
+
+import (
+	"fmt"
+	"testing"
+	"unsafe"
+)
+
+// ringStep advances the per-rank clocks of a simulated ring step and
+// records one send and one deliver per rank, mimicking exactly the clock
+// traffic the mpi runtime generates on the ring kernel: tick-on-send,
+// merge-neighbor-then-tick on deliver.
+func ringStep(r *Recorder, clocks []VectorClock, scratch []VectorClock) {
+	n := len(clocks)
+	for rank := 0; rank < n; rank++ {
+		// Send to the right neighbor: tick, record, remember the sent clock.
+		clocks[rank].Tick(rank)
+		r.Record(Event{
+			Kind: EventSend, Rank: rank,
+			Channel: ChannelKey{Src: rank, Dst: (rank + 1) % n},
+			Seq:     1, Bytes: 8, Clock: clocks[rank],
+		})
+		scratch[rank] = CloneInto(scratch[rank], clocks[rank])
+	}
+	for rank := 0; rank < n; rank++ {
+		// Deliver from the left neighbor: merge its send clock, tick.
+		left := (rank - 1 + n) % n
+		clocks[rank].Merge(scratch[left])
+		clocks[rank].Tick(rank)
+		r.Record(Event{
+			Kind: EventDeliver, Rank: rank,
+			Channel: ChannelKey{Src: left, Dst: rank},
+			Seq:     1, Bytes: 8, Clock: clocks[rank],
+		})
+	}
+}
+
+// storageBytes approximates the recorder's event-storage footprint: the
+// delta arenas plus the fixed per-event record. It deliberately excludes
+// the per-rank `last` clock (one dense clock per rank, amortized over all
+// of the rank's events).
+func (r *Recorder) storageBytes() int {
+	total := 0
+	for i := range r.perRank {
+		rl := &r.perRank[i]
+		rl.mu.Lock()
+		total += len(rl.deltaRanks)*4 + len(rl.deltaVals)*8 + len(rl.events)*eventStorageBytes
+		rl.mu.Unlock()
+	}
+	return total
+}
+
+// Fixed per-event record cost: the stored Event (nil clock) + its span.
+var eventStorageBytes = int(unsafe.Sizeof(Event{}) + unsafe.Sizeof(clockSpan{}))
+
+// TestRecorderBytesPerEventIndependentOfWorldSize drives the ring-kernel
+// clock pattern at 64 and 4,096 ranks and asserts that recorder storage
+// per event does not grow with the world: delta compression stores the
+// changed clock components only (O(1) per ring event), where the old
+// dense Clone was O(world) per event.
+func TestRecorderBytesPerEventIndependentOfWorldSize(t *testing.T) {
+	perEvent := func(n int) float64 {
+		r := NewRecorder(n)
+		clocks := make([]VectorClock, n)
+		scratch := make([]VectorClock, n)
+		for i := range clocks {
+			clocks[i] = NewVectorClock(n)
+		}
+		const steps = 8
+		for s := 0; s < steps; s++ {
+			ringStep(r, clocks, scratch)
+		}
+		ev := r.TotalEvents()
+		if ev != 2*n*steps {
+			t.Fatalf("n=%d recorded %d events, want %d", n, ev, 2*n*steps)
+		}
+		return float64(r.storageBytes()) / float64(ev)
+	}
+	small, big := perEvent(64), perEvent(4096)
+	t.Logf("bytes/event: 64 ranks = %.1f, 4096 ranks = %.1f", small, big)
+	// Identical communication pattern, 64x the ranks: storage per event
+	// must not scale with world size (the old dense storage was ~8n bytes
+	// per event, a 64x ratio here).
+	if big > small*1.5 {
+		t.Fatalf("recorder bytes/event grew with world size: %.1f at 64 ranks vs %.1f at 4096", small, big)
+	}
+}
+
+// BenchmarkRecorderRingRecord measures the record hot path (including the
+// caller-side clock work of one ring event) at both world sizes; allocs/op
+// must not scale with ranks either.
+func BenchmarkRecorderRingRecord(b *testing.B) {
+	for _, n := range []int{64, 4096} {
+		b.Run(fmt.Sprintf("ranks=%d", n), func(b *testing.B) {
+			r := NewRecorder(n)
+			clocks := make([]VectorClock, n)
+			scratch := make([]VectorClock, n)
+			for i := range clocks {
+				clocks[i] = NewVectorClock(n)
+			}
+			// Warm the arenas so steady-state appends dominate.
+			ringStep(r, clocks, scratch)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				ringStep(r, clocks, scratch)
+			}
+			b.StopTimer()
+			events := r.TotalEvents()
+			b.ReportMetric(float64(r.storageBytes())/float64(events), "storageB/event")
+		})
+	}
+}
