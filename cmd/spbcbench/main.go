@@ -224,10 +224,13 @@ func runPerfProfile(name, out, protocols, sizes string, allocGuard, captureGuard
 		if len(res.Checkpoint) > 0 {
 			fmt.Println(res.CheckpointTable())
 		}
+		if len(res.Volume) > 0 {
+			fmt.Println(res.VolumeTable())
+		}
 	}
 	violations := res.Violations()
-	fmt.Printf("wrote %s (%d cells, %d checkpoint cells, %d guard violations)\n",
-		path, len(res.Cells), len(res.Checkpoint), len(violations))
+	fmt.Printf("wrote %s (%d cells, %d checkpoint cells, %d volume cells, %d guard violations)\n",
+		path, len(res.Cells), len(res.Checkpoint), len(res.Volume), len(violations))
 	if len(violations) > 0 {
 		for _, v := range violations {
 			fmt.Fprintln(os.Stderr, "guard violation:", v)

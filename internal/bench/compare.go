@@ -23,6 +23,11 @@ type CompareOpts struct {
 	// machines). Cells faster than 1µs are exempt from the ns gate: they sit
 	// in measurement noise.
 	NsFactor float64
+	// DeltaRatioSlack is the absolute increase of a volume cell's delta ratio
+	// (staged/full bytes) tolerated over the baseline. Byte counts are
+	// deterministic; the slack covers intentional codec retuning. Zero selects
+	// the default (0.15).
+	DeltaRatioSlack float64
 }
 
 func (o *CompareOpts) normalize() {
@@ -31,6 +36,9 @@ func (o *CompareOpts) normalize() {
 	}
 	if o.NsFactor == 0 {
 		o.NsFactor = 5.0
+	}
+	if o.DeltaRatioSlack == 0 {
+		o.DeltaRatioSlack = 0.15
 	}
 }
 
@@ -103,6 +111,33 @@ func ComparePerf(baseline, candidate *PerfResult, opts CompareOpts) []string {
 		if b.SpeedupFloor > 0 && !b.SpeedupViolated && c.CaptureSpeedup < b.SpeedupFloor {
 			out = append(out, fmt.Sprintf("%s: capture speedup %.1fx below baseline floor %.1fx",
 				key, c.CaptureSpeedup, b.SpeedupFloor))
+		}
+	}
+
+	// The volume section gates on the delta ratio only: byte counts are
+	// deterministic (slack covers codec tuning, not machine variance), while
+	// the recovery ns ratio is wall clock and already gated absolutely by
+	// RecoveryFactor inside the profile run.
+	type volKey struct {
+		proto, workload        string
+		ranks, steps, interval int
+	}
+	candVol := make(map[volKey]*VolumeCell, len(candidate.Volume))
+	for i := range candidate.Volume {
+		c := &candidate.Volume[i]
+		candVol[volKey{c.Protocol, c.Workload, c.Ranks, c.Steps, c.Interval}] = c
+	}
+	for i := range baseline.Volume {
+		b := &baseline.Volume[i]
+		key := fmt.Sprintf("volume/%s/%s", b.Protocol, b.Workload)
+		c, ok := candVol[volKey{b.Protocol, b.Workload, b.Ranks, b.Steps, b.Interval}]
+		if !ok {
+			out = append(out, fmt.Sprintf("%s: cell missing from candidate", key))
+			continue
+		}
+		if c.DeltaRatio > b.DeltaRatio+opts.DeltaRatioSlack {
+			out = append(out, fmt.Sprintf("%s: delta ratio %.3f vs baseline %.3f (+%.2f slack) — bytes per wave regressed",
+				key, c.DeltaRatio, b.DeltaRatio, opts.DeltaRatioSlack))
 		}
 	}
 	return out

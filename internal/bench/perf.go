@@ -68,6 +68,14 @@ type PerfMatrix struct {
 	// selects the defaults (40 allocs, 5x), negative disables.
 	CaptureAllocGuard   float64 `json:"capture_alloc_guard,omitempty"`
 	CaptureSpeedupFloor float64 `json:"capture_speedup_floor,omitempty"`
+	// VolumeShapes is the checkpoint-volume axis (bytes per wave under the
+	// delta store vs the full-image floor, recovery-time ratio). Empty selects
+	// the default shapes; SkipVolume disables the section.
+	VolumeShapes []VolumeShape `json:"volume_shapes,omitempty"`
+	SkipVolume   bool          `json:"skip_volume,omitempty"`
+	// RecoveryFactor is the enforced delta/full recovery-time ratio ceiling:
+	// 0 selects the default (2.0), negative disables the gate.
+	RecoveryFactor float64 `json:"recovery_factor,omitempty"`
 }
 
 // normalize applies defaults and validates the matrix.
@@ -109,6 +117,14 @@ func (m *PerfMatrix) normalize() error {
 			return fmt.Errorf("bench: checkpoint shape %+v logs records of no bytes", sh)
 		}
 	}
+	if len(m.VolumeShapes) == 0 && !m.SkipVolume {
+		m.VolumeShapes = defaultVolumeShapes()
+	}
+	for i := range m.VolumeShapes {
+		if err := m.VolumeShapes[i].normalize(); err != nil {
+			return err
+		}
+	}
 	return nil
 }
 
@@ -146,6 +162,10 @@ type PerfResult struct {
 	// Checkpoint holds the checkpoint-pipeline profile (in-barrier capture
 	// stall vs the legacy gob path, commit cost off the critical path).
 	Checkpoint []CheckpointCell `json:"checkpoint,omitempty"`
+	// Volume holds the checkpoint-volume section: bytes per wave under the
+	// tiered delta store vs the full-image floor, at equal recovery
+	// correctness.
+	Volume []VolumeCell `json:"volume,omitempty"`
 }
 
 // perfPolicy builds the policy profiled for a protocol on a two-rank world
@@ -291,6 +311,13 @@ func RunPerf(m PerfMatrix) (*PerfResult, error) {
 			out.Checkpoint = append(out.Checkpoint, cell)
 		}
 	}
+	for _, shape := range m.VolumeShapes {
+		cell, err := runVolumeCell(shape, m.RecoveryFactor)
+		if err != nil {
+			return nil, err
+		}
+		out.Volume = append(out.Volume, cell)
+	}
 	return out, nil
 }
 
@@ -317,6 +344,9 @@ func (r *PerfResult) Violations() []string {
 			out = append(out, fmt.Sprintf("%s: capture speedup %.1fx below floor %.1fx (in-barrier stall regressed)",
 				key, c.CaptureSpeedup, c.SpeedupFloor))
 		}
+	}
+	for i := range r.Volume {
+		out = append(out, r.Volume[i].violations()...)
 	}
 	return out
 }

@@ -21,9 +21,17 @@ func TestPerfMatrixNormalize(t *testing.T) {
 	if len(m.CheckpointShapes) != 3 {
 		t.Fatalf("default checkpoint shapes = %v", m.CheckpointShapes)
 	}
-	skip := PerfMatrix{SkipCheckpoint: true}
-	if err := skip.normalize(); err != nil || len(skip.CheckpointShapes) != 0 {
-		t.Fatalf("SkipCheckpoint must leave no shapes: %v %v", skip.CheckpointShapes, err)
+	if len(m.VolumeShapes) != 4 {
+		t.Fatalf("default volume shapes = %v", m.VolumeShapes)
+	}
+	for _, sh := range m.VolumeShapes {
+		if sh.Ranks != 8 || sh.Steps != 12 || sh.Interval != 2 || sh.Size != 512 {
+			t.Fatalf("volume shape defaults not applied: %+v", sh)
+		}
+	}
+	skip := PerfMatrix{SkipCheckpoint: true, SkipVolume: true}
+	if err := skip.normalize(); err != nil || len(skip.CheckpointShapes) != 0 || len(skip.VolumeShapes) != 0 {
+		t.Fatalf("skips must leave no shapes: %v %v %v", skip.CheckpointShapes, skip.VolumeShapes, err)
 	}
 	bad := PerfMatrix{Sizes: []int{0}}
 	if err := bad.normalize(); err == nil {
@@ -36,6 +44,18 @@ func TestPerfMatrixNormalize(t *testing.T) {
 	badShape := PerfMatrix{CheckpointShapes: []CheckpointShape{{StateBytes: -1}}}
 	if err := badShape.normalize(); err == nil {
 		t.Fatal("negative checkpoint shape must be rejected")
+	}
+	badVolume := PerfMatrix{VolumeShapes: []VolumeShape{{Workload: "warp-drive"}}}
+	if _, err := runVolumeCell(badVolume.VolumeShapes[0], 0); err == nil {
+		t.Fatal("unknown volume workload must be rejected")
+	}
+	nativeVolume := PerfMatrix{VolumeShapes: []VolumeShape{{Protocol: runner.ProtocolNative}}}
+	if err := nativeVolume.normalize(); err == nil {
+		t.Fatal("a native volume shape must be rejected")
+	}
+	degenerate := PerfMatrix{VolumeShapes: []VolumeShape{{Ranks: 1}}}
+	if err := degenerate.normalize(); err == nil {
+		t.Fatal("a 1-rank volume shape must be rejected")
 	}
 }
 
@@ -77,6 +97,26 @@ func goldenPerfResult() *PerfResult {
 				SpeedupFloor: 5, SpeedupViolated: true,
 			},
 		},
+		Volume: []VolumeCell{
+			{
+				Protocol: "spbc", Workload: "ring", Ranks: 8, Steps: 12, Interval: 2, Size: 512,
+				Images: 48, DeltaImages: 40,
+				BytesStaged: 120000, BytesFullEquiv: 200000,
+				BytesPerWave: 20000, FullBytesPerWave: 33333.3,
+				DeltaRatio: 0.6, VerifyMatch: true,
+				RecoveryNsDelta: 52000, RecoveryNsFull: 50000,
+				RecoveryRatio: 1.04, RecoveryFactor: 2,
+			},
+			{
+				Protocol: "coordinated", Workload: "phase-shift", Ranks: 8, Steps: 12, Interval: 2, Size: 512,
+				Images: 48, DeltaImages: 40,
+				BytesStaged: 210000, BytesFullEquiv: 200000,
+				BytesPerWave: 35000, FullBytesPerWave: 33333.3,
+				DeltaRatio: 1.05, VerifyMatch: false,
+				RecoveryNsDelta: 150000, RecoveryNsFull: 50000,
+				RecoveryRatio: 3, RecoveryFactor: 2, RecoveryViolated: true,
+			},
+		},
 	}
 }
 
@@ -111,14 +151,20 @@ func TestPerfGoldenJSON(t *testing.T) {
 		t.Fatalf("golden round trip changed the result:\nin  %+v\nout %+v", res, parsed)
 	}
 	vio := parsed.Violations()
-	if len(vio) != 3 || !strings.Contains(vio[0], "spbc/size=1024") {
-		t.Fatalf("golden violations = %v, want the spbc send cell plus the second checkpoint cell twice", vio)
+	if len(vio) != 6 || !strings.Contains(vio[0], "spbc/size=1024") {
+		t.Fatalf("golden violations = %v, want the spbc send cell, the second checkpoint cell twice, and the second volume cell three times", vio)
 	}
 	if !strings.Contains(vio[1], "capture allocs/op") || !strings.Contains(vio[2], "capture speedup") {
 		t.Fatalf("checkpoint violations missing: %v", vio)
 	}
+	if !strings.Contains(vio[3], "full-image floor") || !strings.Contains(vio[4], "not bit-identical") || !strings.Contains(vio[5], "recovery ratio") {
+		t.Fatalf("volume violations missing: %v", vio)
+	}
 	if parsed.CheckpointTable().String() == "" {
 		t.Fatal("checkpoint table must render")
+	}
+	if parsed.VolumeTable().String() == "" {
+		t.Fatal("volume table must render")
 	}
 }
 
@@ -134,6 +180,7 @@ func TestRunPerfSmoke(t *testing.T) {
 		Protocols:      []runner.Protocol{runner.ProtocolNative, runner.ProtocolSPBC},
 		Sizes:          []int{512},
 		SkipCheckpoint: true, // the checkpoint section has its own smoke test
+		SkipVolume:     true, // so does the volume section
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -193,6 +240,41 @@ func TestRunCheckpointCellSmoke(t *testing.T) {
 	}
 }
 
+// TestRunVolumeCellSmoke runs one real checkpoint-volume cell and checks the
+// perf claim end to end: the delta store stages strictly fewer bytes than the
+// full-image floor, the paired runs converge to identical digests, and
+// recovery stays within the enforced factor.
+func TestRunVolumeCellSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("volume profile measures real time")
+	}
+	cell, err := runVolumeCell(VolumeShape{Protocol: runner.ProtocolSPBC, Workload: "ring"}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cell.Images == 0 || cell.BytesStaged == 0 || cell.BytesFullEquiv == 0 {
+		t.Fatalf("no volume measured: %+v", cell)
+	}
+	if cell.DeltaImages == 0 {
+		t.Errorf("no delta frames admitted on the ring stencil: %+v", cell)
+	}
+	if cell.BytesStaged >= cell.BytesFullEquiv {
+		t.Errorf("staged %dB not below the full-image floor %dB", cell.BytesStaged, cell.BytesFullEquiv)
+	}
+	if !cell.VerifyMatch {
+		t.Error("delta-store run diverged from the full-image run")
+	}
+	if cell.RecoveryFactor != defaultRecoveryFactor {
+		t.Errorf("default recovery factor not applied: %+v", cell)
+	}
+	if cell.RecoveryViolated {
+		t.Errorf("recovery ratio %.2fx exceeds %.1fx", cell.RecoveryRatio, cell.RecoveryFactor)
+	}
+	if v := cell.violations(); len(v) != 0 {
+		t.Errorf("volume gates violated: %v", v)
+	}
+}
+
 // TestComparePerf exercises the regression gate on synthetic profiles.
 func TestComparePerf(t *testing.T) {
 	base := goldenPerfResult()
@@ -227,12 +309,22 @@ func TestComparePerf(t *testing.T) {
 		}
 	}
 
+	fatter := goldenPerfResult()
+	fatter.Volume[0].DeltaRatio = base.Volume[0].DeltaRatio + 0.2 // beyond the 0.15 slack
+	f = ComparePerf(base, fatter, CompareOpts{})
+	assertFinding("volume/spbc/ring: delta ratio")
+	if f := ComparePerf(base, fatter, CompareOpts{DeltaRatioSlack: 0.3}); len(f) != 0 {
+		t.Fatalf("a 0.2 ratio increase must pass a 0.3 slack: %v", f)
+	}
+
 	missing := goldenPerfResult()
 	missing.Cells = missing.Cells[:1]
 	missing.Checkpoint = nil
+	missing.Volume = missing.Volume[1:]
 	f = ComparePerf(base, missing, CompareOpts{})
 	assertFinding("spbc/size=1024: cell missing")
 	assertFinding("checkpoint/spbc/state=65536/logs=64: cell missing")
+	assertFinding("volume/spbc/ring: cell missing")
 
 	// Custom thresholds: a 1.5x ns regression passes at the default factor,
 	// fails at 1.2.

@@ -1,0 +1,299 @@
+package bench
+
+// The checkpoint-volume section measures what the tiered delta store actually
+// buys: bytes staged per checkpoint wave under the codec-v3 pipeline versus
+// the full-image floor, at equal recovery correctness. Each cell runs the
+// same scenario twice — once over a delta-enabled TieredStorage, once over
+// the plain in-memory full-image store — with a mid-run fault so recovery is
+// exercised in both runs, then verifies the two runs converge to identical
+// per-rank digests and benchmarks recovery (Load of every rank) against both
+// stores. The CI gates are deterministic where the quantity is (byte counts,
+// digest equality) and ratio-based where it is not (recovery wall clock).
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"repro/internal/app"
+	"repro/internal/checkpoint"
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/runner"
+	"repro/internal/stats"
+)
+
+// defaultRecoveryFactor is the enforced ceiling on the delta-store/full-store
+// recovery-time ratio: walking delta chains may not make recovery more than
+// twice as expensive as decoding a full image.
+const defaultRecoveryFactor = 2.0
+
+// VolumeShape declares one checkpoint-volume cell: a protocol × kernel point.
+type VolumeShape struct {
+	// Protocol is the protected runtime (any protocol except native).
+	Protocol runner.Protocol `json:"protocol"`
+	// Workload is the kernel: "ring", "solver" or "phase-shift".
+	Workload string `json:"workload"`
+	// Ranks, Steps, Interval shape the run (defaults 8, 12, 2).
+	Ranks    int `json:"ranks"`
+	Steps    int `json:"steps"`
+	Interval int `json:"interval"`
+	// Size is the kernel's per-rank state-size parameter (cells for the ring
+	// stencil); 0 selects 512.
+	Size int `json:"size,omitempty"`
+}
+
+func defaultVolumeShapes() []VolumeShape {
+	shapes := make([]VolumeShape, 0, 4)
+	for _, proto := range []runner.Protocol{runner.ProtocolSPBC, runner.ProtocolCoordinated} {
+		for _, kernel := range []string{"ring", "phase-shift"} {
+			shapes = append(shapes, VolumeShape{Protocol: proto, Workload: kernel})
+		}
+	}
+	return shapes
+}
+
+func (sh *VolumeShape) normalize() error {
+	if sh.Protocol == "" {
+		sh.Protocol = runner.ProtocolSPBC
+	}
+	if _, err := runner.ParseProtocol(string(sh.Protocol)); err != nil {
+		return fmt.Errorf("bench: volume shape: %w", err)
+	}
+	if sh.Protocol == runner.ProtocolNative {
+		return fmt.Errorf("bench: volume shape: the native baseline takes no checkpoints")
+	}
+	if sh.Workload == "" {
+		sh.Workload = "ring"
+	}
+	if sh.Ranks == 0 {
+		sh.Ranks = 8
+	}
+	if sh.Steps == 0 {
+		sh.Steps = 12
+	}
+	if sh.Interval == 0 {
+		sh.Interval = 2
+	}
+	if sh.Size == 0 {
+		sh.Size = 512
+	}
+	if sh.Ranks < 2 || sh.Steps < 1 || sh.Interval < 1 || sh.Size < 1 {
+		return fmt.Errorf("bench: degenerate volume shape %+v", *sh)
+	}
+	return nil
+}
+
+// factory builds the shape's kernel.
+func (sh *VolumeShape) factory() (model.AppFactory, error) {
+	switch sh.Workload {
+	case "ring":
+		return app.NewRing(sh.Size, 3), nil
+	case "solver":
+		return app.NewSolver(sh.Size), nil
+	case "phase-shift":
+		return app.NewPhaseShift(sh.Size, 2), nil
+	default:
+		return nil, fmt.Errorf("bench: unknown volume workload %q", sh.Workload)
+	}
+}
+
+// VolumeCell is one measured checkpoint-volume point.
+type VolumeCell struct {
+	Protocol string `json:"protocol"`
+	Workload string `json:"workload"`
+	Ranks    int    `json:"ranks"`
+	Steps    int    `json:"steps"`
+	Interval int    `json:"interval"`
+	Size     int    `json:"size,omitempty"`
+	// Images is the number of per-rank checkpoint images the delta run
+	// committed; DeltaImages of them were delta frames.
+	Images      int `json:"images"`
+	DeltaImages int `json:"delta_images"`
+	// BytesStaged is what the delta run actually staged; BytesFullEquiv is
+	// what the same images cost as plain full frames (the floor the gate
+	// compares against). Both are deterministic byte counts.
+	BytesStaged    uint64 `json:"bytes_staged"`
+	BytesFullEquiv uint64 `json:"bytes_full_equiv"`
+	// BytesPerWave and FullBytesPerWave are the per-wave volumes (one wave =
+	// one image per rank).
+	BytesPerWave     float64 `json:"bytes_per_wave"`
+	FullBytesPerWave float64 `json:"full_bytes_per_wave"`
+	// DeltaRatio is BytesStaged/BytesFullEquiv: the headline number, < 1.0
+	// when the delta codec beats the full-image floor.
+	DeltaRatio float64 `json:"delta_ratio"`
+	// VerifyMatch reports that the delta-store run and the full-image run
+	// converged to bit-identical per-rank digests (equal recovery
+	// correctness).
+	VerifyMatch bool `json:"verify_match"`
+	// RecoveryNsDelta / RecoveryNsFull benchmark loading every rank's latest
+	// checkpoint from each store; RecoveryRatio is their quotient, gated by
+	// RecoveryFactor (0 = not enforced).
+	RecoveryNsDelta  float64 `json:"recovery_ns_delta"`
+	RecoveryNsFull   float64 `json:"recovery_ns_full"`
+	RecoveryRatio    float64 `json:"recovery_ratio"`
+	RecoveryFactor   float64 `json:"recovery_factor,omitempty"`
+	RecoveryViolated bool    `json:"recovery_violated,omitempty"`
+}
+
+// volumeScenario builds one half of the paired run.
+func volumeScenario(sh VolumeShape, factory model.AppFactory, st checkpoint.Storage) runner.Scenario {
+	sc := runner.Scenario{
+		Name:               fmt.Sprintf("volume-%s-%s", sh.Protocol, sh.Workload),
+		App:                factory,
+		Ranks:              sh.Ranks,
+		Steps:              sh.Steps,
+		CheckpointInterval: sh.Interval,
+		Protocol:           sh.Protocol,
+		Storage:            st,
+		// A mid-run fault makes both runs recover, so VerifyMatch covers the
+		// rollback path, not just failure-free convergence.
+		Faults: []core.Fault{{Rank: 1, Iteration: sh.Steps / 2}},
+	}
+	if sh.Protocol == runner.ProtocolSPBC || sh.Protocol == runner.ProtocolSPBCAdaptive {
+		// A fixed contiguous split keeps the pair on one partition (and skips
+		// the profiling pre-run).
+		sc.ClusterOf = make([]int, sh.Ranks)
+		for r := range sc.ClusterOf {
+			if r >= sh.Ranks/2 {
+				sc.ClusterOf[r] = 1
+			}
+		}
+	}
+	return sc
+}
+
+// benchLoadAll measures loading every rank's latest checkpoint, in ns per
+// full sweep.
+func benchLoadAll(st checkpoint.Storage, ranks int) (float64, error) {
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			for r := 0; r < ranks; r++ {
+				if _, _, err := st.Load(r); err != nil {
+					benchErr = err
+					b.SkipNow()
+					return
+				}
+			}
+		}
+	})
+	if benchErr != nil {
+		return 0, benchErr
+	}
+	return float64(res.T.Nanoseconds()) / float64(res.N), nil
+}
+
+// runVolumeCell measures one shape: the delta run, its full-image twin, and
+// the recovery benchmark over both stores.
+func runVolumeCell(sh VolumeShape, recoveryFactor float64) (VolumeCell, error) {
+	if err := sh.normalize(); err != nil {
+		return VolumeCell{}, err
+	}
+	factory, err := sh.factory()
+	if err != nil {
+		return VolumeCell{}, err
+	}
+
+	tiered := checkpoint.NewTieredStorage(checkpoint.TieredConfig{})
+	repDelta, err := runner.Run(volumeScenario(sh, factory, tiered))
+	if err != nil {
+		return VolumeCell{}, fmt.Errorf("bench: volume %s/%s delta run: %w", sh.Protocol, sh.Workload, err)
+	}
+	tiered.Quiesce()
+	if err := tiered.LostErr(); err != nil {
+		return VolumeCell{}, fmt.Errorf("bench: volume %s/%s: %w", sh.Protocol, sh.Workload, err)
+	}
+
+	full := checkpoint.NewMemoryStorage()
+	repFull, err := runner.Run(volumeScenario(sh, factory, full))
+	if err != nil {
+		return VolumeCell{}, fmt.Errorf("bench: volume %s/%s full run: %w", sh.Protocol, sh.Workload, err)
+	}
+
+	m := repDelta.Engine
+	cell := VolumeCell{
+		Protocol:       string(sh.Protocol),
+		Workload:       sh.Workload,
+		Ranks:          sh.Ranks,
+		Steps:          sh.Steps,
+		Interval:       sh.Interval,
+		Size:           sh.Size,
+		Images:         m.DeltaImages + m.FullImages,
+		DeltaImages:    m.DeltaImages,
+		BytesStaged:    m.BytesStaged,
+		BytesFullEquiv: m.BytesFullEquiv,
+		DeltaRatio:     m.DeltaRatio,
+		VerifyMatch:    reflect.DeepEqual(repDelta.Verify, repFull.Verify),
+	}
+	if waves := float64(cell.Images) / float64(sh.Ranks); waves > 0 {
+		cell.BytesPerWave = float64(cell.BytesStaged) / waves
+		cell.FullBytesPerWave = float64(cell.BytesFullEquiv) / waves
+	}
+
+	if cell.RecoveryNsDelta, err = benchLoadAll(tiered, sh.Ranks); err != nil {
+		return VolumeCell{}, fmt.Errorf("bench: volume %s/%s delta recovery: %w", sh.Protocol, sh.Workload, err)
+	}
+	if cell.RecoveryNsFull, err = benchLoadAll(full, sh.Ranks); err != nil {
+		return VolumeCell{}, fmt.Errorf("bench: volume %s/%s full recovery: %w", sh.Protocol, sh.Workload, err)
+	}
+	if cell.RecoveryNsFull > 0 {
+		cell.RecoveryRatio = cell.RecoveryNsDelta / cell.RecoveryNsFull
+	}
+	if recoveryFactor >= 0 {
+		if recoveryFactor == 0 {
+			recoveryFactor = defaultRecoveryFactor
+		}
+		cell.RecoveryFactor = recoveryFactor
+		cell.RecoveryViolated = cell.RecoveryRatio > recoveryFactor
+	}
+	return cell, nil
+}
+
+// volumeViolations gates one cell: staged bytes strictly below the
+// full-image floor, bit-identical recovery, bounded recovery time.
+func (c *VolumeCell) violations() []string {
+	key := fmt.Sprintf("volume/%s/%s", c.Protocol, c.Workload)
+	var out []string
+	if c.Images == 0 {
+		return append(out, fmt.Sprintf("%s: no checkpoint images committed", key))
+	}
+	if c.BytesStaged >= c.BytesFullEquiv {
+		out = append(out, fmt.Sprintf("%s: staged %dB not below the full-image floor %dB (delta gained nothing)",
+			key, c.BytesStaged, c.BytesFullEquiv))
+	}
+	if !c.VerifyMatch {
+		out = append(out, fmt.Sprintf("%s: delta-store run diverged from the full-image run (recovery not bit-identical)", key))
+	}
+	if c.RecoveryViolated {
+		out = append(out, fmt.Sprintf("%s: recovery ratio %.2fx exceeds factor %.1fx (chain walk too expensive)",
+			key, c.RecoveryRatio, c.RecoveryFactor))
+	}
+	return out
+}
+
+// VolumeTable renders the checkpoint-volume section, one row per cell.
+func (r *PerfResult) VolumeTable() *stats.Table {
+	t := stats.NewTable(fmt.Sprintf("BENCH perf %s checkpoint volume", r.Name),
+		"protocol", "workload", "images", "delta", "staged_B/wave", "full_B/wave", "ratio", "verify", "rec_ratio", "gates")
+	for i := range r.Volume {
+		c := &r.Volume[i]
+		gates := "ok"
+		if v := c.violations(); len(v) > 0 {
+			gates = fmt.Sprintf("VIOLATED(%d)", len(v))
+		}
+		t.AddRow(
+			c.Protocol,
+			c.Workload,
+			fmt.Sprint(c.Images),
+			fmt.Sprint(c.DeltaImages),
+			fmt.Sprintf("%.0f", c.BytesPerWave),
+			fmt.Sprintf("%.0f", c.FullBytesPerWave),
+			fmt.Sprintf("%.3f", c.DeltaRatio),
+			fmt.Sprint(c.VerifyMatch),
+			fmt.Sprintf("%.2fx", c.RecoveryRatio),
+			gates,
+		)
+	}
+	return t
+}

@@ -19,6 +19,7 @@ import (
 	"fmt"
 
 	"repro/internal/app"
+	"repro/internal/checkpoint"
 	"repro/internal/model"
 	"repro/internal/runner"
 )
@@ -102,6 +103,59 @@ type Scenario struct {
 	// detected checkpoint corruption): Check then asserts the run errors
 	// instead of comparing it against the failure-free twin.
 	ExpectError bool
+	// Storage selects the checkpoint storage stack of the protected run; nil
+	// keeps the runner default (plain in-memory storage).
+	Storage *StorageSpec
+}
+
+// StorageSpec opts a scenario into the tiered checkpoint store, so chaos can
+// exercise delta chains, cold demotion and the buddy-replica degradation
+// paths. Event-level StorageFault rules still apply above the tier (they
+// wrap the whole stack in a FaultStorage); ColdFaults sabotage the primary
+// cold location underneath it.
+type StorageSpec struct {
+	// Tiered selects checkpoint.TieredStorage (delta frames + hot ring +
+	// async cold demotion) instead of the default in-memory storage.
+	Tiered bool
+	// HotWaves is TieredConfig.HotWaves: 0 means the default ring size,
+	// negative disables the hot ring so every recovery walks the cold tier.
+	HotWaves int
+	// Replica adds an in-memory buddy location receiving every demotion.
+	Replica bool
+	// DisableDelta stages plain full images through the tier.
+	DisableDelta bool
+	// ColdFaults sabotages the *primary* cold location only (OpStage targets
+	// Put, OpLoad targets Get), so recovery must degrade to the replica.
+	ColdFaults []checkpoint.FaultRule
+}
+
+// build constructs the tiered stack, returning the storage to run with (nil
+// when the spec does not request one).
+func (sp *StorageSpec) build() (*checkpoint.TieredStorage, error) {
+	if sp == nil || !sp.Tiered {
+		return nil, nil
+	}
+	var primary checkpoint.ColdStore = checkpoint.NewMemColdStore()
+	if len(sp.ColdFaults) > 0 {
+		fc, err := checkpoint.NewFaultColdStore(primary, sp.ColdFaults...)
+		if err != nil {
+			return nil, fmt.Errorf("chaos: building cold fault store: %w", err)
+		}
+		primary = fc
+	}
+	cfg := checkpoint.TieredConfig{
+		HotWaves:     sp.HotWaves,
+		Cold:         primary,
+		DisableDelta: sp.DisableDelta,
+		// Chaos runs are replayed and diffed against a twin; inline demotion
+		// keeps the cold tier's state (and replica-fallback counts) a
+		// deterministic function of the scenario instead of goroutine timing.
+		SyncDemotion: true,
+	}
+	if sp.Replica {
+		cfg.Replica = checkpoint.NewMemColdStore()
+	}
+	return checkpoint.NewTieredStorage(cfg), nil
 }
 
 // normalize applies scenario defaults in place and validates the fixed

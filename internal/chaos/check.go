@@ -41,6 +41,9 @@ type Result struct {
 	NetInjections        int     `json:"net_injections"`
 	NetInjectionsPerRule []int   `json:"net_injections_per_rule,omitempty"`
 	Makespan             float64 `json:"makespan_s"`
+	// ReplicaFallbacks counts recoveries that had to degrade to the buddy
+	// replica of a tiered store (scenarios with a StorageSpec only).
+	ReplicaFallbacks int `json:"replica_fallbacks,omitempty"`
 }
 
 // appTraffic keeps only application point-to-point sends on the world
@@ -118,6 +121,10 @@ func (t *durabilityTracker) Load(rank int) (*checkpoint.Checkpoint, bool, error)
 
 func (t *durabilityTracker) Ranks() ([]int, error) { return t.inner.Ranks() }
 
+// Unwrap exposes the tracked storage so the committer's capability probe can
+// see through to a delta-capable tier.
+func (t *durabilityTracker) Unwrap() checkpoint.WaveStorage { return t.inner }
+
 func (t *durabilityTracker) takeViolations() []string {
 	t.mu.Lock()
 	defer t.mu.Unlock()
@@ -173,6 +180,15 @@ func Check(sc Scenario) *Result {
 		}
 	}
 
+	tiered, err := sc.Storage.build()
+	if err != nil {
+		return fail("%v", err)
+	}
+	var storage checkpoint.Storage
+	if tiered != nil {
+		storage = tiered
+	}
+
 	var tracker *durabilityTracker
 	var faultStore *checkpoint.FaultStorage
 	spec := runner.ChaosSpec{
@@ -212,10 +228,15 @@ func Check(sc Scenario) *Result {
 		Protocol:           sc.Protocol,
 		Faults:             comp.faults,
 		Recorder:           rec,
+		Storage:            storage,
 		Chaos:              &spec,
 	})
 	if runErr != nil {
 		res.RunError = runErr.Error()
+	}
+	if tiered != nil {
+		tiered.Quiesce()
+		res.ReplicaFallbacks = tiered.ReplicaFallbacks()
 	}
 	if faultStore != nil {
 		res.StorageInjections = faultStore.TotalInjections()

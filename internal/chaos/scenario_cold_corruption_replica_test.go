@@ -1,0 +1,39 @@
+package chaos
+
+import "testing"
+
+// Every frame demoted to the primary cold location is silently corrupted and
+// the hot ring is disabled, so recovery has nothing but the cold tier. The
+// run must still pass: the chain walk detects the damaged primary copy and
+// degrades to the buddy replica, which holds intact frames. A zero fallback
+// count would mean recovery never actually touched the sabotaged path.
+func TestScenarioColdCorruptionReplicaFallback(t *testing.T) {
+	res := checkScenario(t, "cold-corruption-replica-fallback")
+	if res.RecoveryEvents < 1 {
+		t.Fatalf("recovery events = %d, want >= 1", res.RecoveryEvents)
+	}
+	if res.ReplicaFallbacks < 1 {
+		t.Fatalf("replica fallbacks = %d, want >= 1 (recovery never hit the corrupted primary)", res.ReplicaFallbacks)
+	}
+}
+
+// Acceptance gate for the tiered store: the whole existing catalog must pass
+// unchanged when its runs are re-pointed at TieredStorage (default
+// configuration: delta frames, hot ring, async demotion to a single cold
+// location). Scenarios that already carry their own StorageSpec keep it.
+func TestCatalogPassesOnTieredStorage(t *testing.T) {
+	for _, sc := range Catalog() {
+		sc := sc
+		t.Run(sc.Name, func(t *testing.T) {
+			t.Parallel()
+			if sc.Storage == nil {
+				sc.Storage = &StorageSpec{Tiered: true}
+			}
+			res := Check(sc)
+			if !res.Passed {
+				t.Fatalf("scenario %s on tiered storage violated invariants: %v (run error: %q)",
+					sc.Name, res.Violations, res.RunError)
+			}
+		})
+	}
+}

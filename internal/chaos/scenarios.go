@@ -104,6 +104,23 @@ func Catalog() []Scenario {
 			},
 		},
 		{
+			// Silent corruption of every frame demoted to the *primary* cold
+			// location, with the hot ring disabled: recovery must detect the
+			// damage while walking the cold tier and degrade to the buddy
+			// replica, whose copies are intact. The run is expected to
+			// survive — this is the tiered store's whole value proposition.
+			Name: "cold-corruption-replica-fallback",
+			Storage: &StorageSpec{
+				Tiered:   true,
+				HotWaves: -1,
+				Replica:  true,
+				ColdFaults: []checkpoint.FaultRule{
+					{Op: checkpoint.OpStage, Mode: checkpoint.ModeCorrupt, Rank: -1},
+				},
+			},
+			Events: []Event{NodeCrash(2, 5)},
+		},
+		{
 			// The same rank fails at two different boundaries: the second
 			// recovery must start from the re-captured waves of the first.
 			Name:   "repeat-offender",

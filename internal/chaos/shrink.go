@@ -200,6 +200,68 @@ func Shrink(sc Scenario, failing func(Scenario) bool) (Shrunk, error) {
 
 	out := sc
 	out.Events = events
+
+	// Phase 3: shrink the world itself — bisect Ranks, Steps and Interval
+	// down to their smallest still-failing values (floors 2/1/1). Probes are
+	// inherently sequential (each bound depends on the previous verdict), so
+	// this phase is byte-identical under any worker count. Candidates that no
+	// longer normalize or compile (a crash rank out of range, a partition of
+	// a cluster that no longer exists) are rejected without charging a
+	// predicate run; every accepted value was verified failing.
+	probe := func(mut func(*Scenario)) bool {
+		cand := out
+		mut(&cand)
+		tmp := cand
+		if err := tmp.normalize(); err != nil {
+			return false
+		}
+		if _, err := compile(&tmp); err != nil {
+			return false
+		}
+		eval.runs++
+		return eval.failing(cand)
+	}
+	// bisect returns the smallest still-failing value in [lo, hi], given that
+	// the current scenario (value hi) fails.
+	bisect := func(lo, hi int, set func(*Scenario, int)) int {
+		if lo >= hi {
+			return hi
+		}
+		if probe(func(s *Scenario) { set(s, lo) }) {
+			return lo
+		}
+		for lo+1 < hi {
+			mid := lo + (hi-lo)/2
+			if probe(func(s *Scenario) { set(s, mid) }) {
+				hi = mid
+			} else {
+				lo = mid
+			}
+		}
+		return hi
+	}
+	norm := out
+	if err := norm.normalize(); err == nil {
+		setRanks := func(s *Scenario, v int) {
+			s.Ranks = v
+			if len(s.ClusterOf) > v {
+				s.ClusterOf = s.ClusterOf[:v]
+			}
+		}
+		if r := bisect(2, norm.Ranks, setRanks); r < norm.Ranks {
+			setRanks(&out, r)
+			if out.ClusterOf != nil {
+				out.ClusterOf = append([]int(nil), out.ClusterOf...)
+			}
+		}
+		if s := bisect(1, norm.Steps, func(s *Scenario, v int) { s.Steps = v }); s < norm.Steps {
+			out.Steps = s
+		}
+		if iv := bisect(1, norm.Interval, func(s *Scenario, v int) { s.Interval = v }); iv < norm.Interval {
+			out.Interval = iv
+		}
+	}
+
 	return Shrunk{Scenario: out, Runs: eval.runs, Literal: FormatScenario(out)}, nil
 }
 
@@ -318,6 +380,29 @@ func FormatScenario(sc Scenario) string {
 	}
 	if sc.ExpectError {
 		b.WriteString("\tExpectError: true,\n")
+	}
+	if sp := sc.Storage; sp != nil {
+		b.WriteString("\tStorage: &chaos.StorageSpec{\n")
+		if sp.Tiered {
+			b.WriteString("\t\tTiered: true,\n")
+		}
+		if sp.HotWaves != 0 {
+			fmt.Fprintf(&b, "\t\tHotWaves: %d,\n", sp.HotWaves)
+		}
+		if sp.Replica {
+			b.WriteString("\t\tReplica: true,\n")
+		}
+		if sp.DisableDelta {
+			b.WriteString("\t\tDisableDelta: true,\n")
+		}
+		if len(sp.ColdFaults) > 0 {
+			b.WriteString("\t\tColdFaults: []checkpoint.FaultRule{\n")
+			for _, r := range sp.ColdFaults {
+				fmt.Fprintf(&b, "\t\t\t%s,\n", formatRule(r))
+			}
+			b.WriteString("\t\t},\n")
+		}
+		b.WriteString("\t},\n")
 	}
 	b.WriteString("\tEvents: []chaos.Event{\n")
 	for _, ev := range sc.Events {

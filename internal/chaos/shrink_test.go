@@ -168,6 +168,114 @@ func TestShrinkRejectsPassingScenario(t *testing.T) {
 	}
 }
 
+// TestShrinkBisectsParameters drives the world-shrinking phase with a
+// synthetic predicate that needs at least 3 ranks, 5 steps and a 2-iteration
+// interval: the shrinker must bisect the oversized 8/12/4 world down to
+// exactly those floors, and the result must still reproduce and compile.
+func TestShrinkBisectsParameters(t *testing.T) {
+	sc := Scenario{
+		Name:     "shrink-params",
+		Ranks:    8,
+		Steps:    12,
+		Interval: 4,
+		Events:   []Event{NodeCrash(1, 2)},
+	}
+	failing := func(s Scenario) bool {
+		tmp := s
+		if err := tmp.normalize(); err != nil {
+			return false
+		}
+		return tmp.Ranks >= 3 && tmp.Steps >= 5 && tmp.Interval >= 2
+	}
+	shrunk, err := Shrink(sc, failing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := shrunk.Scenario
+	if got.Ranks != 3 || got.Steps != 5 || got.Interval != 2 {
+		t.Fatalf("shrunk world to ranks=%d steps=%d interval=%d, want 3/5/2", got.Ranks, got.Steps, got.Interval)
+	}
+	// Repro-verified: the minimized scenario still fails and still builds.
+	if !failing(got) {
+		t.Fatal("minimized scenario no longer reproduces")
+	}
+	tmp := got
+	if err := tmp.normalize(); err != nil {
+		t.Fatalf("minimized scenario does not normalize: %v", err)
+	}
+	if _, err := compile(&tmp); err != nil {
+		t.Fatalf("minimized scenario does not compile: %v", err)
+	}
+	for _, want := range []string{"Ranks: 3", "Steps: 5", "Interval: 2"} {
+		if !strings.Contains(shrunk.Literal, want) {
+			t.Errorf("literal missing %q:\n%s", want, shrunk.Literal)
+		}
+	}
+}
+
+// TestShrinkParametersRespectEventFloor pins the validity guard: a crash of
+// rank 2 at iteration 5 caps how far the world can shrink (iteration 5 needs
+// at least 6 steps; rank 2 stops crashing anything below 3 ranks), so the
+// bisection must stop at the smallest configuration where the event still
+// fires, and never hand the predicate a scenario that does not compile.
+func TestShrinkParametersRespectEventFloor(t *testing.T) {
+	sc := Scenario{
+		Name:   "shrink-param-floor",
+		Ranks:  8,
+		Steps:  12,
+		Events: []Event{NodeCrash(2, 5)},
+	}
+	shrunk, err := Shrink(sc, func(s Scenario) bool {
+		tmp := s
+		if err := tmp.normalize(); err != nil {
+			t.Fatalf("predicate saw a scenario that does not normalize: %v", err)
+		}
+		comp, err := compile(&tmp)
+		if err != nil {
+			t.Fatalf("predicate saw a scenario that does not compile: %v", err)
+		}
+		return len(comp.faults) > 0
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := shrunk.Scenario
+	if got.Ranks != 3 || got.Steps != 6 {
+		t.Fatalf("world shrunk to ranks=%d steps=%d, want the 3/6 event floor", got.Ranks, got.Steps)
+	}
+	tmp := got
+	if err := tmp.normalize(); err != nil {
+		t.Fatalf("minimized scenario does not normalize: %v", err)
+	}
+	if _, err := compile(&tmp); err != nil {
+		t.Fatalf("minimized scenario does not compile: %v", err)
+	}
+}
+
+// TestFormatScenarioStorageSpec pins that a scenario's storage stack survives
+// into the regression literal — a shrunk cold-tier failure that silently
+// dropped its StorageSpec would reproduce nothing.
+func TestFormatScenarioStorageSpec(t *testing.T) {
+	sc, ok := ByName("cold-corruption-replica-fallback")
+	if !ok {
+		t.Fatal("cold-corruption-replica-fallback not in catalog")
+	}
+	lit := FormatScenario(sc)
+	for _, want := range []string{
+		"Storage: &chaos.StorageSpec{",
+		"Tiered: true",
+		"HotWaves: -1",
+		"Replica: true",
+		"ColdFaults: []checkpoint.FaultRule{",
+		`Op: "stage"`,
+		`Mode: "corrupt"`,
+	} {
+		if !strings.Contains(lit, want) {
+			t.Errorf("literal missing %q:\n%s", want, lit)
+		}
+	}
+}
+
 // TestFormatScenarioCoversDSL renders one scenario using every event class
 // and asserts the literal names each builder — the reproducible artifact CI
 // attaches must round-trip through the DSL, not dump internals.

@@ -296,6 +296,9 @@ func (d *DirStorage) tmpPath(rank int) string {
 func (d *DirStorage) writeImage(rank int, raw []byte) (string, error) {
 	tmp := d.tmpPath(rank)
 	if err := os.WriteFile(tmp, raw, 0o644); err != nil {
+		// WriteFile may fail after creating the file (short write on a full
+		// disk); an aborted stage must not leave the partial temp file behind.
+		os.Remove(tmp)
 		return "", fmt.Errorf("checkpoint: write %s: %w", tmp, err)
 	}
 	return tmp, nil

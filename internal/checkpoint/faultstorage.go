@@ -95,57 +95,33 @@ type ruleState struct {
 	hits int // injections performed
 }
 
-// FaultStorage decorates a WaveStorage with rule-driven fault injection on
-// Stage/Commit/Load: fail, stall, or corrupt. It is the storage half of the
-// chaos subsystem — the counterpart of the engine's fault-point registry —
-// and is safe for concurrent use like the storages it wraps.
-type FaultStorage struct {
-	inner WaveStorage
+// ruleSet is the concurrency-safe rule matcher shared by FaultStorage and the
+// cold-tier FaultColdStore decorator.
+type ruleSet struct {
 	mu    sync.Mutex
 	rules []*ruleState
 }
 
-// NewFaultStorage wraps a WaveStorage with the given fault rules. Every rule
-// is validated up front; a rule that could never fire is a configuration bug,
-// not a survivable chaos schedule.
-func NewFaultStorage(inner WaveStorage, rules ...FaultRule) (*FaultStorage, error) {
-	f := &FaultStorage{inner: inner}
+// newRuleSet validates every rule up front; a rule that could never fire is a
+// configuration bug, not a survivable chaos schedule.
+func newRuleSet(rules []FaultRule) (*ruleSet, error) {
+	s := &ruleSet{}
 	for i, r := range rules {
 		if err := r.Validate(); err != nil {
 			return nil, fmt.Errorf("rule %d: %w", i, err)
 		}
-		f.rules = append(f.rules, &ruleState{FaultRule: r})
+		s.rules = append(s.rules, &ruleState{FaultRule: r})
 	}
-	return f, nil
-}
-
-// Injections returns how many faults each rule injected, in rule order.
-func (f *FaultStorage) Injections() []int {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	out := make([]int, len(f.rules))
-	for i, r := range f.rules {
-		out[i] = r.hits
-	}
-	return out
-}
-
-// TotalInjections returns the total number of injected faults.
-func (f *FaultStorage) TotalInjections() int {
-	n := 0
-	for _, h := range f.Injections() {
-		n += h
-	}
-	return n
+	return s, nil
 }
 
 // match finds the first rule that claims this operation and records the
 // injection. Occurrence counting is per rule, so independent rules do not
 // steal each other's matches.
-func (f *FaultStorage) match(op FaultOp, rank int) *ruleState {
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	for _, r := range f.rules {
+func (s *ruleSet) match(op FaultOp, rank int) *ruleState {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, r := range s.rules {
 		if r.Op != op || (r.Rank >= 0 && r.Rank != rank) {
 			continue
 		}
@@ -159,6 +135,53 @@ func (f *FaultStorage) match(op FaultOp, rank int) *ruleState {
 	}
 	return nil
 }
+
+// injections returns how many faults each rule injected, in rule order.
+func (s *ruleSet) injections() []int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	out := make([]int, len(s.rules))
+	for i, r := range s.rules {
+		out[i] = r.hits
+	}
+	return out
+}
+
+// FaultStorage decorates a WaveStorage with rule-driven fault injection on
+// Stage/Commit/Load: fail, stall, or corrupt. It is the storage half of the
+// chaos subsystem — the counterpart of the engine's fault-point registry —
+// and is safe for concurrent use like the storages it wraps.
+type FaultStorage struct {
+	inner WaveStorage
+	rs    *ruleSet
+}
+
+// NewFaultStorage wraps a WaveStorage with the given fault rules.
+func NewFaultStorage(inner WaveStorage, rules ...FaultRule) (*FaultStorage, error) {
+	rs, err := newRuleSet(rules)
+	if err != nil {
+		return nil, err
+	}
+	return &FaultStorage{inner: inner, rs: rs}, nil
+}
+
+// Unwrap exposes the decorated storage, so capability probes (e.g. the
+// committer looking for a delta-aware tier) can see through the decorator.
+func (f *FaultStorage) Unwrap() WaveStorage { return f.inner }
+
+// Injections returns how many faults each rule injected, in rule order.
+func (f *FaultStorage) Injections() []int { return f.rs.injections() }
+
+// TotalInjections returns the total number of injected faults.
+func (f *FaultStorage) TotalInjections() int {
+	n := 0
+	for _, h := range f.Injections() {
+		n += h
+	}
+	return n
+}
+
+func (f *FaultStorage) match(op FaultOp, rank int) *ruleState { return f.rs.match(op, rank) }
 
 func (r *ruleState) stall() {
 	if r.Block != nil {

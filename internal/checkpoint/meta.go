@@ -19,10 +19,15 @@ type ImageMeta struct {
 
 // DecodeMeta decodes only the metadata prefix of a binary checkpoint image.
 // It is cheap (no payload copies) and safe on corrupt input: a truncated or
-// foreign image yields an error, never a panic.
+// foreign image yields an error, never a panic. Every codec-v3 frame kind
+// (delta, compressed full) carries the same meta fields in the same order
+// right after its magic, so DecodeMeta works on any staged representation.
 func DecodeMeta(raw []byte) (ImageMeta, error) {
 	var m ImageMeta
-	if len(raw) < codecHeaderLen || !bytes.Equal(raw[:4], codecMagic[:]) {
+	if len(raw) < codecHeaderLen ||
+		(!bytes.Equal(raw[:4], codecMagic[:]) &&
+			!bytes.Equal(raw[:4], deltaMagic[:]) &&
+			!bytes.Equal(raw[:4], zfullMagic[:])) {
 		return m, fmt.Errorf("checkpoint: decode meta: bad magic or version")
 	}
 	d := decoder{in: raw[codecHeaderLen:]}

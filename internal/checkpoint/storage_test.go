@@ -187,3 +187,57 @@ func TestDirStorageStageCommitAbort(t *testing.T) {
 		}
 	}
 }
+
+// TestDirStorageAbortLeavesNoFiles is the regression test for the staged
+// temp-file leak: repeated stage/abort cycles — including a stage whose write
+// itself fails — must leave only committed checkpoint files in the directory.
+func TestDirStorageAbortLeavesNoFiles(t *testing.T) {
+	dir := t.TempDir()
+	st, err := NewDirStorage(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	img, err := EncodeBuffer(sampleCheckpoint(0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer img.Release()
+
+	for i := 0; i < 5; i++ {
+		_, abort, err := st.StageImage(0, img)
+		if err != nil {
+			t.Fatal(err)
+		}
+		abort()
+	}
+	commit, _, err := st.StageImage(0, img)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Force the write itself to fail mid-stage: the next temp path (the seq
+	// counter is at 6 after the stages above) is occupied by a directory, so
+	// os.WriteFile errors. The failed stage must clean up after itself.
+	planted := filepath.Join(dir, "rank-000000.ckpt.7.tmp")
+	if err := os.Mkdir(planted, 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := st.StageImage(0, img); err == nil {
+		t.Fatal("stage over an unwritable temp path did not error")
+	}
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var names []string
+	for _, e := range entries {
+		names = append(names, e.Name())
+	}
+	if !reflect.DeepEqual(names, []string{"rank-000000.ckpt"}) {
+		t.Fatalf("directory after aborts = %v, want only the committed file", names)
+	}
+}

@@ -99,6 +99,7 @@ type committer struct {
 	e       *Engine
 	storage checkpoint.Storage
 	ws      checkpoint.WaveStorage // nil when storage lacks the two-phase fast path
+	delta   *deltaState            // nil unless the storage stack advertises a DeltaPolicy
 
 	shards [commitShards]*commitShard
 	wg     sync.WaitGroup
@@ -115,6 +116,11 @@ type committer struct {
 func newCommitter(e *Engine, storage checkpoint.Storage) *committer {
 	c := &committer{e: e, storage: storage}
 	c.ws, _ = storage.(checkpoint.WaveStorage)
+	if c.ws != nil {
+		if policy, ok := probeDeltaPolicy(c.ws); ok {
+			c.delta = newDeltaState(policy.Normalized())
+		}
+	}
 	for i := range c.shards {
 		s := &commitShard{
 			partial:  make(map[int]*wave),
@@ -241,6 +247,7 @@ func (c *committer) commitWave(s *commitShard, w *wave) {
 	commits := make([]func() error, len(w.members))
 	aborts := make([]func(), len(w.members))
 	errs := make([]error, len(w.members))
+	plans := make([]*deltaPlan, len(w.members))
 	stage := func(i int) {
 		cp := w.members[i]
 		if c.ws == nil {
@@ -255,9 +262,22 @@ func (c *committer) commitWave(s *commitShard, w *wave) {
 			errs[i] = err
 			return
 		}
-		commit, abort, err := c.ws.StageImage(cp.Rank, image)
+		// With a delta-capable tier below, re-encode the image as a codec-v3
+		// frame against the rank's previous published wave. This runs on the
+		// background stage pool — exactly the place the capture/commit split
+		// made free — so the byte savings cost the barrier nothing.
+		staged := image
+		if c.delta != nil {
+			staged, plans[i] = c.delta.encode(cp.Rank, cp.Wave, image)
+		}
+		commit, abort, err := c.ws.StageImage(cp.Rank, staged)
+		if c.delta != nil {
+			staged.Release() // encode returned an owned reference
+		}
 		image.Release()
 		if err != nil {
+			plans[i].drop()
+			plans[i] = nil
 			errs[i] = err
 			return
 		}
@@ -295,17 +315,24 @@ func (c *committer) commitWave(s *commitShard, w *wave) {
 	// is cheap — a rename or pointer swap), so recovery either sees the whole
 	// wave or none of it, and a cancellation that lost the race to this
 	// critical section finds the wave already durable.
+	dropPlans := func(from int) {
+		for _, p := range plans[from:] {
+			p.drop()
+		}
+	}
 	s.mu.Lock()
 	if w.canceled {
 		// A canceled wave is discarded whether or not it also failed to
 		// stage: recovery already decided to roll back past it, so a storage
-		// fault racing the cancellation must not fail the run.
+		// fault racing the cancellation must not fail the run. Its members
+		// never become delta bases — the base map only advances on publish.
 		s.mu.Unlock()
 		for _, abort := range aborts {
 			if abort != nil {
 				abort()
 			}
 		}
+		dropPlans(0)
 		w.discard()
 		return
 	}
@@ -317,6 +344,7 @@ func (c *committer) commitWave(s *commitShard, w *wave) {
 				abort()
 			}
 		}
+		dropPlans(0)
 		w.discard()
 		return
 	}
@@ -335,6 +363,7 @@ func (c *committer) commitWave(s *commitShard, w *wave) {
 					abort()
 				}
 			}
+			dropPlans(0)
 			w.discard()
 			return
 		}
@@ -353,6 +382,20 @@ func (c *committer) commitWave(s *commitShard, w *wave) {
 	cnt.savedBytes.Add(bytes)
 	cnt.waves.Add(1)
 	cnt.commitNs.Add(time.Since(w.captured).Nanoseconds())
+	for _, p := range plans {
+		if p == nil {
+			continue
+		}
+		cnt.bytesStaged.Add(uint64(p.stagedLen))
+		cnt.bytesFull.Add(uint64(p.fullLen))
+		if p.isDelta {
+			cnt.deltaImages.Add(1)
+		} else {
+			cnt.fullImages.Add(1)
+		}
+		// The published wave becomes the rank's next delta base.
+		c.delta.publish(p)
+	}
 
 	// The wave is durable: only now may the remote-log records it covers be
 	// garbage-collected (Algorithm 1's truncation). Until this point a fault
@@ -533,6 +576,9 @@ func (c *committer) drain() error {
 			delete(s.partial, cl)
 		}
 		s.mu.Unlock()
+	}
+	if c.delta != nil {
+		c.delta.close()
 	}
 	return c.firstErr()
 }

@@ -171,6 +171,19 @@ type Metrics struct {
 	// adaptive run adopted (Epochs - 1).
 	Epochs        int `json:"epochs"`
 	EpochSwitches int `json:"epoch_switches"`
+	// Delta-pipeline volume accounting, populated only when the storage
+	// stack advertises a DeltaPolicy (omitted otherwise, so reports of
+	// non-delta runs are unchanged). BytesStaged is what was actually staged
+	// (codec-v3 frames); BytesFullEquiv is what the same waves would have
+	// cost as plain full images; BytesDeduped is the difference.
+	BytesStaged    uint64 `json:"checkpoint_bytes_staged,omitempty"`
+	BytesFullEquiv uint64 `json:"checkpoint_bytes_full_equiv,omitempty"`
+	BytesDeduped   uint64 `json:"checkpoint_bytes_deduped,omitempty"`
+	DeltaImages    int    `json:"checkpoint_delta_images,omitempty"`
+	FullImages     int    `json:"checkpoint_full_images,omitempty"`
+	// DeltaRatio is BytesStaged / BytesFullEquiv: < 1 means the delta
+	// pipeline beat the full-image floor.
+	DeltaRatio float64 `json:"checkpoint_delta_ratio,omitempty"`
 }
 
 // counters is the lock-free accumulator behind Metrics: checkpoint waves
@@ -189,6 +202,10 @@ type counters struct {
 	wavesCanceled   atomic.Int64
 	captureNs       atomic.Int64
 	commitNs        atomic.Int64
+	bytesStaged     atomic.Uint64
+	bytesFull       atomic.Uint64
+	deltaImages     atomic.Int64
+	fullImages      atomic.Int64
 }
 
 // Engine composes a fault-tolerance Policy, the MPI runtime, checkpoint
@@ -348,6 +365,14 @@ func (e *Engine) Metrics() Metrics {
 		Epochs:                  e.Epochs(),
 	}
 	m.EpochSwitches = m.Epochs - 1
+	m.BytesStaged = c.bytesStaged.Load()
+	m.BytesFullEquiv = c.bytesFull.Load()
+	m.DeltaImages = int(c.deltaImages.Load())
+	m.FullImages = int(c.fullImages.Load())
+	if m.BytesFullEquiv > 0 {
+		m.BytesDeduped = m.BytesFullEquiv - m.BytesStaged
+		m.DeltaRatio = float64(m.BytesStaged) / float64(m.BytesFullEquiv)
+	}
 	e.mu.Lock()
 	for r := range e.rolled {
 		m.RolledBackRanks = append(m.RolledBackRanks, r)
